@@ -1,0 +1,144 @@
+// E13 — engine micro-benchmarks (google-benchmark).
+//
+// Quantifies the design choices DESIGN.md §6 calls out:
+//   * the aggregate engine's O(1)-in-n round vs the agent engine's O(n*l);
+//   * closed-form aggregate adoption (Voter, Minority, 3-majority) vs the
+//     generic Eq. 4 summation;
+//   * the cost of the sqrt(n ln n) sample-size regime (O(l) per round).
+#include <benchmark/benchmark.h>
+
+#include "core/init.h"
+#include "core/stateful.h"
+#include "engine/agent.h"
+#include "engine/aggregate.h"
+#include "engine/sequential.h"
+#include "protocols/minority.h"
+#include "protocols/three_majority.h"
+#include "protocols/voter.h"
+
+namespace bitspread {
+namespace {
+
+void BM_AggregateStepVoter(benchmark::State& state) {
+  const VoterDynamics voter;
+  const AggregateParallelEngine engine(voter);
+  const std::uint64_t n = static_cast<std::uint64_t>(state.range(0));
+  Rng rng(1);
+  Configuration config = init_half(n, Opinion::kOne);
+  for (auto _ : state) {
+    config = engine.step(config, rng);
+    benchmark::DoNotOptimize(config.ones);
+    // Keep the state away from absorption so every step does real work.
+    if (config.is_consensus()) config = init_half(n, Opinion::kOne);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_AggregateStepVoter)->Arg(1 << 10)->Arg(1 << 20)->Arg(1 << 30);
+
+void BM_AggregateStepMinority3(benchmark::State& state) {
+  const MinorityDynamics minority(3);
+  const AggregateParallelEngine engine(minority);
+  const std::uint64_t n = static_cast<std::uint64_t>(state.range(0));
+  Rng rng(2);
+  Configuration config = init_half(n, Opinion::kOne);
+  for (auto _ : state) {
+    config = engine.step(config, rng);
+    benchmark::DoNotOptimize(config.ones);
+    if (config.is_consensus()) config = init_half(n, Opinion::kOne);
+  }
+}
+BENCHMARK(BM_AggregateStepMinority3)->Arg(1 << 10)->Arg(1 << 20)->Arg(1 << 30);
+
+void BM_AggregateStepMinoritySqrt(benchmark::State& state) {
+  const MinorityDynamics minority(SampleSizePolicy::sqrt_n_log_n());
+  const AggregateParallelEngine engine(minority);
+  const std::uint64_t n = static_cast<std::uint64_t>(state.range(0));
+  Rng rng(3);
+  Configuration config = init_half(n, Opinion::kOne);
+  for (auto _ : state) {
+    config = engine.step(config, rng);
+    benchmark::DoNotOptimize(config.ones);
+    if (config.is_consensus()) config = init_half(n, Opinion::kOne);
+  }
+  state.counters["l"] = minority.sample_size(n);
+}
+BENCHMARK(BM_AggregateStepMinoritySqrt)->Arg(1 << 14)->Arg(1 << 20);
+
+void BM_AgentStepMinority3(benchmark::State& state) {
+  const MinorityDynamics minority(3);
+  const MemorylessAsStateful adapter(minority);
+  const AgentParallelEngine engine(adapter);
+  const std::uint64_t n = static_cast<std::uint64_t>(state.range(0));
+  Rng rng(4);
+  auto population = engine.make_population(init_half(n, Opinion::kOne));
+  for (auto _ : state) {
+    engine.step(population, rng);
+    benchmark::DoNotOptimize(population.views.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_AgentStepMinority3)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_SequentialActivation(benchmark::State& state) {
+  const MinorityDynamics minority(3);
+  const SequentialEngine engine(minority);
+  const std::uint64_t n = 1 << 20;
+  Rng rng(5);
+  Configuration config = init_half(n, Opinion::kOne);
+  for (auto _ : state) {
+    config = engine.step(config, rng);
+    benchmark::DoNotOptimize(config.ones);
+  }
+}
+BENCHMARK(BM_SequentialActivation);
+
+// Ablation: closed-form aggregate adoption vs the generic Eq. 4 walk.
+void BM_AdoptionClosedFormMinority(benchmark::State& state) {
+  const MinorityDynamics minority(
+      static_cast<std::uint32_t>(state.range(0)));
+  double p = 0.3;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        minority.aggregate_adoption(Opinion::kZero, p, 1 << 20));
+    p = p < 0.7 ? p + 1e-6 : 0.3;  // Defeat value caching.
+  }
+}
+BENCHMARK(BM_AdoptionClosedFormMinority)->Arg(3)->Arg(63)->Arg(1023);
+
+void BM_AdoptionGenericSumMinority(benchmark::State& state) {
+  const MinorityDynamics minority(
+      static_cast<std::uint32_t>(state.range(0)));
+  double p = 0.3;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        eq4_adoption_sum(minority, Opinion::kZero, p, 1 << 20));
+    p = p < 0.7 ? p + 1e-6 : 0.3;
+  }
+}
+BENCHMARK(BM_AdoptionGenericSumMinority)->Arg(3)->Arg(63)->Arg(1023);
+
+void BM_AdoptionClosedFormVoter(benchmark::State& state) {
+  const VoterDynamics voter(8);
+  double p = 0.3;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        voter.aggregate_adoption(Opinion::kZero, p, 1 << 20));
+    p = p < 0.7 ? p + 1e-6 : 0.3;
+  }
+}
+BENCHMARK(BM_AdoptionClosedFormVoter);
+
+void BM_AdoptionGenericSumVoter(benchmark::State& state) {
+  const VoterDynamics voter(8);
+  double p = 0.3;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eq4_adoption_sum(voter, Opinion::kZero, p, 1 << 20));
+    p = p < 0.7 ? p + 1e-6 : 0.3;
+  }
+}
+BENCHMARK(BM_AdoptionGenericSumVoter);
+
+}  // namespace
+}  // namespace bitspread

@@ -1,0 +1,111 @@
+// E4 — The open question (§1, §5): what is the minimal sample size for which
+// the minority dynamics converges in poly-logarithmic time?
+//
+// The paper proves l = O(1) is hopeless and cites l = sqrt(n ln n) as
+// sufficient, noting that "simulations suggest that its convergence might be
+// fast even when the sample size is qualitatively small". This bench IS that
+// simulation, systematized: for each n, sweep l upward and record the
+// convergence rate and time within a polylog budget, then report the
+// empirical threshold l*(n) (smallest l with all replicates converging) and
+// fit its growth exponent: l*(n) ~ n^beta. beta well below 1/2 supports the
+// paper's suspicion that Theta(sqrt(n log n)) is not the true frontier.
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <optional>
+#include <vector>
+
+#include "core/init.h"
+#include "engine/aggregate.h"
+#include "random/seeding.h"
+#include "protocols/minority.h"
+#include "sim/cli.h"
+#include "sim/experiment.h"
+#include "sim/sweep.h"
+#include "sim/table.h"
+#include "stats/regression.h"
+
+namespace bitspread {
+namespace {
+
+void run(const BenchOptions& options) {
+  print_banner("E4",
+               "open question: minimal sample size for fast minority "
+               "convergence",
+               options);
+
+  const std::vector<int> exps =
+      options.quick ? std::vector<int>{12, 14} : std::vector<int>{12, 14, 16, 18};
+  const int reps = options.reps_or(options.quick ? 8 : 16);
+  const SeedSequence seeds(options.seed);
+
+  Table table({"n", "l", "l/sqrt(n ln n)", "solved", "mean T", "budget"});
+  std::vector<double> threshold_ns, thresholds;
+  std::uint64_t cell = 0;
+  for (const int exp : exps) {
+    const std::uint64_t n = std::uint64_t{1} << exp;
+    const double nd = static_cast<double>(n);
+    const double sqrt_ref = std::sqrt(nd * std::log(nd));
+    const double log2n = std::log2(nd);
+    // Polylog budget: 20 * log2^2(n) rounds.
+    StopRule rule;
+    rule.max_rounds = static_cast<std::uint64_t>(20.0 * log2n * log2n);
+
+    // l-grid: geometric from 3 up to just above sqrt(n ln n).
+    std::vector<std::uint32_t> ells;
+    for (double v = 3.0; v < 1.3 * sqrt_ref; v *= 1.6) {
+      ells.push_back(static_cast<std::uint32_t>(v));
+    }
+
+    std::optional<std::uint32_t> threshold;
+    for (const std::uint32_t ell : ells) {
+      const MinorityDynamics protocol(ell);
+      const AggregateParallelEngine engine(protocol);
+      const Configuration init = init_all_wrong(n, Opinion::kOne);
+      const auto runner = [&](Rng& rng) {
+        return engine.run(init, rule, rng);
+      };
+      const ConvergenceMeasurement m =
+          measure_convergence(runner, seeds, cell++, reps);
+      table.add_row(
+          {Table::fmt(n), Table::fmt(std::uint64_t{ell}),
+           Table::fmt(static_cast<double>(ell) / sqrt_ref, 3),
+           std::to_string(m.converged) + "/" + std::to_string(reps),
+           m.converged > 0 ? Table::fmt(m.rounds.mean(), 1) : "-",
+           Table::fmt(rule.max_rounds)});
+      if (!threshold && m.converged == reps) threshold = ell;
+    }
+    if (threshold) {
+      threshold_ns.push_back(nd);
+      thresholds.push_back(static_cast<double>(*threshold));
+    }
+  }
+  emit_table(table, options);
+
+  std::printf("\nempirical thresholds l*(n) (smallest grid l with all "
+              "replicates converging in the polylog budget):\n");
+  for (std::size_t i = 0; i < thresholds.size(); ++i) {
+    std::printf("  n = %8.0f : l* ~ %4.0f  (sqrt(n ln n) = %.0f, ratio %.3f)\n",
+                threshold_ns[i], thresholds[i],
+                std::sqrt(threshold_ns[i] * std::log(threshold_ns[i])),
+                thresholds[i] /
+                    std::sqrt(threshold_ns[i] * std::log(threshold_ns[i])));
+  }
+  if (thresholds.size() >= 2) {
+    const LinearFit fit = loglog_fit(threshold_ns, thresholds);
+    std::printf(
+        "fit: l*(n) ~ %.2f * n^%.3f (R^2 = %.3f). An exponent well below "
+        "0.5 backs the\npaper's remark that nothing pins Theta(sqrt(n log "
+        "n)) as the true frontier\n(grid resolution: factor 1.6, so l* is "
+        "an upper bracket of the transition).\n",
+        std::exp(fit.intercept), fit.slope, fit.r_squared);
+  }
+}
+
+}  // namespace
+}  // namespace bitspread
+
+int main(int argc, char** argv) {
+  bitspread::run(bitspread::parse_bench_options(argc, argv));
+  return 0;
+}

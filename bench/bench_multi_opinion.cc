@@ -1,0 +1,126 @@
+// E16 — footnote 2: more than two opinions.
+//
+// The paper notes the lower bound extends to any number of opinions under
+// the no-spontaneous-adoption rule, by reducing a binary initial
+// configuration to Theorem 1. This bench exhibits both halves:
+//   * the reduction: with only opinions {0,1} populated, the k-opinion
+//     engines reproduce the binary dynamics exactly (adoption distributions
+//     shown side by side);
+//   * genuinely k-ary behavior: k-minority with constant l from a symmetric
+//     k-way split — the dynamics hovers at the symmetric mixed state (the
+//     interior trap generalizes), while k-voter with a source still solves
+//     the problem, slowly.
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "multi/configuration.h"
+#include "multi/engine.h"
+#include "multi/protocols.h"
+#include "protocols/minority.h"
+#include "random/seeding.h"
+#include "sim/cli.h"
+#include "sim/table.h"
+#include "stats/summary.h"
+
+namespace bitspread {
+namespace {
+
+void run(const BenchOptions& options) {
+  print_banner("E16", "footnote 2: the multi-opinion generalization",
+               options);
+
+  const SeedSequence seeds(options.seed);
+
+  // Part 1: the reduction table.
+  {
+    const std::uint32_t ell = 3;
+    const MultiMinority multi(3, ell);
+    const MinorityDynamics binary(ell);
+    const MultiAggregateEngine engine(multi);
+    Table table({"p (frac of opinion 1)", "binary P(adopt 1)",
+                 "multi q[1]", "multi q[2] (unseen)"});
+    const std::uint64_t n = 100000;
+    for (int i = 1; i < 10; ++i) {
+      const double p = i / 10.0;
+      const MultiConfiguration config =
+          embed_binary(n, static_cast<std::uint64_t>(p * n), 1, 3);
+      const auto q = engine.adoption_distribution(0, config);
+      table.add_row({Table::fmt(p, 1),
+                     Table::fmt(binary.aggregate_adoption(
+                                    Opinion::kZero, config.fraction(1), n),
+                                6),
+                     Table::fmt(q[1], 6), Table::fmt(q[2], 9)});
+    }
+    std::printf("the binary reduction (3 opinions, {0,1} populated, "
+                "k-minority l=3):\n");
+    table.print(std::cout);
+    std::printf("\n");
+  }
+
+  // Part 2: k-ary behavior from a symmetric split.
+  {
+    const int reps = options.reps_or(options.quick ? 5 : 10);
+    const std::uint64_t n = options.quick ? 3000 : 30000;
+    Table table({"protocol", "m", "start", "budget", "solved",
+                 "mean T", "final correct frac"});
+    std::uint64_t cell = 0;
+    for (const std::uint32_t m : {3u, 4u}) {
+      const MultiMinority minority(m, 3);
+      const MultiVoter voter(m);
+      struct Entry {
+        const MultiOpinionProtocol* protocol;
+        std::uint64_t budget;
+      };
+      for (const Entry& entry :
+           {Entry{&minority, 20000},
+            Entry{&voter, 4000000ULL / 4}}) {  // Voter needs ~n log n.
+        const MultiAggregateEngine engine(*entry.protocol);
+        MultiConfiguration start;
+        start.counts.assign(m, n / m);
+        start.counts[0] += n - (n / m) * m;
+        start.correct = 0;
+        start.sources = 1;
+        MultiStopRule rule;
+        rule.max_rounds = entry.budget;
+        int solved = 0;
+        RunningStats rounds;
+        double final_fraction = 0.0;
+        for (int rep = 0; rep < reps; ++rep) {
+          Rng rng = seeds.stream(cell, rep);
+          const MultiRunResult result = engine.run(start, rule, rng);
+          if (result.converged()) {
+            ++solved;
+            rounds.add(static_cast<double>(result.rounds));
+          }
+          final_fraction += result.final_config.fraction(0) / reps;
+        }
+        ++cell;
+        table.add_row({entry.protocol->name(), Table::fmt(std::uint64_t{m}),
+                       "even split", Table::fmt(entry.budget),
+                       std::to_string(solved) + "/" + std::to_string(reps),
+                       solved > 0 ? Table::fmt(rounds.mean(), 1) : "-",
+                       Table::fmt(final_fraction, 3)});
+      }
+    }
+    std::printf("k-ary dynamics from an even split (source holds opinion 0, "
+                "n = %llu):\n",
+                static_cast<unsigned long long>(n));
+    emit_table(table, options);
+  }
+  std::printf(
+      "\nThe reduction columns agree to full precision and the unseen "
+      "opinion never gets\nmass — so binary lower bounds transfer verbatim. "
+      "In genuinely k-ary runs,\nk-minority with constant l stays trapped "
+      "at the symmetric mix (the Theorem 1\nphenomenon, now with a "
+      "(1/m,...,1/m) trap), while k-voter still solves the\nproblem in "
+      "voter time.\n");
+}
+
+}  // namespace
+}  // namespace bitspread
+
+int main(int argc, char** argv) {
+  bitspread::run(bitspread::parse_bench_options(argc, argv));
+  return 0;
+}

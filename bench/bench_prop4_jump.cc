@@ -1,0 +1,96 @@
+// E9 — Proposition 4: from x <= c*n, one round cannot push the ones-count
+// past y(c, l)*n = (1 - (1-c)^{l+1}/2)*n, except with probability
+// <= exp(-2 sqrt(n)).
+//
+// For each (protocol, c): draw many independent one-round transitions from
+// x = c*n and report the maximum landing fraction, the bound y(c, l), the
+// number of violations (expect 0: with n = 2^16 the failure bound is
+// e^{-512}), and the safety margin. Also reports the theoretical failure
+// bound next to the empirical violation count.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "analysis/bounds.h"
+#include "engine/aggregate.h"
+#include "random/seeding.h"
+#include "protocols/custom.h"
+#include "protocols/minority.h"
+#include "protocols/three_majority.h"
+#include "protocols/voter.h"
+#include "sim/cli.h"
+#include "sim/table.h"
+
+namespace bitspread {
+namespace {
+
+void run(const BenchOptions& options) {
+  print_banner("E9", "Proposition 4: the one-round jump bound", options);
+
+  const std::uint64_t n = options.quick ? (1 << 14) : (1 << 16);
+  const int trials = options.reps_or(options.quick ? 3000 : 20000);
+  const SeedSequence seeds(options.seed);
+
+  const VoterDynamics voter;
+  const MinorityDynamics minority3(3);
+  const MinorityDynamics minority7(7);
+  const ThreeMajorityDynamics three_majority;
+  Rng proto_rng(seeds.derive("prop4-random"));
+  const CustomProtocol random_proto = random_protocol(proto_rng, 5);
+  const std::vector<const MemorylessProtocol*> protocols{
+      &voter, &minority3, &minority7, &three_majority, &random_proto};
+
+  Table table({"protocol", "c", "y(c,l)", "max X'/n seen", "mean X'/n",
+               "violations", "P bound exp(-2 sqrt n)"});
+  std::uint64_t cell = 0;
+  bool any_violation = false;
+  for (const MemorylessProtocol* protocol : protocols) {
+    const AggregateParallelEngine engine(*protocol);
+    const std::uint32_t ell = protocol->sample_size(n);
+    for (const double c : {0.1, 0.25, 0.5, 0.75}) {
+      const double y = proposition4_y(c, ell);
+      const Configuration start{
+          n, std::max<std::uint64_t>(
+                 1, static_cast<std::uint64_t>(c * static_cast<double>(n))),
+          Opinion::kOne};
+      Rng rng = seeds.stream(cell++);
+      double max_fraction = 0.0;
+      double sum_fraction = 0.0;
+      int violations = 0;
+      for (int t = 0; t < trials; ++t) {
+        const Configuration next = engine.step(start, rng);
+        const double fraction = next.fraction_ones();
+        max_fraction = std::max(max_fraction, fraction);
+        sum_fraction += fraction;
+        violations += fraction > y;
+      }
+      any_violation = any_violation || violations > 0;
+      table.add_row({protocol->name(), Table::fmt(c, 2), Table::fmt(y, 4),
+                     Table::fmt(max_fraction, 4),
+                     Table::fmt(sum_fraction / trials, 4),
+                     std::to_string(violations) + "/" +
+                         std::to_string(trials),
+                     Table::fmt(proposition4_failure(n), 12)});
+    }
+  }
+  emit_table(table, options);
+  std::printf(
+      "\nviolations observed: %s (the bound's failure probability at n = "
+      "%llu is ~e^{-%.0f},\nso zero violations over %d trials per cell is "
+      "the expected outcome). Note how much\nslack the bound leaves — "
+      "max X'/n stays far below y(c, l); Proposition 4 only needs\nthe "
+      "(1-c)^l unanimity mass of opinion-0 keepers, not a tight estimate.\n",
+      any_violation ? "SOME (investigate!)" : "none",
+      static_cast<unsigned long long>(n),
+      2.0 * std::sqrt(static_cast<double>(n)), trials);
+}
+
+}  // namespace
+}  // namespace bitspread
+
+int main(int argc, char** argv) {
+  bitspread::run(bitspread::parse_bench_options(argc, argv));
+  return 0;
+}

@@ -1,0 +1,146 @@
+// E7 — The sequential/parallel dichotomy (§1 "Previous works"): the same
+// protocol, two activation patterns, exponentially different behavior.
+//
+// Series regenerated (all times in PARALLEL-ROUND units, i.e. n activations
+// = 1 round, the paper's normalization):
+//   * Voter: sequential exact expectation (birth-death solve) and simulation
+//     vs parallel simulation — both are ~n-ish; the sequential setting costs
+//     roughly an extra log factor but no exponential gap (l is irrelevant,
+//     matching [14]'s "l is not a critical parameter sequentially");
+//   * Minority with l = sqrt(n ln n): parallel converges in polylog rounds,
+//     sequential is censored even at a vastly larger budget — the
+//     "power of synchronicity" in one table.
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "core/init.h"
+#include "engine/aggregate.h"
+#include "random/seeding.h"
+#include "engine/sequential.h"
+#include "markov/birth_death.h"
+#include "protocols/minority.h"
+#include "protocols/voter.h"
+#include "sim/cli.h"
+#include "sim/experiment.h"
+#include "sim/sweep.h"
+#include "sim/table.h"
+
+namespace bitspread {
+namespace {
+
+void run(const BenchOptions& options) {
+  print_banner("E7", "sequential vs parallel: the exponential gap", options);
+
+  const int max_exp = options.quick ? 9 : 11;
+  const int reps = options.reps_or(options.quick ? 5 : 10);
+  const auto grid = power_of_two_grid(6, max_exp);
+  const SeedSequence seeds(options.seed);
+
+  // Part 1: Voter — no meaningful gap (both settings are ~n).
+  {
+    const VoterDynamics voter;
+    Table table({"n", "seq exact E[T]", "seq sim mean", "par sim mean",
+                 "seq/par"});
+    std::uint64_t cell = 0;
+    for (const std::uint64_t n : grid) {
+      const std::uint64_t x0 = n / 2;
+      const BirthDeathChain chain(voter, n, Opinion::kOne);
+      const double exact_activations =
+          chain.expected_absorption_activations()[x0 - chain.min_state()];
+      const double exact_rounds = exact_activations / static_cast<double>(n);
+
+      const SequentialEngine seq_engine(voter);
+      StopRule rule;
+      rule.max_rounds = 1000000;
+      const Configuration init{n, x0, Opinion::kOne};
+      RunningStats seq_rounds;
+      for (int rep = 0; rep < reps; ++rep) {
+        Rng rng = seeds.stream(cell, rep, 0);
+        const SequentialRunResult r = seq_engine.run(init, rule, rng);
+        seq_rounds.add(r.parallel_rounds());
+      }
+
+      const AggregateParallelEngine par_engine(voter);
+      const auto runner = [&](Rng& rng) {
+        return par_engine.run(init, rule, rng);
+      };
+      const ConvergenceMeasurement par =
+          measure_convergence(runner, seeds, cell, reps);
+      ++cell;
+
+      table.add_row({Table::fmt(n), Table::fmt(exact_rounds, 1),
+                     Table::fmt(seq_rounds.mean(), 1),
+                     Table::fmt(par.rounds.mean(), 1),
+                     Table::fmt(seq_rounds.mean() /
+                                    std::max(par.rounds.mean(), 1.0),
+                                2)});
+    }
+    std::printf("voter, X0 = n/2, z = 1 (sequential exact from the "
+                "birth-death solve):\n");
+    table.print(std::cout);
+    std::printf("\n");
+  }
+
+  // Part 2: Minority with l = sqrt(n ln n) — the exponential gap.
+  {
+    const MinorityDynamics minority(SampleSizePolicy::sqrt_n_log_n());
+    Table table({"n", "l", "par mean T", "seq budget", "seq outcome"});
+    std::uint64_t cell = 1000;
+    for (const std::uint64_t n : grid) {
+      const Configuration init = init_half(n, Opinion::kOne);
+      const AggregateParallelEngine par_engine(minority);
+      StopRule rule;
+      rule.max_rounds = 100000;
+      const auto runner = [&](Rng& rng) {
+        return par_engine.run(init, rule, rng);
+      };
+      const ConvergenceMeasurement par =
+          measure_convergence(runner, seeds, cell, reps);
+
+      // Sequential: budget = 500x the parallel mean, still expected to fail.
+      const SequentialEngine seq_engine(minority);
+      StopRule seq_rule;
+      seq_rule.max_rounds = static_cast<std::uint64_t>(
+          500.0 * std::max(par.rounds.mean(), 1.0));
+      int seq_converged = 0;
+      RunningStats seq_rounds;
+      for (int rep = 0; rep < reps; ++rep) {
+        Rng rng = seeds.stream(cell, rep, 1);
+        const SequentialRunResult r = seq_engine.run(init, seq_rule, rng);
+        if (r.converged()) {
+          ++seq_converged;
+          seq_rounds.add(r.parallel_rounds());
+        }
+      }
+      ++cell;
+      table.add_row(
+          {Table::fmt(n),
+           Table::fmt(std::uint64_t{minority.sample_size(n)}),
+           Table::fmt(par.rounds.mean(), 1), Table::fmt(seq_rule.max_rounds),
+           seq_converged == 0
+               ? "censored (0/" + std::to_string(reps) + ")"
+               : Table::fmt(seq_rounds.mean(), 1) + " (" +
+                     std::to_string(seq_converged) + "/" +
+                     std::to_string(reps) + ")"});
+    }
+    std::printf("minority with l = sqrt(n ln n), X0 = n/2, z = 1:\n");
+    emit_table(table, options);
+  }
+  std::printf(
+      "\nVoter: sequential/parallel within a small constant of each other "
+      "(no gap, and the\nexact birth-death expectation matches the "
+      "simulation). Minority: parallel finishes in\npolylog rounds while "
+      "sequential cannot finish 500x that budget — synchronous updates\nare "
+      "what make the overshoot mechanism work (the [14] vs [15] "
+      "dichotomy).\n");
+}
+
+}  // namespace
+}  // namespace bitspread
+
+int main(int argc, char** argv) {
+  bitspread::run(bitspread::parse_bench_options(argc, argv));
+  return 0;
+}

@@ -1,0 +1,44 @@
+#include "analysis/bernstein.h"
+
+#include <cassert>
+#include <vector>
+
+namespace bitspread {
+
+double binomial_coefficient(std::uint32_t n, std::uint32_t k) noexcept {
+  if (k > n) return 0.0;
+  k = std::min(k, n - k);
+  double result = 1.0;
+  for (std::uint32_t i = 0; i < k; ++i) {
+    result *= static_cast<double>(n - i);
+    result /= static_cast<double>(i + 1);
+  }
+  return result;
+}
+
+Polynomial bernstein_basis(std::uint32_t k, std::uint32_t ell) {
+  assert(k <= ell);
+  // p^k * (1-p)^{l-k} expanded: coefficient of p^{k+j} is
+  // C(l-k, j) (-1)^j, for j = 0..l-k; scaled by C(l,k).
+  std::vector<double> coeffs(ell + 1, 0.0);
+  const double scale = binomial_coefficient(ell, k);
+  double sign = 1.0;
+  for (std::uint32_t j = 0; j + k <= ell; ++j) {
+    coeffs[k + j] = scale * sign * binomial_coefficient(ell - k, j);
+    sign = -sign;
+  }
+  return Polynomial(std::move(coeffs));
+}
+
+Polynomial from_bernstein(std::span<const double> values) {
+  assert(!values.empty());
+  const auto ell = static_cast<std::uint32_t>(values.size() - 1);
+  Polynomial result;
+  for (std::uint32_t k = 0; k <= ell; ++k) {
+    if (values[k] == 0.0) continue;
+    result = result + bernstein_basis(k, ell) * values[k];
+  }
+  return result;
+}
+
+}  // namespace bitspread

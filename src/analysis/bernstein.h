@@ -1,0 +1,27 @@
+// Bernstein-basis utilities.
+//
+// Eq. 4 expresses adoption probabilities in the Bernstein basis
+// B_{k,l}(p) = C(l,k) p^k (1-p)^{l-k}; the bias polynomial F_n is built by
+// converting such expansions to the power basis.
+#ifndef BITSPREAD_ANALYSIS_BERNSTEIN_H_
+#define BITSPREAD_ANALYSIS_BERNSTEIN_H_
+
+#include <cstdint>
+#include <span>
+
+#include "analysis/polynomial.h"
+
+namespace bitspread {
+
+// C(n, k) in double precision (exact for the small n used in analysis).
+double binomial_coefficient(std::uint32_t n, std::uint32_t k) noexcept;
+
+// The basis polynomial B_{k,l}(p) = C(l,k) p^k (1-p)^{l-k} in power form.
+Polynomial bernstein_basis(std::uint32_t k, std::uint32_t ell);
+
+// sum_k values[k] * B_{k,l}(p), with l = values.size() - 1.
+Polynomial from_bernstein(std::span<const double> values);
+
+}  // namespace bitspread
+
+#endif  // BITSPREAD_ANALYSIS_BERNSTEIN_H_

@@ -1,0 +1,44 @@
+#include "analysis/bias.h"
+
+#include <cassert>
+
+#include "analysis/bernstein.h"
+#include "analysis/roots.h"
+
+namespace bitspread {
+
+double BiasFunction::operator()(double p) const noexcept {
+  const double p1 = protocol_->aggregate_adoption(Opinion::kOne, p, n_);
+  const double p0 = protocol_->aggregate_adoption(Opinion::kZero, p, n_);
+  return -p + p * p1 + (1.0 - p) * p0;
+}
+
+Polynomial BiasFunction::to_polynomial() const {
+  const std::uint32_t ell = this->ell();
+  assert(ell <= 64 && "polynomial bias analysis is for small sample sizes");
+  std::vector<double> g0(ell + 1), g1(ell + 1);
+  for (std::uint32_t k = 0; k <= ell; ++k) {
+    g0[k] = protocol_->g(Opinion::kZero, k, ell, n_);
+    g1[k] = protocol_->g(Opinion::kOne, k, ell, n_);
+  }
+  const Polynomial p0 = from_bernstein(g0);
+  const Polynomial p1 = from_bernstein(g1);
+  const Polynomial x = Polynomial::identity();
+  const Polynomial one_minus_x = Polynomial::constant(1.0) - x;
+  return x * p1 + one_minus_x * p0 - x;
+}
+
+std::vector<double> BiasFunction::roots() const {
+  return real_roots_in(to_polynomial(), 0.0, 1.0);
+}
+
+bool BiasFunction::is_identically_zero() const {
+  const Polynomial f = to_polynomial();
+  // Tolerate round-off from the Bernstein conversion: compare against the
+  // scale of the conversion's intermediate coefficients (~C(l, l/2)).
+  const std::uint32_t ell = this->ell();
+  const double scale = binomial_coefficient(ell + 1, (ell + 1) / 2);
+  return f.max_abs_coefficient() <= 1e-12 * scale;
+}
+
+}  // namespace bitspread

@@ -1,0 +1,53 @@
+// The bias function F_n of a protocol (paper Eq. 3):
+//
+//   F_n(p) = -p + sum_k C(l,k) p^k (1-p)^{l-k} (p g^[1](k) + (1-p) g^[0](k))
+//          = -p + p P_1(p) + (1-p) P_0(p).
+//
+// F_n(p) measures the protocol's expected one-round push on the fraction of
+// ones: E[X_{t+1}/n | X_t/n = p] = p + F_n(p) up to a +-1/n source term
+// (Proposition 5). As a polynomial of degree <= l+1 it has finitely many
+// roots in [0,1]; the sign of F_n between consecutive roots decides where the
+// dynamics is slow (the whole of §4).
+#ifndef BITSPREAD_ANALYSIS_BIAS_H_
+#define BITSPREAD_ANALYSIS_BIAS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/polynomial.h"
+#include "core/protocol.h"
+
+namespace bitspread {
+
+class BiasFunction {
+ public:
+  BiasFunction(const MemorylessProtocol& protocol, std::uint64_t n) noexcept
+      : protocol_(&protocol), n_(n) {}
+
+  // Numeric evaluation via the protocol's aggregate_adoption (works for any
+  // sample size, including the sqrt(n log n) regime).
+  double operator()(double p) const noexcept;
+
+  // Exact power-basis polynomial, built from the g tables through the
+  // Bernstein conversion. Intended for small l (degree l+1); the analysis
+  // code asserts l <= 64.
+  Polynomial to_polynomial() const;
+
+  // Sorted distinct roots of F_n in [0,1]. For a Proposition-3-compliant
+  // protocol, 0 and 1 are always among them. Empty when F_n == 0 (Voter).
+  std::vector<double> roots() const;
+
+  bool is_identically_zero() const;
+
+  std::uint32_t ell() const noexcept { return protocol_->sample_size(n_); }
+  std::uint64_t n() const noexcept { return n_; }
+  const MemorylessProtocol& protocol() const noexcept { return *protocol_; }
+
+ private:
+  const MemorylessProtocol* protocol_;
+  std::uint64_t n_;
+};
+
+}  // namespace bitspread
+
+#endif  // BITSPREAD_ANALYSIS_BIAS_H_

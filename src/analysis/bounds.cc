@@ -1,0 +1,34 @@
+#include "analysis/bounds.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bitspread {
+
+double hoeffding_tail(std::uint64_t n, double delta) noexcept {
+  if (n == 0) return 1.0;
+  return std::exp(-2.0 * delta * delta / static_cast<double>(n));
+}
+
+double proposition4_y(double c, std::uint32_t ell) noexcept {
+  c = std::clamp(c, 0.0, 1.0);
+  const double a = std::pow(1.0 - c, static_cast<double>(ell) + 1.0);
+  return 1.0 - a / 2.0;
+}
+
+double proposition4_failure(std::uint64_t n) noexcept {
+  return std::exp(-2.0 * std::sqrt(static_cast<double>(n)));
+}
+
+double azuma_tail(std::uint64_t T, double c, double delta, double p) noexcept {
+  if (T == 0 || c <= 0.0) return p;
+  const double exponent =
+      delta * delta / (2.0 * static_cast<double>(T) * c * c);
+  return std::min(1.0, 2.0 * std::exp(-exponent) + p);
+}
+
+double theorem6_crossing_floor(std::uint64_t n, double epsilon) noexcept {
+  return std::pow(static_cast<double>(n), 1.0 - epsilon);
+}
+
+}  // namespace bitspread

@@ -1,0 +1,31 @@
+// Closed-form probability bounds used by the paper (Appendix A and §2), as
+// evaluable functions, so experiments can print "bound vs measured" columns.
+#ifndef BITSPREAD_ANALYSIS_BOUNDS_H_
+#define BITSPREAD_ANALYSIS_BOUNDS_H_
+
+#include <cstdint>
+
+namespace bitspread {
+
+// Hoeffding (Theorem 15): P(X <= mu - delta), P(X >= mu + delta)
+// <= exp(-2 delta^2 / n) for a sum of n independent {0,1} variables.
+double hoeffding_tail(std::uint64_t n, double delta) noexcept;
+
+// Proposition 4's constant y(c, l) = 1 - (1-c)^{l+1} / 2: from any x <= c*n,
+// the next round stays below y*n except with probability exp(-2 sqrt(n)).
+double proposition4_y(double c, std::uint32_t ell) noexcept;
+
+// The exp(-2 sqrt(n)) failure probability of Proposition 4.
+double proposition4_failure(std::uint64_t n) noexcept;
+
+// Azuma-Hoeffding with rare large jumps (Theorem 16):
+// P(|X_T - X_0| > delta) <= 2 exp(-delta^2 / (2 T c^2)) + p, when each
+// increment exceeds c with total probability at most p over T steps.
+double azuma_tail(std::uint64_t T, double c, double delta, double p) noexcept;
+
+// The crossing-time floor of Theorem 6: T = n^{1 - epsilon}.
+double theorem6_crossing_floor(std::uint64_t n, double epsilon) noexcept;
+
+}  // namespace bitspread
+
+#endif  // BITSPREAD_ANALYSIS_BOUNDS_H_

@@ -1,0 +1,82 @@
+#include "analysis/cases.h"
+
+#include <algorithm>
+
+#include "analysis/roots.h"
+
+namespace bitspread {
+
+std::string to_string(BiasCase c) {
+  switch (c) {
+    case BiasCase::kZeroBias:
+      return "zero-bias";
+    case BiasCase::kCase1:
+      return "case-1 (F<0)";
+    case BiasCase::kCase2:
+      return "case-2 (F>0)";
+  }
+  return "unknown";
+}
+
+CaseAnalysis classify_bias(const MemorylessProtocol& protocol,
+                           std::uint64_t n) {
+  CaseAnalysis out;
+  BiasFunction bias(protocol, n);
+
+  if (bias.is_identically_zero()) {
+    // Lemma 11 (e.g. Voter): F == 0 means zero drift everywhere; the chain is
+    // a martingale and crossing any constant-length interval takes ~n^{1-eps}
+    // rounds. The paper picks a1=1/4, a2=1/2, a3=3/4, z=1, X0=(a2+a3)/2*n.
+    out.bias_case = BiasCase::kZeroBias;
+    return out;
+  }
+
+  const Polynomial f = bias.to_polynomial();
+  out.roots = real_roots_in(f, 0.0, 1.0);
+
+  // Largest root strictly below 1: the interval (r*, 1) is root-free, so F
+  // has constant sign there (this mirrors the paper's (r^(k0-1), r^(k0))
+  // after taking the n -> infinity limit of the root vector).
+  double r_star = 0.0;
+  for (const double r : out.roots) {
+    if (r < 1.0 - 1e-9) r_star = std::max(r_star, r);
+  }
+  out.interval_lo = r_star;
+  out.interval_hi = 1.0;
+
+  const int sign = sign_on_interval(f, r_star, 1.0);
+  const double width = 1.0 - r_star;
+  out.a1 = r_star + 0.25 * width;
+  out.a2 = r_star + 0.50 * width;
+  out.a3 = r_star + 0.75 * width;
+
+  if (sign < 0) {
+    // Case 1 (Figure 2): the protocol pushes the ones-fraction down on
+    // (r*, 1), so with correct opinion 1 the climb past a3*n is slow.
+    // (The proof's a2 comes from Proposition 4; for measurement any
+    // a2 in (a1, a3) works, and the evenly spaced choice keeps the watched
+    // interval non-degenerate at finite n.)
+    out.bias_case = BiasCase::kCase1;
+    out.slow_correct = Opinion::kOne;
+    out.x0_fraction = 0.5 * (out.a2 + out.a3);
+    out.upward = true;
+  } else if (sign > 0) {
+    // Case 2 (Figure 3): pushes up on (r*, 1), so with correct opinion 0 the
+    // descent below a1*n is slow (Corollary 10 starts at (a1+a2)/2 * n).
+    out.bias_case = BiasCase::kCase2;
+    out.slow_correct = Opinion::kZero;
+    out.x0_fraction = 0.5 * (out.a1 + out.a2);
+    out.upward = false;
+  } else {
+    // Numerically zero on the interval (F vanishes there although not
+    // globally): martingale behavior locally; treat like the Lemma 11 case
+    // but keep the computed interval.
+    out.bias_case = BiasCase::kZeroBias;
+    out.slow_correct = Opinion::kOne;
+    out.x0_fraction = 0.5 * (out.a2 + out.a3);
+    out.upward = true;
+  }
+  return out;
+}
+
+}  // namespace bitspread

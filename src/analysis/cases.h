@@ -1,0 +1,60 @@
+// Case classification for the Theorem 12 argument (§4.2, Figures 2 & 3).
+//
+// Given a protocol and n, inspect the bias polynomial F_n on [0,1]:
+//   * F_n == 0  : the Lemma 11 regime (Voter-like); slow with z = 1 from
+//                 X_0 = 5n/8 using a1 = 1/4, a2 = 1/2, a3 = 3/4.
+//   * Case 1    : F_n < 0 on the last root-free interval before 1 — the
+//                 protocol pushes the ones-fraction DOWN there, so with z = 1
+//                 the crossing toward the all-ones consensus is slow.
+//   * Case 2    : F_n > 0 there — pushes UP, so with z = 0 the crossing
+//                 toward all-zeros is slow.
+// The classification also packages the interval constants (a1, a2, a3) and
+// starting fraction X_0/n the proof prescribes, ready to hand to a simulation
+// (bench_thm1_lower_bound does exactly that).
+#ifndef BITSPREAD_ANALYSIS_CASES_H_
+#define BITSPREAD_ANALYSIS_CASES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/bias.h"
+#include "core/opinion.h"
+#include "core/protocol.h"
+
+namespace bitspread {
+
+enum class BiasCase {
+  kZeroBias,  // F_n == 0 (Lemma 11).
+  kCase1,     // F_n < 0 on the chosen interval (Figure 2).
+  kCase2,     // F_n > 0 on the chosen interval (Figure 3).
+};
+
+std::string to_string(BiasCase c);
+
+struct CaseAnalysis {
+  BiasCase bias_case = BiasCase::kZeroBias;
+  std::vector<double> roots;  // Distinct roots of F_n in [0,1].
+  // The root-free interval the argument works on.
+  double interval_lo = 0.0;
+  double interval_hi = 1.0;
+  // Theorem 6 / Corollary 10 parameters.
+  double a1 = 0.25;
+  double a2 = 0.5;
+  double a3 = 0.75;
+  // The adversarial choice: correct opinion and starting fraction for which
+  // the crossing is provably slow.
+  Opinion slow_correct = Opinion::kOne;
+  double x0_fraction = 0.625;
+  // Whether the crossing is measured upward (Case 1 / zero bias: X must rise
+  // past a3*n) or downward (Case 2: X must fall below a1*n).
+  bool upward = true;
+};
+
+// Requires a constant-sample protocol with l <= 64 (the polynomial regime).
+CaseAnalysis classify_bias(const MemorylessProtocol& protocol,
+                           std::uint64_t n);
+
+}  // namespace bitspread
+
+#endif  // BITSPREAD_ANALYSIS_CASES_H_

@@ -1,0 +1,83 @@
+#include "analysis/mean_field.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "analysis/bias.h"
+#include "analysis/roots.h"
+
+namespace bitspread {
+namespace {
+constexpr double kMarginalTolerance = 1e-9;
+}  // namespace
+
+std::string to_string(FixedPointStability stability) {
+  switch (stability) {
+    case FixedPointStability::kStable:
+      return "stable";
+    case FixedPointStability::kUnstable:
+      return "unstable";
+    case FixedPointStability::kMarginal:
+      return "marginal";
+  }
+  return "unknown";
+}
+
+double MeanFieldMap::step(double p) const noexcept {
+  const BiasFunction bias(*protocol_, n_);
+  return std::clamp(p + bias(p), 0.0, 1.0);
+}
+
+std::vector<double> MeanFieldMap::orbit(double p0, int rounds) const {
+  std::vector<double> result;
+  result.reserve(static_cast<std::size_t>(rounds) + 1);
+  result.push_back(p0);
+  double p = p0;
+  for (int t = 0; t < rounds; ++t) {
+    p = step(p);
+    result.push_back(p);
+  }
+  return result;
+}
+
+std::vector<FixedPoint> MeanFieldMap::fixed_points() const {
+  const BiasFunction bias(*protocol_, n_);
+  std::vector<FixedPoint> points;
+  if (bias.is_identically_zero()) {
+    for (const double p : {0.0, 0.5, 1.0}) {
+      points.push_back({p, 0.0, FixedPointStability::kMarginal});
+    }
+    return points;
+  }
+  const Polynomial f = bias.to_polynomial();
+  const Polynomial df = f.derivative();
+  for (const double root : real_roots_in(f, 0.0, 1.0)) {
+    FixedPoint fp;
+    fp.p = root;
+    fp.derivative = df(root);
+    // Map slope is 1 + F'(p*): stable iff slope magnitude < 1, i.e.
+    // F' in (-2, 0).
+    const double slope = 1.0 + fp.derivative;
+    if (std::abs(std::abs(slope) - 1.0) <= kMarginalTolerance) {
+      fp.stability = FixedPointStability::kMarginal;
+    } else if (std::abs(slope) < 1.0) {
+      fp.stability = FixedPointStability::kStable;
+    } else {
+      fp.stability = FixedPointStability::kUnstable;
+    }
+    points.push_back(fp);
+  }
+  return points;
+}
+
+double MeanFieldMap::limit_from(double p0, int rounds) const {
+  double p = p0;
+  for (int t = 0; t < rounds; ++t) {
+    const double next = step(p);
+    if (std::abs(next - p) < 1e-14) return next;
+    p = next;
+  }
+  return p;
+}
+
+}  // namespace bitspread

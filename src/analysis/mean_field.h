@@ -1,0 +1,65 @@
+// Mean-field (n -> infinity) analysis of a memory-less protocol.
+//
+// Dropping the O(1/n) source term from Proposition 5 gives the deterministic
+// recursion p_{t+1} = p_t + F_n(p_t) = p*P_1(p) + (1-p)*P_0(p). Its fixed
+// points are exactly the roots of F_n, and their stability decides the
+// finite-n behavior: a stable interior fixed point is the "trap" that makes
+// constant-l protocols slow (minority at 1/2), while an unstable one is a
+// watershed the stochastic chain tips off of (3-majority at 1/2). These
+// utilities find the fixed points, classify their stability from F_n', and
+// iterate the recursion (the deterministic skeleton of every trajectory the
+// engines produce).
+#ifndef BITSPREAD_ANALYSIS_MEAN_FIELD_H_
+#define BITSPREAD_ANALYSIS_MEAN_FIELD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/protocol.h"
+
+namespace bitspread {
+
+enum class FixedPointStability {
+  kStable,      // |1 + F'(p*)| < 1: attracts a neighborhood.
+  kUnstable,    // |1 + F'(p*)| > 1: repels.
+  kMarginal,    // |1 + F'(p*)| = 1 within tolerance (e.g. Voter everywhere).
+};
+
+std::string to_string(FixedPointStability stability);
+
+struct FixedPoint {
+  double p = 0.0;
+  double derivative = 0.0;  // F_n'(p*): the map's slope is 1 + derivative.
+  FixedPointStability stability = FixedPointStability::kMarginal;
+};
+
+class MeanFieldMap {
+ public:
+  MeanFieldMap(const MemorylessProtocol& protocol, std::uint64_t n) noexcept
+      : protocol_(&protocol), n_(n) {}
+
+  // One application: p -> p + F_n(p), clamped to [0,1].
+  double step(double p) const noexcept;
+
+  // Iterates `rounds` times from p0 and returns the orbit (p0 included).
+  std::vector<double> orbit(double p0, int rounds) const;
+
+  // Fixed points = roots of F_n in [0,1], with stability from F_n'.
+  // Requires the polynomial regime (constant l <= 64); a protocol with
+  // F_n == 0 (Voter) returns a single marginal sentinel at p = 0.5 plus the
+  // endpoints, since every point is fixed.
+  std::vector<FixedPoint> fixed_points() const;
+
+  // The limit of the orbit from p0 (nullopt-free: returns the last orbit
+  // point after `rounds` iterations; converged() checks the residual).
+  double limit_from(double p0, int rounds = 10000) const;
+
+ private:
+  const MemorylessProtocol* protocol_;
+  std::uint64_t n_;
+};
+
+}  // namespace bitspread
+
+#endif  // BITSPREAD_ANALYSIS_MEAN_FIELD_H_

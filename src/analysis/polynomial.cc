@@ -1,0 +1,101 @@
+#include "analysis/polynomial.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <utility>
+
+namespace bitspread {
+namespace {
+// Coefficients below this (relative to the largest) are treated as zero when
+// trimming; keeps arithmetic on exactly-representable inputs exact.
+constexpr double kTrimEpsilon = 0.0;
+}  // namespace
+
+Polynomial::Polynomial(std::vector<double> coefficients)
+    : coeffs_(std::move(coefficients)) {
+  trim();
+}
+
+Polynomial Polynomial::constant(double c) { return Polynomial({c}); }
+
+Polynomial Polynomial::identity() { return Polynomial({0.0, 1.0}); }
+
+void Polynomial::trim() {
+  while (!coeffs_.empty() && std::abs(coeffs_.back()) <= kTrimEpsilon) {
+    coeffs_.pop_back();
+  }
+}
+
+double Polynomial::operator()(double x) const noexcept {
+  double acc = 0.0;
+  for (auto it = coeffs_.rbegin(); it != coeffs_.rend(); ++it) {
+    acc = acc * x + *it;
+  }
+  return acc;
+}
+
+double Polynomial::max_abs_coefficient() const noexcept {
+  double best = 0.0;
+  for (const double c : coeffs_) best = std::max(best, std::abs(c));
+  return best;
+}
+
+Polynomial Polynomial::derivative() const {
+  if (coeffs_.size() <= 1) return Polynomial();
+  std::vector<double> result(coeffs_.size() - 1);
+  for (std::size_t i = 1; i < coeffs_.size(); ++i) {
+    result[i - 1] = coeffs_[i] * static_cast<double>(i);
+  }
+  return Polynomial(std::move(result));
+}
+
+Polynomial Polynomial::operator+(const Polynomial& other) const {
+  std::vector<double> result(std::max(coeffs_.size(), other.coeffs_.size()),
+                             0.0);
+  for (std::size_t i = 0; i < coeffs_.size(); ++i) result[i] += coeffs_[i];
+  for (std::size_t i = 0; i < other.coeffs_.size(); ++i) {
+    result[i] += other.coeffs_[i];
+  }
+  return Polynomial(std::move(result));
+}
+
+Polynomial Polynomial::operator-(const Polynomial& other) const {
+  return *this + other * -1.0;
+}
+
+Polynomial Polynomial::operator*(const Polynomial& other) const {
+  if (is_zero() || other.is_zero()) return Polynomial();
+  std::vector<double> result(coeffs_.size() + other.coeffs_.size() - 1, 0.0);
+  for (std::size_t i = 0; i < coeffs_.size(); ++i) {
+    for (std::size_t j = 0; j < other.coeffs_.size(); ++j) {
+      result[i + j] += coeffs_[i] * other.coeffs_[j];
+    }
+  }
+  return Polynomial(std::move(result));
+}
+
+Polynomial Polynomial::operator*(double scalar) const {
+  std::vector<double> result(coeffs_);
+  for (double& c : result) c *= scalar;
+  return Polynomial(std::move(result));
+}
+
+std::string Polynomial::to_string() const {
+  if (is_zero()) return "0";
+  std::ostringstream out;
+  bool first = true;
+  for (std::size_t i = coeffs_.size(); i-- > 0;) {
+    const double c = coeffs_[i];
+    if (c == 0.0) continue;
+    if (!first) out << (c >= 0 ? " + " : " - ");
+    if (first && c < 0) out << "-";
+    first = false;
+    out << std::abs(c);
+    if (i >= 1) out << "*p";
+    if (i >= 2) out << "^" << i;
+  }
+  return out.str();
+}
+
+}  // namespace bitspread

@@ -1,0 +1,59 @@
+// Dense univariate polynomials over double, power basis.
+//
+// The paper's central device is that the bias F_n of any constant-sample
+// protocol is a polynomial of degree <= l+1, so it has a bounded number of
+// roots in [0,1]; this class carries that analysis (construction in bias.h,
+// root isolation in roots.h).
+#ifndef BITSPREAD_ANALYSIS_POLYNOMIAL_H_
+#define BITSPREAD_ANALYSIS_POLYNOMIAL_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace bitspread {
+
+class Polynomial {
+ public:
+  // The zero polynomial.
+  Polynomial() = default;
+
+  // coefficients[i] is the coefficient of x^i; trailing (near-)zeros trimmed.
+  explicit Polynomial(std::vector<double> coefficients);
+
+  static Polynomial constant(double c);
+  static Polynomial identity();  // x
+
+  // Horner evaluation.
+  double operator()(double x) const noexcept;
+
+  // Degree; -1 for the zero polynomial.
+  int degree() const noexcept { return static_cast<int>(coeffs_.size()) - 1; }
+  bool is_zero() const noexcept { return coeffs_.empty(); }
+
+  double coefficient(std::size_t i) const noexcept {
+    return i < coeffs_.size() ? coeffs_[i] : 0.0;
+  }
+  std::span<const double> coefficients() const noexcept { return coeffs_; }
+  double max_abs_coefficient() const noexcept;
+
+  Polynomial derivative() const;
+
+  Polynomial operator+(const Polynomial& other) const;
+  Polynomial operator-(const Polynomial& other) const;
+  Polynomial operator*(const Polynomial& other) const;
+  Polynomial operator*(double scalar) const;
+
+  std::string to_string() const;
+
+  friend bool operator==(const Polynomial&, const Polynomial&) = default;
+
+ private:
+  void trim();
+
+  std::vector<double> coeffs_;
+};
+
+}  // namespace bitspread
+
+#endif  // BITSPREAD_ANALYSIS_POLYNOMIAL_H_

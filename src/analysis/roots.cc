@@ -1,0 +1,103 @@
+#include "analysis/roots.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace bitspread {
+namespace {
+
+double bisect(const Polynomial& p, double a, double b, double fa,
+              double x_tol) {
+  // Invariant: sign(p(a)) != sign(p(b)).
+  for (int iter = 0; iter < 200 && (b - a) > x_tol; ++iter) {
+    const double mid = 0.5 * (a + b);
+    const double fm = p(mid);
+    if (fm == 0.0) return mid;
+    if ((fa < 0.0) == (fm < 0.0)) {
+      a = mid;
+      fa = fm;
+    } else {
+      b = mid;
+    }
+  }
+  return 0.5 * (a + b);
+}
+
+void merge_push(std::vector<double>& roots, double x, double merge_distance) {
+  if (!roots.empty() && std::abs(roots.back() - x) <= merge_distance) return;
+  roots.push_back(x);
+}
+
+}  // namespace
+
+std::vector<double> real_roots_in(const Polynomial& p, double lo, double hi,
+                                  const RootOptions& options) {
+  std::vector<double> roots;
+  if (p.is_zero() || lo > hi) return roots;
+  const int degree = p.degree();
+  if (degree == 0) return roots;
+
+  const double residual_tol = options.residual_scale * p.max_abs_coefficient();
+
+  if (degree == 1) {
+    const double root = -p.coefficient(0) / p.coefficient(1);
+    if (root >= lo - options.x_tolerance && root <= hi + options.x_tolerance) {
+      roots.push_back(std::clamp(root, lo, hi));
+    }
+    return roots;
+  }
+
+  // Breakpoints: interval ends plus the derivative's roots (between which p
+  // is monotone).
+  std::vector<double> breakpoints;
+  breakpoints.push_back(lo);
+  for (const double c : real_roots_in(p.derivative(), lo, hi, options)) {
+    merge_push(breakpoints, c, options.merge_distance);
+  }
+  merge_push(breakpoints, hi, options.merge_distance);
+  if (breakpoints.back() < hi) breakpoints.push_back(hi);
+
+  for (std::size_t i = 0; i + 1 < breakpoints.size(); ++i) {
+    const double a = breakpoints[i];
+    const double b = breakpoints[i + 1];
+    const double fa = p(a);
+    const double fb = p(b);
+    if (std::abs(fa) <= residual_tol) {
+      merge_push(roots, a, options.merge_distance);
+    }
+    if ((fa < 0.0) != (fb < 0.0) && std::abs(fa) > residual_tol &&
+        std::abs(fb) > residual_tol) {
+      merge_push(roots, bisect(p, a, b, fa, options.x_tolerance),
+                 options.merge_distance);
+    }
+  }
+  if (std::abs(p(hi)) <= residual_tol) {
+    merge_push(roots, hi, options.merge_distance);
+  }
+  std::sort(roots.begin(), roots.end());
+  return roots;
+}
+
+double max_abs_on(const Polynomial& p, double lo, double hi) {
+  if (p.is_zero()) return 0.0;
+  double best = std::max(std::abs(p(lo)), std::abs(p(hi)));
+  for (const double c : real_roots_in(p.derivative(), lo, hi)) {
+    best = std::max(best, std::abs(p(c)));
+  }
+  return best;
+}
+
+int sign_on_interval(const Polynomial& p, double lo, double hi) {
+  if (p.is_zero()) return 0;
+  const double residual_tol = 1e-11 * p.max_abs_coefficient();
+  // Probe a few interior points; the first clearly-nonzero value decides.
+  for (const double t : {0.5, 0.25, 0.75, 0.125, 0.875}) {
+    const double x = lo + t * (hi - lo);
+    const double value = p(x);
+    if (std::abs(value) > residual_tol) return value > 0.0 ? 1 : -1;
+  }
+  return 0;
+}
+
+}  // namespace bitspread

@@ -1,0 +1,38 @@
+// Real-root isolation on an interval.
+//
+// Strategy: recursively find the critical points (roots of the derivative),
+// between which the polynomial is monotone, then bisect each sign-changing
+// monotone piece. Even-multiplicity "touch" roots are caught at critical
+// points with near-zero residual. Robust for the low degrees (<= l+1) the
+// bias analysis produces.
+#ifndef BITSPREAD_ANALYSIS_ROOTS_H_
+#define BITSPREAD_ANALYSIS_ROOTS_H_
+
+#include <vector>
+
+#include "analysis/polynomial.h"
+
+namespace bitspread {
+
+struct RootOptions {
+  double x_tolerance = 1e-12;       // Bisection stopping width.
+  double residual_scale = 1e-11;    // |P(x)| <= scale * max|coeff| counts as 0.
+  double merge_distance = 1e-9;     // Near-duplicate roots are merged.
+};
+
+// Sorted distinct real roots of `p` in [lo, hi]. The zero polynomial returns
+// an empty vector (callers must handle F == 0 separately, as the paper does
+// via Lemma 11).
+std::vector<double> real_roots_in(const Polynomial& p, double lo, double hi,
+                                  const RootOptions& options = {});
+
+// Maximum of |p| on [lo, hi] (checks endpoints and critical points).
+double max_abs_on(const Polynomial& p, double lo, double hi);
+
+// Sign of p at the midpoint of (lo, hi), after stepping away from roots:
+// +1, -1, or 0 if p vanishes identically (numerically) on the interval.
+int sign_on_interval(const Polynomial& p, double lo, double hi);
+
+}  // namespace bitspread
+
+#endif  // BITSPREAD_ANALYSIS_ROOTS_H_

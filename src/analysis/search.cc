@@ -1,0 +1,101 @@
+#include "analysis/search.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+#include <cmath>
+
+#include "markov/absorption.h"
+#include "markov/dense_chain.h"
+#include "markov/worst_case.h"
+
+namespace bitspread {
+
+double worst_case_expected_rounds(const MemorylessProtocol& protocol,
+                                  std::uint64_t n) {
+  assert(protocol.maintains_consensus(n));
+  double worst = 0.0;
+  for (const Opinion z : {Opinion::kZero, Opinion::kOne}) {
+    const DenseParallelChain chain(protocol, n, z);
+    const auto times = expected_convergence_rounds(chain);
+    // Validate the solve by substituting back into the balance equations:
+    // near-reducible chains (expected times beyond ~1/eps_machine) make the
+    // system catastrophically ill-conditioned, and an optimizer scoring on
+    // the raw solve will happily exploit the resulting garbage. A protocol
+    // whose solution does not verify gets an infinite score.
+    const std::size_t target =
+        chain.correct_consensus_state() - chain.min_state();
+    for (std::size_t i = 0; i < times.size(); ++i) {
+      if (!std::isfinite(times[i]) || times[i] < 0.0) {
+        return std::numeric_limits<double>::infinity();
+      }
+      if (i == target) continue;
+      const auto row = chain.transition_row(chain.min_state() + i);
+      double expected = 1.0;
+      for (std::size_t j = 0; j < row.size(); ++j) {
+        if (j != target) expected += row[j] * times[j];
+      }
+      const double residual =
+          std::abs(times[i] - expected) / std::max(1.0, std::abs(times[i]));
+      if (residual > 1e-6) {
+        return std::numeric_limits<double>::infinity();
+      }
+      worst = std::max(worst, times[i]);
+    }
+  }
+  return worst;
+}
+
+ProtocolSearchResult search_fastest_protocol(std::uint32_t ell,
+                                             std::uint64_t n, int candidates,
+                                             int climb_steps, Rng& rng) {
+  ProtocolSearchResult best;
+  best.score = std::numeric_limits<double>::infinity();
+
+  const auto evaluate = [&](const std::vector<double>& g0,
+                            const std::vector<double>& g1) {
+    const CustomProtocol candidate(g0, g1, "candidate");
+    ++best.candidates_evaluated;
+    return worst_case_expected_rounds(candidate, n);
+  };
+
+  // Phase 1: random sampling.
+  for (int c = 0; c < candidates; ++c) {
+    std::vector<double> g0(ell + 1), g1(ell + 1);
+    for (auto& v : g0) v = rng.next_double();
+    for (auto& v : g1) v = rng.next_double();
+    g0[0] = 0.0;   // Proposition 3.
+    g1[ell] = 1.0;
+    const double score = evaluate(g0, g1);
+    if (score < best.score) {
+      best.score = score;
+      best.g_zero = g0;
+      best.g_one = g1;
+    }
+  }
+
+  // Phase 2: hill climbing on single entries (Prop.-3 entries stay pinned).
+  for (int step = 0; step < climb_steps; ++step) {
+    std::vector<double> g0 = best.g_zero;
+    std::vector<double> g1 = best.g_one;
+    const bool touch_one = rng.bernoulli(0.5);
+    auto& table = touch_one ? g1 : g0;
+    const std::uint32_t lo = touch_one ? 0 : 1;           // g0[0] pinned.
+    const std::uint32_t hi = touch_one ? ell - 1 : ell;   // g1[l] pinned.
+    if (hi < lo) continue;
+    const auto k =
+        static_cast<std::uint32_t>(lo + rng.next_below(hi - lo + 1));
+    const double delta = rng.next_in(-0.25, 0.25);
+    table[k] = std::clamp(table[k] + delta, 0.0, 1.0);
+    const double score = evaluate(g0, g1);
+    if (score < best.score) {
+      best.score = score;
+      best.g_zero = std::move(g0);
+      best.g_one = std::move(g1);
+    }
+  }
+  return best;
+}
+
+}  // namespace bitspread

@@ -1,0 +1,50 @@
+// Adversarial protocol search: optimize over the space Theorem 1 quantifies
+// over.
+//
+// The lower bound holds for EVERY memory-less protocol with constant l. The
+// strongest empirical attack on such a claim is to actively SEARCH the
+// protocol space for a counterexample: random sampling plus hill climbing
+// over g-tables (Prop. 3 pinned), scored by the exact worst-case expected
+// convergence time at a calibration size (dense-chain solve, so the score
+// has no sampling noise to mislead the climber). bench_protocol_search
+// (E19) then re-measures the best-found protocol across n and shows its
+// scaling is still (at least) almost-linear.
+#ifndef BITSPREAD_ANALYSIS_SEARCH_H_
+#define BITSPREAD_ANALYSIS_SEARCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/protocol.h"
+#include "protocols/custom.h"
+#include "random/rng.h"
+
+namespace bitspread {
+
+// max over z in {0,1} and over initial states x of the exact expected
+// convergence time (rounds) at population size n. Requires Prop. 3
+// compliance (the target must be absorbing) and small n (O(n^3) solve).
+double worst_case_expected_rounds(const MemorylessProtocol& protocol,
+                                  std::uint64_t n);
+
+struct ProtocolSearchResult {
+  std::vector<double> g_zero;       // Best tables found.
+  std::vector<double> g_one;
+  double score = 0.0;               // worst_case_expected_rounds at n.
+  int candidates_evaluated = 0;
+
+  CustomProtocol protocol(const std::string& label = "searched") const {
+    return CustomProtocol(g_zero, g_one, label);
+  }
+};
+
+// Random search (`candidates` fresh Prop-3-compliant tables) followed by
+// `climb_steps` of single-entry hill climbing (perturb one g value, keep if
+// the exact score improves). Deterministic given `rng`'s state.
+ProtocolSearchResult search_fastest_protocol(std::uint32_t ell,
+                                             std::uint64_t n, int candidates,
+                                             int climb_steps, Rng& rng);
+
+}  // namespace bitspread
+
+#endif  // BITSPREAD_ANALYSIS_SEARCH_H_

@@ -1,0 +1,76 @@
+#include "analysis/theorem6.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "analysis/bias.h"
+#include "analysis/bounds.h"
+
+namespace bitspread {
+
+std::string Theorem6Report::describe() const {
+  std::ostringstream out;
+  out << "Theorem6Report{drift_ok=" << (drift_ok ? "yes" : "no")
+      << ", worst_drift=" << worst_directional_drift
+      << ", jump_bound=" << jump_probability_bound
+      << ", deviation<=" << deviation_threshold
+      << " w.p. >= " << 1.0 - deviation_probability_bound
+      << ", floor=" << predicted_floor << "}";
+  return out.str();
+}
+
+Theorem6Report check_theorem6(const MemorylessProtocol& protocol,
+                              std::uint64_t n, const CaseAnalysis& analysis,
+                              double epsilon, int grid_points) {
+  Theorem6Report report;
+  const double nd = static_cast<double>(n);
+  const BiasFunction bias(protocol, n);
+
+  // (i) Directional drift over [a1, a3]: for an upward crossing we need a
+  // SUPERmartingale (n*F <= 0), for a downward crossing a SUBmartingale
+  // (n*F >= 0). Proposition 5 grants +-1 slack either way.
+  double worst = -std::numeric_limits<double>::infinity();
+  for (int i = 0; i < grid_points; ++i) {
+    const double t = static_cast<double>(i) / (grid_points - 1);
+    const double p = analysis.a1 + t * (analysis.a3 - analysis.a1);
+    const double drift = nd * bias(p);
+    worst = std::max(worst, analysis.upward ? drift : -drift);
+  }
+  report.worst_directional_drift = worst;
+  // F has constant sign on the open interval; at finite n the grid can graze
+  // a root, so allow the Proposition 5 slack of 1.
+  report.drift_ok = worst <= 1.0;
+
+  // (ii) No jump across the buffer. Upward: Proposition 4 with c = a1 gives
+  // y(a1, l); the pre-chosen a2 may differ from y, so report the weaker of
+  // the Prop-4 bound and the direct Hoeffding bound on exceeding a2*n.
+  const std::uint32_t ell = protocol.sample_size(n);
+  const double prop4 = proposition4_failure(n);
+  const double y = proposition4_y(analysis.a1, ell);
+  double jump = prop4;
+  if (analysis.upward && y > analysis.a2) {
+    // Prop 4 only caps the jump at y*n > a2*n; fall back to Hoeffding on the
+    // one-round mean: from x <= a1*n, E[X'] <= x + nF + 1 <= a1*n + 1, so
+    // exceeding a2*n deviates by ~(a2-a1)*n.
+    jump = hoeffding_tail(n, (analysis.a2 - analysis.a1) * nd - 1.0);
+  }
+  if (!analysis.upward) {
+    // Downward version (Corollary 10 assumption (ii)): from x >= a3*n the
+    // drift keeps E[X'] >= a3*n - 1, so falling below a2*n deviates by
+    // ~(a3-a2)*n; Hoeffding.
+    jump = hoeffding_tail(n, (analysis.a3 - analysis.a2) * nd - 1.0);
+  }
+  report.jump_probability_bound = std::min(jump, 1.0);
+
+  // (iii) One-round concentration: X_{t+1} | X_t is a sum of n independent
+  // Bernoulli variables, so Hoeffding with delta = n^{1/2 + eps/4}.
+  report.deviation_threshold = std::pow(nd, 0.5 + epsilon / 4.0);
+  report.deviation_probability_bound = std::min(
+      1.0, 2.0 * std::exp(-2.0 * std::pow(nd, epsilon / 2.0)));
+
+  report.predicted_floor = theorem6_crossing_floor(n, epsilon);
+  return report;
+}
+
+}  // namespace bitspread

@@ -1,0 +1,58 @@
+// Numerical verification of the Theorem 6 / Corollary 10 assumptions for a
+// concrete (protocol, n, interval) triple, plus the predicted crossing floor.
+//
+// Theorem 6 needs:
+//   (i)   supermartingale drift on the interval:
+//           E[X_{t+1} | X_t = x] <= x + 1  for x/n in [a1, a3]
+//         (downward version: >= x - 1), which by Proposition 5 reduces to
+//         the sign of n*F_n on the interval;
+//   (ii)  no jump over [a1*n, a2*n] from outside, except with probability
+//         exp(-n^{Omega(1)}) — instantiated through Proposition 4 (upward)
+//         or Hoeffding (downward);
+//   (iii) one-round concentration |X_{t+1} - E[X_{t+1}|X_t]| <= n^{1/2+eps/4}
+//         except with probability 2 exp(-2 n^{eps/2}) — Hoeffding again.
+// When all hold, crossing past a3*n (resp. below a1*n) from X_0 in the middle
+// takes at least n^{1-eps} rounds w.h.p.
+#ifndef BITSPREAD_ANALYSIS_THEOREM6_H_
+#define BITSPREAD_ANALYSIS_THEOREM6_H_
+
+#include <cstdint>
+#include <string>
+
+#include "analysis/cases.h"
+#include "core/protocol.h"
+
+namespace bitspread {
+
+struct Theorem6Report {
+  // (i): the worst (most escape-ward) drift n*F_n(x/n) over the interval,
+  // and whether it satisfies the supermartingale condition with the +-1
+  // Proposition 5 slack.
+  double worst_directional_drift = 0.0;
+  bool drift_ok = false;
+
+  // (ii): probability bound on jumping the buffer [a1, a2] in one round.
+  double jump_probability_bound = 1.0;
+
+  // (iii): the deviation threshold n^{1/2 + eps/4} and its probability bound.
+  double deviation_threshold = 0.0;
+  double deviation_probability_bound = 1.0;
+
+  // Predicted floor n^{1-eps} on the crossing time (valid when drift_ok).
+  double predicted_floor = 0.0;
+
+  bool applicable() const noexcept { return drift_ok; }
+  std::string describe() const;
+};
+
+// `analysis` supplies the interval, direction, and adversarial z; `epsilon`
+// is the exponent slack of Theorem 6. Drift is checked on a grid of
+// `grid_points` interval positions (plus exact polynomial extrema when the
+// sample size is small).
+Theorem6Report check_theorem6(const MemorylessProtocol& protocol,
+                              std::uint64_t n, const CaseAnalysis& analysis,
+                              double epsilon, int grid_points = 2001);
+
+}  // namespace bitspread
+
+#endif  // BITSPREAD_ANALYSIS_THEOREM6_H_

@@ -1,0 +1,18 @@
+#include "core/configuration.h"
+
+#include <sstream>
+
+namespace bitspread {
+
+std::string Configuration::describe() const {
+  std::ostringstream out;
+  out << "Configuration{n=" << n << ", ones=" << ones
+      << ", correct=" << to_int(correct) << ", sources=" << sources << "}";
+  return out.str();
+}
+
+Configuration correct_consensus(std::uint64_t n, Opinion correct) noexcept {
+  return Configuration{n, correct == Opinion::kOne ? n : 0, correct, 1};
+}
+
+}  // namespace bitspread

@@ -1,0 +1,71 @@
+// System configurations.
+//
+// Because agents are anonymous and memory-less, the full system state in
+// round t is exactly the pair (z, X_t): the correct opinion held by the
+// source, and the number of agents currently holding opinion 1 (paper §1.1).
+// The struct generalizes the paper's single source to `sources` identical
+// stubborn agents (0 = the traditional source-less consensus problem; > 1 =
+// the multi-source regime of the majority-bit-dissemination variant, §1.3,
+// with all sources agreeing).
+#ifndef BITSPREAD_CORE_CONFIGURATION_H_
+#define BITSPREAD_CORE_CONFIGURATION_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/opinion.h"
+
+namespace bitspread {
+
+struct Configuration {
+  std::uint64_t n = 0;     // Total number of agents, including sources.
+  std::uint64_t ones = 0;  // Agents holding opinion 1 (sources included).
+  Opinion correct = Opinion::kOne;  // z: the sources' (fixed) opinion.
+  std::uint64_t sources = 1;        // Number of stubborn informed agents.
+
+  // Sources always hold `correct`, so `ones` is constrained accordingly.
+  bool valid() const noexcept {
+    if (n == 0 || ones > n || sources > n) return false;
+    if (correct == Opinion::kOne) return ones >= sources;
+    return ones <= n - sources;
+  }
+
+  std::uint64_t zeros() const noexcept { return n - ones; }
+  double fraction_ones() const noexcept {
+    return static_cast<double>(ones) / static_cast<double>(n);
+  }
+
+  // Count of source agents currently counted in `ones` (all or none).
+  std::uint64_t source_ones() const noexcept {
+    return correct == Opinion::kOne ? sources : 0;
+  }
+
+  // Count of non-source agents holding opinion 1 (resp. 0).
+  std::uint64_t non_source_ones() const noexcept {
+    return ones - source_ones();
+  }
+  std::uint64_t non_source_zeros() const noexcept {
+    return zeros() - (sources - source_ones());
+  }
+
+  bool is_consensus() const noexcept { return ones == 0 || ones == n; }
+
+  // The unique legal final configuration: everyone holds z.
+  bool is_correct_consensus() const noexcept {
+    return ones == (correct == Opinion::kOne ? n : 0);
+  }
+  bool is_wrong_consensus() const noexcept {
+    return is_consensus() && !is_correct_consensus();
+  }
+
+  std::string describe() const;
+
+  friend bool operator==(const Configuration&, const Configuration&) = default;
+};
+
+// The configuration every protocol must reach and keep: X = n * z.
+Configuration correct_consensus(std::uint64_t n, Opinion correct) noexcept;
+
+}  // namespace bitspread
+
+#endif  // BITSPREAD_CORE_CONFIGURATION_H_

@@ -1,0 +1,48 @@
+#include "core/init.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "random/binomial.h"
+
+namespace bitspread {
+namespace {
+
+// Clamps a desired ones-count so the source's fixed opinion is respected.
+std::uint64_t clamp_ones(std::uint64_t n, Opinion correct,
+                         std::uint64_t ones) noexcept {
+  if (correct == Opinion::kOne) return std::clamp<std::uint64_t>(ones, 1, n);
+  return std::min<std::uint64_t>(ones, n - 1);
+}
+
+}  // namespace
+
+Configuration init_all_wrong(std::uint64_t n, Opinion correct) noexcept {
+  return Configuration{n, correct == Opinion::kOne ? 1u : n - 1, correct};
+}
+
+Configuration init_all_correct(std::uint64_t n, Opinion correct) noexcept {
+  return correct_consensus(n, correct);
+}
+
+Configuration init_fraction_ones(std::uint64_t n, Opinion correct,
+                                 double fraction) noexcept {
+  fraction = std::clamp(fraction, 0.0, 1.0);
+  const auto ones = static_cast<std::uint64_t>(
+      std::llround(fraction * static_cast<double>(n)));
+  return Configuration{n, clamp_ones(n, correct, ones), correct};
+}
+
+Configuration init_random(std::uint64_t n, Opinion correct, double bias,
+                          Rng& rng) noexcept {
+  const std::uint64_t non_source_ones = binomial(rng, n - 1, bias);
+  const std::uint64_t ones =
+      non_source_ones + (correct == Opinion::kOne ? 1 : 0);
+  return Configuration{n, clamp_ones(n, correct, ones), correct};
+}
+
+Configuration init_half(std::uint64_t n, Opinion correct) noexcept {
+  return init_fraction_ones(n, correct, 0.5);
+}
+
+}  // namespace bitspread

@@ -1,0 +1,38 @@
+// Initial-configuration generators.
+//
+// Self-stabilization means the adversary chooses both the correct opinion z
+// and the initial opinion vector. These helpers build the configurations used
+// by the paper's arguments (e.g. X_0 = (a2+a3)/2 * n in Theorem 6) and the
+// standard stress inits (all-wrong, balanced, random).
+#ifndef BITSPREAD_CORE_INIT_H_
+#define BITSPREAD_CORE_INIT_H_
+
+#include <cstdint>
+
+#include "core/configuration.h"
+#include "random/rng.h"
+
+namespace bitspread {
+
+// All non-source agents initially hold the WRONG opinion (hardest natural
+// start for dissemination).
+Configuration init_all_wrong(std::uint64_t n, Opinion correct) noexcept;
+
+// All agents already hold the correct opinion (tests consensus maintenance).
+Configuration init_all_correct(std::uint64_t n, Opinion correct) noexcept;
+
+// The fraction of ones is (approximately) `fraction`, rounded and clamped to
+// respect the source's opinion.
+Configuration init_fraction_ones(std::uint64_t n, Opinion correct,
+                                 double fraction) noexcept;
+
+// Each non-source agent holds 1 independently with probability `bias`.
+Configuration init_random(std::uint64_t n, Opinion correct, double bias,
+                          Rng& rng) noexcept;
+
+// Balanced start: half ones, half zeros.
+Configuration init_half(std::uint64_t n, Opinion correct) noexcept;
+
+}  // namespace bitspread
+
+#endif  // BITSPREAD_CORE_INIT_H_

@@ -1,0 +1,25 @@
+// Binary opinions, the atoms of the bit-dissemination problem.
+#ifndef BITSPREAD_CORE_OPINION_H_
+#define BITSPREAD_CORE_OPINION_H_
+
+#include <cstdint>
+
+namespace bitspread {
+
+// An agent's externally visible opinion. Agents can communicate nothing else
+// (passive communication, following Korman & Vacus 2022).
+enum class Opinion : std::uint8_t { kZero = 0, kOne = 1 };
+
+constexpr Opinion opposite(Opinion o) noexcept {
+  return o == Opinion::kOne ? Opinion::kZero : Opinion::kOne;
+}
+
+constexpr int to_int(Opinion o) noexcept { return static_cast<int>(o); }
+
+constexpr Opinion opinion_from(int bit) noexcept {
+  return bit != 0 ? Opinion::kOne : Opinion::kZero;
+}
+
+}  // namespace bitspread
+
+#endif  // BITSPREAD_CORE_OPINION_H_

@@ -1,0 +1,59 @@
+#include "core/problem.h"
+
+#include <sstream>
+
+namespace bitspread {
+
+std::vector<std::string> proposition3_violations(
+    const MemorylessProtocol& protocol, std::uint64_t n) {
+  std::vector<std::string> violations;
+  const std::uint32_t ell = protocol.sample_size(n);
+  const double g00 = protocol.g(Opinion::kZero, 0, ell, n);
+  const double g1l = protocol.g(Opinion::kOne, ell, ell, n);
+  if (g00 != 0.0) {
+    std::ostringstream out;
+    out << "g_n^[0](0) = " << g00
+        << " != 0: an all-zeros consensus would not be maintained";
+    violations.push_back(out.str());
+  }
+  if (g1l != 1.0) {
+    std::ostringstream out;
+    out << "g_n^[1](l) = " << g1l
+        << " != 1: an all-ones consensus would not be maintained";
+    violations.push_back(out.str());
+  }
+  return violations;
+}
+
+bool is_absorbing(const MemorylessProtocol& protocol, const Configuration& c) {
+  if (!c.is_consensus()) return false;
+  const std::uint32_t ell = protocol.sample_size(c.n);
+  if (c.ones == 0) return protocol.g(Opinion::kZero, 0, ell, c.n) == 0.0;
+  return protocol.g(Opinion::kOne, ell, ell, c.n) == 1.0;
+}
+
+double exact_next_mean(const MemorylessProtocol& protocol,
+                       const Configuration& c) {
+  const double p = c.fraction_ones();
+  const double p1 = protocol.aggregate_adoption(Opinion::kOne, p, c.n);
+  const double p0 = protocol.aggregate_adoption(Opinion::kZero, p, c.n);
+  return static_cast<double>(c.source_ones()) +
+         static_cast<double>(c.non_source_ones()) * p1 +
+         static_cast<double>(c.non_source_zeros()) * p0;
+}
+
+double exact_one_round_drift(const MemorylessProtocol& protocol,
+                             const Configuration& c) {
+  return exact_next_mean(protocol, c) - static_cast<double>(c.ones);
+}
+
+double exact_one_round_variance(const MemorylessProtocol& protocol,
+                                const Configuration& c) {
+  const double p = c.fraction_ones();
+  const double p1 = protocol.aggregate_adoption(Opinion::kOne, p, c.n);
+  const double p0 = protocol.aggregate_adoption(Opinion::kZero, p, c.n);
+  return static_cast<double>(c.non_source_ones()) * p1 * (1.0 - p1) +
+         static_cast<double>(c.non_source_zeros()) * p0 * (1.0 - p0);
+}
+
+}  // namespace bitspread

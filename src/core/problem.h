@@ -1,0 +1,50 @@
+// The self-stabilizing bit-dissemination problem (paper §1.1).
+//
+// A group of n agents holds binary opinions; agent 1 (the source) knows the
+// correct opinion z and never changes it. A protocol solves the problem in
+// time T(n) if, from EVERY initial configuration (adversarial, including the
+// choice of z), all agents hold z within T(n) parallel rounds w.h.p. and keep
+// it forever. This header collects problem-level predicates used throughout
+// the library.
+#ifndef BITSPREAD_CORE_PROBLEM_H_
+#define BITSPREAD_CORE_PROBLEM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/configuration.h"
+#include "core/protocol.h"
+
+namespace bitspread {
+
+// Proposition 3: necessary conditions for solvability. Returns a list of
+// human-readable violations (empty means compliant).
+std::vector<std::string> proposition3_violations(
+    const MemorylessProtocol& protocol, std::uint64_t n);
+
+// Whether configuration `c` is absorbing under `protocol`: once reached, the
+// system stays there surely. Only full consensus states compatible with the
+// source can be absorbing, and only if the protocol maintains consensus.
+bool is_absorbing(const MemorylessProtocol& protocol, const Configuration& c);
+
+// The expected one-round drift of X_t from configuration `c`:
+// E[X_{t+1} | X_t] - X_t, computed exactly from Eq. 4 (cf. Proposition 5's
+// z-dependent correction term, which this includes exactly).
+double exact_one_round_drift(const MemorylessProtocol& protocol,
+                             const Configuration& c);
+
+// E[X_{t+1} | X_t = c.ones], exact.
+double exact_next_mean(const MemorylessProtocol& protocol,
+                       const Configuration& c);
+
+// Var[X_{t+1} | X_t = c.ones], exact: X' is a sum of independent Bernoulli
+// variables, so the variance is #ns-ones * P1(1-P1) + #ns-zeros * P0(1-P0).
+// Drives diffusive crossing-time predictions (zero-bias protocols cross a
+// width-w*n interval in ~ (w*n)^2 / Var rounds).
+double exact_one_round_variance(const MemorylessProtocol& protocol,
+                                const Configuration& c);
+
+}  // namespace bitspread
+
+#endif  // BITSPREAD_CORE_PROBLEM_H_

@@ -1,0 +1,68 @@
+// The memory-less protocol abstraction (paper §1.1).
+//
+// A protocol is the family of functions g_n^[b] : {0,...,l} -> [0,1]:
+// g_n^[b](k) is the probability that an agent currently holding opinion b,
+// which observed k ones among its l uniform-with-replacement samples, adopts
+// opinion 1 in the next round. This is the *entire* behavioral freedom the
+// model allows: no identifiers, no clocks, no memory beyond the own opinion.
+#ifndef BITSPREAD_CORE_PROTOCOL_H_
+#define BITSPREAD_CORE_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/opinion.h"
+#include "core/sample_size.h"
+
+namespace bitspread {
+
+class MemorylessProtocol {
+ public:
+  explicit MemorylessProtocol(SampleSizePolicy policy) noexcept
+      : policy_(policy) {}
+  virtual ~MemorylessProtocol() = default;
+
+  MemorylessProtocol(const MemorylessProtocol&) = default;
+  MemorylessProtocol& operator=(const MemorylessProtocol&) = delete;
+
+  // g_n^[own](ones_seen), with sample size l = sample_size(n).
+  // Must return a value in [0, 1]; ones_seen <= l.
+  virtual double g(Opinion own, std::uint32_t ones_seen, std::uint32_t ell,
+                   std::uint64_t n) const noexcept = 0;
+
+  virtual std::string name() const = 0;
+
+  // Probability P_b(p) that an agent with opinion b adopts opinion 1 when the
+  // current fraction of ones is p (Eq. 4):
+  //   P_b(p) = sum_k C(l,k) p^k (1-p)^{l-k} g_n^[b](k).
+  // The default evaluates the sum with a stable O(l) recurrence; protocols
+  // with closed forms (e.g. Voter: P_b(p) = p) override it. This is the inner
+  // loop of the aggregate engine and of the bias function F_n.
+  virtual double aggregate_adoption(Opinion own, double p,
+                                    std::uint64_t n) const noexcept;
+
+  std::uint32_t sample_size(std::uint64_t n) const noexcept {
+    return policy_.sample_size(n);
+  }
+  const SampleSizePolicy& policy() const noexcept { return policy_; }
+
+  // Proposition 3: a protocol can only solve bit-dissemination if
+  // g_n^[0](0) = 0 and g_n^[1](l) = 1 (consensus must be maintained).
+  bool maintains_consensus(std::uint64_t n) const noexcept;
+
+  // True if g does not depend on the agent's own opinion
+  // (g_n^[0] == g_n^[1]), like Voter and Minority.
+  bool is_oblivious(std::uint64_t n) const noexcept;
+
+ private:
+  SampleSizePolicy policy_;
+};
+
+// Reference implementation of the Eq. 4 sum, shared by the default
+// aggregate_adoption and by tests that pit closed forms against it.
+double eq4_adoption_sum(const MemorylessProtocol& protocol, Opinion own,
+                        double p, std::uint64_t n) noexcept;
+
+}  // namespace bitspread
+
+#endif  // BITSPREAD_CORE_PROTOCOL_H_

@@ -1,0 +1,65 @@
+#include "core/sample_size.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace bitspread {
+
+SampleSizePolicy SampleSizePolicy::constant(std::uint32_t ell) noexcept {
+  return SampleSizePolicy(Kind::kConstant, std::max<std::uint32_t>(ell, 1), 0.0,
+                          0.0);
+}
+
+SampleSizePolicy SampleSizePolicy::sqrt_n_log_n(double scale) noexcept {
+  return SampleSizePolicy(Kind::kSqrtNLogN, 0, 0.0, scale);
+}
+
+SampleSizePolicy SampleSizePolicy::log_n(double scale) noexcept {
+  return SampleSizePolicy(Kind::kLogN, 0, 0.0, scale);
+}
+
+SampleSizePolicy SampleSizePolicy::power(double exponent,
+                                         double scale) noexcept {
+  return SampleSizePolicy(Kind::kPower, 0, exponent, scale);
+}
+
+std::uint32_t SampleSizePolicy::sample_size(std::uint64_t n) const noexcept {
+  const double nd = std::max<double>(static_cast<double>(n), 2.0);
+  double value = 1.0;
+  switch (kind_) {
+    case Kind::kConstant:
+      return ell_;
+    case Kind::kSqrtNLogN:
+      value = scale_ * std::sqrt(nd * std::log(nd));
+      break;
+    case Kind::kLogN:
+      value = scale_ * std::log(nd);
+      break;
+    case Kind::kPower:
+      value = scale_ * std::pow(nd, exponent_);
+      break;
+  }
+  return static_cast<std::uint32_t>(std::max(1.0, std::ceil(value)));
+}
+
+std::string SampleSizePolicy::describe() const {
+  std::ostringstream out;
+  switch (kind_) {
+    case Kind::kConstant:
+      out << "l=" << ell_;
+      break;
+    case Kind::kSqrtNLogN:
+      out << "l=" << scale_ << "*sqrt(n ln n)";
+      break;
+    case Kind::kLogN:
+      out << "l=" << scale_ << "*ln n";
+      break;
+    case Kind::kPower:
+      out << "l=" << scale_ << "*n^" << exponent_;
+      break;
+  }
+  return out.str();
+}
+
+}  // namespace bitspread

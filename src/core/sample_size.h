@@ -1,0 +1,51 @@
+// Sample-size policies: how the per-round sample size l depends on n.
+//
+// The paper's lower bound (Theorem 1) concerns constant l; the upper bound of
+// Becchetti et al. (SODA 2024) requires l = Omega(sqrt(n log n)); the
+// memory-assisted protocol of Korman & Vacus needs l = Theta(log n). Policies
+// make these regimes first-class values that protocols and sweeps share.
+#ifndef BITSPREAD_CORE_SAMPLE_SIZE_H_
+#define BITSPREAD_CORE_SAMPLE_SIZE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace bitspread {
+
+class SampleSizePolicy {
+ public:
+  // l(n) = ell.
+  static SampleSizePolicy constant(std::uint32_t ell) noexcept;
+  // l(n) = max(1, ceil(scale * sqrt(n * ln n))).
+  static SampleSizePolicy sqrt_n_log_n(double scale = 1.0) noexcept;
+  // l(n) = max(1, ceil(scale * ln n)).
+  static SampleSizePolicy log_n(double scale = 1.0) noexcept;
+  // l(n) = max(1, ceil(scale * n^exponent)).
+  static SampleSizePolicy power(double exponent, double scale = 1.0) noexcept;
+
+  std::uint32_t sample_size(std::uint64_t n) const noexcept;
+
+  // True if l(n) does not depend on n (the Theorem 1 regime).
+  bool is_constant() const noexcept { return kind_ == Kind::kConstant; }
+
+  std::string describe() const;
+
+  friend bool operator==(const SampleSizePolicy&,
+                         const SampleSizePolicy&) = default;
+
+ private:
+  enum class Kind { kConstant, kSqrtNLogN, kLogN, kPower };
+
+  SampleSizePolicy(Kind kind, std::uint32_t ell, double exponent,
+                   double scale) noexcept
+      : kind_(kind), ell_(ell), exponent_(exponent), scale_(scale) {}
+
+  Kind kind_;
+  std::uint32_t ell_;
+  double exponent_;
+  double scale_;
+};
+
+}  // namespace bitspread
+
+#endif  // BITSPREAD_CORE_SAMPLE_SIZE_H_

@@ -1,0 +1,6 @@
+#include "core/stateful.h"
+
+// StatefulProtocol is an interface; concrete dynamics live in protocols/.
+// This translation unit anchors the vtable.
+
+namespace bitspread {}  // namespace bitspread

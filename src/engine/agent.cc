@@ -1,0 +1,176 @@
+#include "engine/agent.h"
+
+#include <cassert>
+
+namespace bitspread {
+
+std::uint64_t AgentParallelEngine::Population::count_ones() const noexcept {
+  std::uint64_t ones = 0;
+  for (const auto& view : views) ones += to_int(view.opinion);
+  return ones;
+}
+
+Configuration AgentParallelEngine::Population::config() const noexcept {
+  return Configuration{views.size(), count_ones(), correct, sources};
+}
+
+AgentParallelEngine::Population AgentParallelEngine::make_population(
+    const Configuration& config) const {
+  assert(config.valid());
+  Population population;
+  population.correct = config.correct;
+  population.sources = config.sources;
+  population.views.reserve(config.n);
+  for (std::uint64_t i = 0; i < config.sources; ++i) {
+    population.views.push_back(protocol_->initial_view(config.correct));
+  }
+  for (std::uint64_t i = 0; i < config.non_source_ones(); ++i) {
+    population.views.push_back(protocol_->initial_view(Opinion::kOne));
+  }
+  for (std::uint64_t i = 0; i < config.non_source_zeros(); ++i) {
+    population.views.push_back(protocol_->initial_view(Opinion::kZero));
+  }
+  assert(population.count_ones() == config.ones);
+  return population;
+}
+
+std::uint32_t AgentParallelEngine::observe_ones(
+    const std::vector<Opinion>& opinions, std::uint32_t ell,
+    Rng& rng) const noexcept {
+  const std::uint64_t n = opinions.size();
+  std::uint32_t ones_seen = 0;
+  if (sampling_ == Sampling::kWithReplacement) {
+    for (std::uint32_t s = 0; s < ell; ++s) {
+      ones_seen += to_int(opinions[rng.next_below(n)]);
+    }
+    return ones_seen;
+  }
+  // Without replacement via rejection; l << n in all supported uses.
+  assert(ell <= n);
+  std::uint64_t chosen[64];
+  assert(ell <= 64 && "without-replacement sampling supports l <= 64");
+  for (std::uint32_t s = 0; s < ell; ++s) {
+    std::uint64_t candidate;
+    bool fresh;
+    do {
+      candidate = rng.next_below(n);
+      fresh = true;
+      for (std::uint32_t t = 0; t < s; ++t) {
+        if (chosen[t] == candidate) {
+          fresh = false;
+          break;
+        }
+      }
+    } while (!fresh);
+    chosen[s] = candidate;
+    ones_seen += to_int(opinions[candidate]);
+  }
+  return ones_seen;
+}
+
+void AgentParallelEngine::step(Population& population, Rng& rng) const {
+  const std::uint64_t n = population.views.size();
+  const std::uint32_t ell = protocol_->sample_size(n);
+
+  // Snapshot the displayed opinions: all samples observe round-t opinions.
+  std::vector<Opinion> opinions(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    opinions[i] = population.views[i].opinion;
+  }
+
+  for (std::uint64_t i = population.sources; i < n; ++i) {
+    const std::uint32_t ones_seen = observe_ones(opinions, ell, rng);
+    population.views[i] =
+        protocol_->update(population.views[i], ones_seen, ell, n, rng);
+  }
+}
+
+RunResult AgentParallelEngine::run(Configuration config, const StopRule& rule,
+                                   Rng& rng, Trajectory* trajectory) const {
+  Population population = make_population(config);
+  return run_population(population, rule, rng, trajectory);
+}
+
+RunResult AgentParallelEngine::run_population(Population& population,
+                                              const StopRule& rule, Rng& rng,
+                                              Trajectory* trajectory) const {
+  RunResult result;
+  Configuration config = population.config();
+  if (trajectory != nullptr) trajectory->record(0, config.ones);
+  for (std::uint64_t round = 0;; ++round) {
+    if (auto reason = evaluate_stop(rule, config)) {
+      result.reason = *reason;
+      result.rounds = round;
+      break;
+    }
+    if (round >= rule.max_rounds) {
+      result.reason = StopReason::kRoundLimit;
+      result.rounds = round;
+      break;
+    }
+    step(population, rng);
+    config = population.config();
+    if (trajectory != nullptr) trajectory->record(round + 1, config.ones);
+  }
+  if (trajectory != nullptr) {
+    trajectory->force_record(result.rounds, config.ones);
+  }
+  result.final_config = config;
+  return result;
+}
+
+int AgentSequentialEngine::activate(Population& population, Rng& rng) const {
+  const std::uint64_t n = population.views.size();
+  const std::uint32_t ell = protocol_->sample_size(n);
+  const std::uint64_t non_source = n - population.sources;
+  const std::uint64_t agent = population.sources + rng.next_below(non_source);
+  std::uint32_t ones_seen = 0;
+  for (std::uint32_t s = 0; s < ell; ++s) {
+    ones_seen += to_int(population.views[rng.next_below(n)].opinion);
+  }
+  const Opinion before = population.views[agent].opinion;
+  population.views[agent] =
+      protocol_->update(population.views[agent], ones_seen, ell, n, rng);
+  return to_int(population.views[agent].opinion) - to_int(before);
+}
+
+SequentialRunResult AgentSequentialEngine::run(Configuration config,
+                                               const StopRule& rule, Rng& rng,
+                                               Trajectory* trajectory) const {
+  Population population = make_population(config);
+  const std::uint64_t n = config.n;
+  const std::uint64_t max_activations = rule.max_rounds * n;
+  SequentialRunResult result;
+  // The displayed ones-count changes by at most one per activation; track it
+  // incrementally instead of recounting.
+  std::uint64_t ones = population.count_ones();
+  Configuration current = config;
+  current.ones = ones;
+  if (trajectory != nullptr) trajectory->record(0, ones);
+  std::uint64_t activation = 0;
+  while (true) {
+    if (auto reason = evaluate_stop(rule, current)) {
+      result.reason = *reason;
+      break;
+    }
+    if (activation >= max_activations) {
+      result.reason = StopReason::kRoundLimit;
+      break;
+    }
+    ones = static_cast<std::uint64_t>(static_cast<std::int64_t>(ones) +
+                                      activate(population, rng));
+    current.ones = ones;
+    ++activation;
+    if (trajectory != nullptr && activation % n == 0) {
+      trajectory->record(activation / n, ones);
+    }
+  }
+  result.activations = activation;
+  result.final_config = current;
+  if (trajectory != nullptr) {
+    trajectory->force_record((activation + n - 1) / n, ones);
+  }
+  return result;
+}
+
+}  // namespace bitspread

@@ -1,0 +1,103 @@
+// The agent-level parallel engine: explicit per-agent simulation.
+//
+// O(n*l) work per round, so it is reserved for (a) stateful protocols, where
+// the aggregate reduction does not apply, and (b) cross-validating the
+// aggregate engine (the two are distribution-identical for memory-less
+// protocols; see tests/engine_cross_validation_test.cc). Sources occupy the
+// first `sources` slots of the population and never update.
+#ifndef BITSPREAD_ENGINE_AGENT_H_
+#define BITSPREAD_ENGINE_AGENT_H_
+
+#include <vector>
+
+#include "core/configuration.h"
+#include "core/stateful.h"
+#include "engine/sequential.h"
+#include "engine/stopping.h"
+#include "engine/trajectory.h"
+#include "random/rng.h"
+
+namespace bitspread {
+
+class AgentParallelEngine {
+ public:
+  enum class Sampling {
+    kWithReplacement,    // The paper's model: l u.a.r. draws from all agents.
+    kWithoutReplacement  // Distinct-agent samples (rejection resampling).
+  };
+
+  explicit AgentParallelEngine(
+      const StatefulProtocol& protocol,
+      Sampling sampling = Sampling::kWithReplacement) noexcept
+      : protocol_(&protocol), sampling_(sampling) {}
+
+  // The explicit population. Index i < sources is a source agent.
+  struct Population {
+    std::vector<StatefulProtocol::AgentView> views;
+    Opinion correct = Opinion::kOne;
+    std::uint64_t sources = 1;
+
+    std::uint64_t count_ones() const noexcept;
+    Configuration config() const noexcept;
+  };
+
+  // Lays out a population matching `config`: sources first (holding z), then
+  // the non-source ones, then the non-source zeros, every agent in the
+  // protocol's initial view for its opinion. Agent order never matters (the
+  // model is fully anonymous), so the deterministic layout is w.l.o.g.
+  Population make_population(const Configuration& config) const;
+
+  // One synchronous round: every non-source agent samples and updates.
+  void step(Population& population, Rng& rng) const;
+
+  RunResult run(Configuration config, const StopRule& rule, Rng& rng,
+                Trajectory* trajectory = nullptr) const;
+
+  // Run starting from an explicit population (e.g. adversarial internal
+  // states for self-stabilization tests). The population is advanced in
+  // place.
+  RunResult run_population(Population& population, const StopRule& rule,
+                           Rng& rng, Trajectory* trajectory = nullptr) const;
+
+  const StatefulProtocol& protocol() const noexcept { return *protocol_; }
+
+ private:
+  std::uint32_t observe_ones(const std::vector<Opinion>& opinions,
+                             std::uint32_t ell, Rng& rng) const noexcept;
+
+  const StatefulProtocol* protocol_;
+  Sampling sampling_;
+};
+
+// Sequential activation for stateful protocols: one uniformly chosen
+// non-source agent samples and updates per step. Completes the engine
+// matrix (parallel/sequential x aggregate/agent); e.g. classic
+// undecided-state-dynamics analyses use exactly this scheduler.
+class AgentSequentialEngine {
+ public:
+  explicit AgentSequentialEngine(const StatefulProtocol& protocol) noexcept
+      : protocol_(&protocol) {}
+
+  using Population = AgentParallelEngine::Population;
+
+  Population make_population(const Configuration& config) const {
+    return AgentParallelEngine(*protocol_).make_population(config);
+  }
+
+  // One activation, in place; returns the change in the displayed
+  // ones-count (-1, 0, or +1 — the birth-death structure of §1).
+  int activate(Population& population, Rng& rng) const;
+
+  // StopRule::max_rounds is in PARALLEL rounds (n activations each).
+  SequentialRunResult run(Configuration config, const StopRule& rule, Rng& rng,
+                          Trajectory* trajectory = nullptr) const;
+
+  const StatefulProtocol& protocol() const noexcept { return *protocol_; }
+
+ private:
+  const StatefulProtocol* protocol_;
+};
+
+}  // namespace bitspread
+
+#endif  // BITSPREAD_ENGINE_AGENT_H_

@@ -1,0 +1,49 @@
+#include "engine/aggregate.h"
+
+#include <cassert>
+
+#include "random/binomial.h"
+
+namespace bitspread {
+
+Configuration AggregateParallelEngine::step(const Configuration& config,
+                                            Rng& rng) const {
+  assert(config.valid());
+  const double p = config.fraction_ones();
+  const double p1 =
+      protocol_->aggregate_adoption(Opinion::kOne, p, config.n);
+  const double p0 =
+      protocol_->aggregate_adoption(Opinion::kZero, p, config.n);
+  const std::uint64_t stay_or_switch_to_one =
+      binomial(rng, config.non_source_ones(), p1) +
+      binomial(rng, config.non_source_zeros(), p0);
+  Configuration next = config;
+  next.ones = config.source_ones() + stay_or_switch_to_one;
+  return next;
+}
+
+RunResult AggregateParallelEngine::run(Configuration config,
+                                       const StopRule& rule, Rng& rng,
+                                       Trajectory* trajectory) const {
+  RunResult result;
+  if (trajectory != nullptr) trajectory->record(0, config.ones);
+  for (std::uint64_t round = 0;; ++round) {
+    if (auto reason = evaluate_stop(rule, config)) {
+      result.reason = *reason;
+      result.rounds = round;
+      break;
+    }
+    if (round >= rule.max_rounds) {
+      result.reason = StopReason::kRoundLimit;
+      result.rounds = round;
+      break;
+    }
+    config = step(config, rng);
+    if (trajectory != nullptr) trajectory->record(round + 1, config.ones);
+  }
+  if (trajectory != nullptr) trajectory->force_record(result.rounds, config.ones);
+  result.final_config = config;
+  return result;
+}
+
+}  // namespace bitspread

@@ -1,0 +1,61 @@
+#include "engine/alpha_sync.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "random/binomial.h"
+
+namespace bitspread {
+
+AlphaSynchronousEngine::AlphaSynchronousEngine(
+    const MemorylessProtocol& protocol, double alpha) noexcept
+    : protocol_(&protocol), alpha_(std::clamp(alpha, 0.0, 1.0)) {
+  assert(alpha > 0.0 && alpha <= 1.0);
+}
+
+Configuration AlphaSynchronousEngine::step(const Configuration& config,
+                                           Rng& rng) const {
+  assert(config.valid());
+  const double p = config.fraction_ones();
+  const double p1 = protocol_->aggregate_adoption(Opinion::kOne, p, config.n);
+  const double p0 = protocol_->aggregate_adoption(Opinion::kZero, p, config.n);
+
+  const std::uint64_t active_ones =
+      binomial(rng, config.non_source_ones(), alpha_);
+  const std::uint64_t active_zeros =
+      binomial(rng, config.non_source_zeros(), alpha_);
+  const std::uint64_t stay_ones = config.non_source_ones() - active_ones;
+
+  Configuration next = config;
+  next.ones = config.source_ones() + stay_ones +
+              binomial(rng, active_ones, p1) + binomial(rng, active_zeros, p0);
+  return next;
+}
+
+RunResult AlphaSynchronousEngine::run(Configuration config,
+                                      const StopRule& rule, Rng& rng,
+                                      Trajectory* trajectory) const {
+  RunResult result;
+  if (trajectory != nullptr) trajectory->record(0, config.ones);
+  for (std::uint64_t round = 0;; ++round) {
+    if (auto reason = evaluate_stop(rule, config)) {
+      result.reason = *reason;
+      result.rounds = round;
+      break;
+    }
+    if (round >= rule.max_rounds) {
+      result.reason = StopReason::kRoundLimit;
+      result.rounds = round;
+      break;
+    }
+    config = step(config, rng);
+    if (trajectory != nullptr) trajectory->record(round + 1, config.ones);
+  }
+  if (trajectory != nullptr) {
+    trajectory->force_record(result.rounds, config.ones);
+  }
+  result.final_config = config;
+  return result;
+}
+
+}  // namespace bitspread

@@ -1,0 +1,56 @@
+#include "engine/conflicting.h"
+
+#include <cassert>
+#include <sstream>
+
+#include "random/binomial.h"
+
+namespace bitspread {
+
+std::string ConflictingConfiguration::describe() const {
+  std::ostringstream out;
+  out << "ConflictingConfiguration{n=" << n << ", ones=" << ones
+      << ", stubborn=(" << stubborn_zeros << " zeros, " << stubborn_ones
+      << " ones)}";
+  return out.str();
+}
+
+ConflictingConfiguration ConflictingAggregateEngine::step(
+    const ConflictingConfiguration& config, Rng& rng) const {
+  assert(config.valid());
+  const double p = config.fraction_ones();
+  const double p1 = protocol_->aggregate_adoption(Opinion::kOne, p, config.n);
+  const double p0 = protocol_->aggregate_adoption(Opinion::kZero, p, config.n);
+  ConflictingConfiguration next = config;
+  next.ones = config.stubborn_ones + binomial(rng, config.free_ones(), p1) +
+              binomial(rng, config.free_zeros(), p0);
+  return next;
+}
+
+ConflictingAggregateEngine::WatchResult ConflictingAggregateEngine::watch(
+    ConflictingConfiguration config, std::uint64_t rounds, Rng& rng,
+    Trajectory* trajectory) const {
+  WatchResult result;
+  const Opinion preference = config.majority_preference();
+  const std::uint64_t free_total = config.free_ones() + config.free_zeros();
+  std::uint64_t tracking = 0;
+  std::uint64_t near = 0;
+  if (trajectory != nullptr) trajectory->record(0, config.ones);
+  for (std::uint64_t t = 0; t < rounds; ++t) {
+    config = step(config, rng);
+    if (trajectory != nullptr) trajectory->record(t + 1, config.ones);
+    const std::uint64_t aligned = preference == Opinion::kOne
+                                      ? config.free_ones()
+                                      : config.free_zeros();
+    if (2 * aligned > free_total) ++tracking;
+    if (10 * aligned >= 9 * free_total) ++near;
+  }
+  result.tracking_fraction =
+      static_cast<double>(tracking) / static_cast<double>(rounds);
+  result.near_consensus_fraction =
+      static_cast<double>(near) / static_cast<double>(rounds);
+  result.final_config = config;
+  return result;
+}
+
+}  // namespace bitspread

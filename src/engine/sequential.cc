@@ -1,0 +1,67 @@
+#include "engine/sequential.h"
+
+#include <cassert>
+
+#include "random/binomial.h"
+
+namespace bitspread {
+
+Configuration SequentialEngine::step(const Configuration& config,
+                                     Rng& rng) const {
+  assert(config.valid());
+  const std::uint64_t non_source = config.n - config.sources;
+  assert(non_source > 0);
+
+  // Which opinion does the activated agent hold?
+  const bool holds_one =
+      rng.next_below(non_source) < config.non_source_ones();
+  const Opinion own = holds_one ? Opinion::kOne : Opinion::kZero;
+
+  // Its sample: l u.a.r. draws (with replacement) from ALL agents.
+  const std::uint32_t ell = protocol_->sample_size(config.n);
+  const auto ones_seen = static_cast<std::uint32_t>(
+      binomial(rng, ell, config.fraction_ones()));
+
+  const double adopt_one = protocol_->g(own, ones_seen, ell, config.n);
+  const Opinion next =
+      rng.bernoulli(adopt_one) ? Opinion::kOne : Opinion::kZero;
+
+  Configuration result = config;
+  if (own != next) {
+    result.ones += next == Opinion::kOne ? 1 : -1;
+  }
+  return result;
+}
+
+SequentialRunResult SequentialEngine::run(Configuration config,
+                                          const StopRule& rule, Rng& rng,
+                                          Trajectory* trajectory) const {
+  SequentialRunResult result;
+  const std::uint64_t n = config.n;
+  const std::uint64_t max_activations = rule.max_rounds * n;
+  if (trajectory != nullptr) trajectory->record(0, config.ones);
+  std::uint64_t activation = 0;
+  while (true) {
+    if (auto reason = evaluate_stop(rule, config)) {
+      result.reason = *reason;
+      break;
+    }
+    if (activation >= max_activations) {
+      result.reason = StopReason::kRoundLimit;
+      break;
+    }
+    config = step(config, rng);
+    ++activation;
+    if (trajectory != nullptr && activation % n == 0) {
+      trajectory->record(activation / n, config.ones);
+    }
+  }
+  result.activations = activation;
+  result.final_config = config;
+  if (trajectory != nullptr) {
+    trajectory->force_record((activation + n - 1) / n, config.ones);
+  }
+  return result;
+}
+
+}  // namespace bitspread

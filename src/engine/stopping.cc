@@ -1,0 +1,34 @@
+#include "engine/stopping.h"
+
+namespace bitspread {
+
+std::string to_string(StopReason reason) {
+  switch (reason) {
+    case StopReason::kCorrectConsensus:
+      return "correct-consensus";
+    case StopReason::kWrongConsensus:
+      return "wrong-consensus";
+    case StopReason::kRoundLimit:
+      return "round-limit";
+    case StopReason::kIntervalExit:
+      return "interval-exit";
+  }
+  return "unknown";
+}
+
+std::optional<StopReason> evaluate_stop(const StopRule& rule,
+                                        const Configuration& config) noexcept {
+  if (rule.interval_lo && config.ones < *rule.interval_lo) {
+    return StopReason::kIntervalExit;
+  }
+  if (rule.interval_hi && config.ones > *rule.interval_hi) {
+    return StopReason::kIntervalExit;
+  }
+  if (config.is_correct_consensus()) return StopReason::kCorrectConsensus;
+  if (rule.stop_on_any_consensus && config.is_consensus()) {
+    return StopReason::kWrongConsensus;
+  }
+  return std::nullopt;
+}
+
+}  // namespace bitspread

@@ -1,0 +1,56 @@
+// Stopping rules and run results shared by all simulation engines.
+#ifndef BITSPREAD_ENGINE_STOPPING_H_
+#define BITSPREAD_ENGINE_STOPPING_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "core/configuration.h"
+
+namespace bitspread {
+
+enum class StopReason {
+  kCorrectConsensus,  // Reached X = n*z (converged; absorbing iff Prop. 3).
+  kWrongConsensus,    // Reached the other consensus (only possible without a
+                      // source, or for broken protocols).
+  kRoundLimit,        // Hit the round cap: the measurement is right-censored.
+  kIntervalExit,      // Left the watched interval (Theorem 6 crossing runs).
+};
+
+std::string to_string(StopReason reason);
+
+struct StopRule {
+  // Hard cap on parallel rounds; every run terminates.
+  std::uint64_t max_rounds = 1'000'000;
+
+  // When set, stop as soon as ones < interval_lo or ones > interval_hi. Used
+  // to measure interval *crossing* times (Theorem 6) instead of convergence.
+  std::optional<std::uint64_t> interval_lo;
+  std::optional<std::uint64_t> interval_hi;
+
+  // Stop on any consensus (not only the correct one). Default on: a wrong
+  // consensus is absorbing for every Prop.-3-compliant source-less run, and
+  // for source runs it cannot occur at all, so stopping is always sound.
+  bool stop_on_any_consensus = true;
+};
+
+struct RunResult {
+  StopReason reason = StopReason::kRoundLimit;
+  std::uint64_t rounds = 0;  // Parallel rounds elapsed when stopped.
+  Configuration final_config;
+
+  bool converged() const noexcept {
+    return reason == StopReason::kCorrectConsensus;
+  }
+  // True when the run hit the cap: `rounds` is then a lower bound.
+  bool censored() const noexcept { return reason == StopReason::kRoundLimit; }
+};
+
+// Evaluates the rule against a configuration; nullopt means keep running.
+std::optional<StopReason> evaluate_stop(const StopRule& rule,
+                                        const Configuration& config) noexcept;
+
+}  // namespace bitspread
+
+#endif  // BITSPREAD_ENGINE_STOPPING_H_

@@ -1,0 +1,18 @@
+#include "engine/trajectory.h"
+
+#include <algorithm>
+
+namespace bitspread {
+
+std::uint64_t Trajectory::max_one_step_jump() const noexcept {
+  std::uint64_t worst = 0;
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    if (points_[i].round != points_[i - 1].round + 1) continue;
+    const std::uint64_t a = points_[i - 1].ones;
+    const std::uint64_t b = points_[i].ones;
+    worst = std::max(worst, a > b ? a - b : b - a);
+  }
+  return worst;
+}
+
+}  // namespace bitspread

@@ -1,0 +1,58 @@
+#include "markov/absorption.h"
+
+#include <cassert>
+
+#include "markov/linalg.h"
+
+namespace bitspread {
+
+std::vector<double> expected_hitting_rounds(
+    std::size_t state_count,
+    const std::function<std::vector<double>(std::size_t)>& row,
+    const std::vector<bool>& absorbing) {
+  assert(absorbing.size() == state_count);
+
+  // Index map: transient states only.
+  std::vector<std::size_t> transient_index(state_count, SIZE_MAX);
+  std::vector<std::size_t> transient_states;
+  for (std::size_t s = 0; s < state_count; ++s) {
+    if (!absorbing[s]) {
+      transient_index[s] = transient_states.size();
+      transient_states.push_back(s);
+    }
+  }
+  const std::size_t m = transient_states.size();
+
+  std::vector<double> times(state_count, 0.0);
+  if (m == 0) return times;
+
+  Matrix system(m, m, 0.0);
+  std::vector<double> rhs(m, 1.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    const std::vector<double> r = row(transient_states[i]);
+    assert(r.size() == state_count);
+    system.at(i, i) = 1.0;
+    for (std::size_t s = 0; s < state_count; ++s) {
+      if (absorbing[s]) continue;
+      system.at(i, transient_index[s]) -= r[s];
+    }
+  }
+  const std::vector<double> t = solve_linear_system(std::move(system), rhs);
+  for (std::size_t i = 0; i < m; ++i) times[transient_states[i]] = t[i];
+  return times;
+}
+
+std::vector<double> expected_convergence_rounds(
+    const DenseParallelChain& chain) {
+  const std::size_t count = chain.state_count();
+  std::vector<bool> absorbing(count, false);
+  absorbing[chain.correct_consensus_state() - chain.min_state()] = true;
+  return expected_hitting_rounds(
+      count,
+      [&chain](std::size_t i) {
+        return chain.transition_row(chain.min_state() + i);
+      },
+      absorbing);
+}
+
+}  // namespace bitspread

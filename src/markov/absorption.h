@@ -1,0 +1,32 @@
+// Absorbing-chain solves: exact expected hitting times and hitting
+// probabilities from the fundamental-matrix equations, for any dense chain.
+#ifndef BITSPREAD_MARKOV_ABSORPTION_H_
+#define BITSPREAD_MARKOV_ABSORPTION_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "markov/dense_chain.h"
+
+namespace bitspread {
+
+// Expected number of rounds to reach any state in `absorbing` (indicator over
+// state indices 0..row_count-1), starting from each state:
+// solves (I - Q) t = 1 over the transient states. `row(i)` must return the
+// full transition row of state i. States from which the absorbing set is
+// unreachable make the system singular — callers must pass chains where the
+// target is reachable from every transient state (true for every
+// Prop.-3-compliant protocol with a source).
+std::vector<double> expected_hitting_rounds(
+    std::size_t state_count,
+    const std::function<std::vector<double>(std::size_t)>& row,
+    const std::vector<bool>& absorbing);
+
+// Convenience for the dense parallel chain: expected rounds to reach the
+// correct consensus from every state (indexed by x - min_state()).
+std::vector<double> expected_convergence_rounds(const DenseParallelChain& chain);
+
+}  // namespace bitspread
+
+#endif  // BITSPREAD_MARKOV_ABSORPTION_H_

@@ -1,0 +1,77 @@
+#include "markov/birth_death.h"
+
+#include <cassert>
+
+#include "markov/linalg.h"
+
+namespace bitspread {
+
+BirthDeathChain::BirthDeathChain(const MemorylessProtocol& protocol,
+                                 std::uint64_t n, Opinion correct,
+                                 std::uint64_t sources)
+    : protocol_(&protocol), n_(n), correct_(correct), sources_(sources) {
+  assert(n_ > sources_);
+}
+
+double BirthDeathChain::up(std::uint64_t x) const {
+  const Configuration config{n_, x, correct_, sources_};
+  assert(config.valid());
+  const double pick_zero =
+      static_cast<double>(config.non_source_zeros()) /
+      static_cast<double>(n_ - sources_);
+  const double adopt_one =
+      protocol_->aggregate_adoption(Opinion::kZero, config.fraction_ones(), n_);
+  return pick_zero * adopt_one;
+}
+
+double BirthDeathChain::down(std::uint64_t x) const {
+  const Configuration config{n_, x, correct_, sources_};
+  assert(config.valid());
+  const double pick_one = static_cast<double>(config.non_source_ones()) /
+                          static_cast<double>(n_ - sources_);
+  const double keep_one =
+      protocol_->aggregate_adoption(Opinion::kOne, config.fraction_ones(), n_);
+  return pick_one * (1.0 - keep_one);
+}
+
+std::vector<double> BirthDeathChain::expected_absorption_activations() const {
+  // Unknowns: t(x) for every non-target state; t(target) = 0. The balance
+  //   t(x) = 1 + up t(x+1) + down t(x-1) + (1 - up - down) t(x)
+  // rearranges to: down t(x-1) - (up+down) t(x) + up t(x+1) = -1,
+  // a tridiagonal system. Requires the target to be reachable from every
+  // state (up > 0 below the target for z = 1), which holds for every
+  // Prop.-3-compliant protocol.
+  const std::uint64_t lo = min_state();
+  const std::uint64_t hi = max_state();
+  const std::uint64_t target = correct_consensus_state();
+  assert(target == lo || target == hi);
+  const std::size_t m = static_cast<std::size_t>(hi - lo);  // Non-target count.
+
+  std::vector<double> lower(m, 0.0), diag(m, 0.0), upper(m, 0.0), rhs(m, -1.0);
+  // Order unknowns by x ascending, skipping the target.
+  std::size_t row = 0;
+  for (std::uint64_t x = lo; x <= hi; ++x) {
+    if (x == target) continue;
+    const double u = up(x);
+    const double d = down(x);
+    diag[row] = -(u + d);
+    // Neighbor x-1 (skip if it is the target: t = 0 contributes nothing).
+    if (x > lo && x - 1 != target) lower[row] = d;
+    if (x < hi && x + 1 != target) upper[row] = u;
+    ++row;
+  }
+
+  const std::vector<double> t =
+      solve_tridiagonal(std::move(lower), std::move(diag), std::move(upper),
+                        std::move(rhs));
+
+  std::vector<double> result(static_cast<std::size_t>(hi - lo) + 1, 0.0);
+  row = 0;
+  for (std::uint64_t x = lo; x <= hi; ++x) {
+    if (x == target) continue;
+    result[static_cast<std::size_t>(x - lo)] = t[row++];
+  }
+  return result;
+}
+
+}  // namespace bitspread

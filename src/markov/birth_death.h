@@ -1,0 +1,58 @@
+// The exact sequential-setting chain: a birth-death chain on X.
+//
+// With one activation per step, X moves by at most one unit, whatever the
+// protocol — the structural fact (paper §1, "Previous works") on which all
+// sequential lower bounds of Becchetti et al. (IJCAI 2023) rest. Transition
+// probabilities follow from one activation of engine/sequential.h:
+//   up(x)   = P(pick a 0-agent) * P(it adopts 1)
+//   down(x) = P(pick a 1-agent) * P(it adopts 0)
+// with the sample count K ~ Bin(l, x/n). Expected absorption times solve a
+// tridiagonal system in O(n).
+#ifndef BITSPREAD_MARKOV_BIRTH_DEATH_H_
+#define BITSPREAD_MARKOV_BIRTH_DEATH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/configuration.h"
+#include "core/protocol.h"
+
+namespace bitspread {
+
+class BirthDeathChain {
+ public:
+  BirthDeathChain(const MemorylessProtocol& protocol, std::uint64_t n,
+                  Opinion correct, std::uint64_t sources = 1);
+
+  std::uint64_t min_state() const noexcept {
+    return correct_ == Opinion::kOne ? sources_ : 0;
+  }
+  std::uint64_t max_state() const noexcept {
+    return correct_ == Opinion::kOne ? n_ : n_ - sources_;
+  }
+
+  // One-activation move probabilities from state x.
+  double up(std::uint64_t x) const;
+  double down(std::uint64_t x) const;
+
+  // Expected number of ACTIVATIONS to reach the correct consensus, from each
+  // state (indexed by x - min_state()). Divide by n for parallel rounds.
+  // Requires a Prop.-3-compliant protocol (otherwise the consensus is not
+  // absorbing and the question is ill-posed).
+  std::vector<double> expected_absorption_activations() const;
+
+  std::uint64_t n() const noexcept { return n_; }
+  std::uint64_t correct_consensus_state() const noexcept {
+    return correct_ == Opinion::kOne ? n_ : 0;
+  }
+
+ private:
+  const MemorylessProtocol* protocol_;
+  std::uint64_t n_;
+  Opinion correct_;
+  std::uint64_t sources_;
+};
+
+}  // namespace bitspread
+
+#endif  // BITSPREAD_MARKOV_BIRTH_DEATH_H_

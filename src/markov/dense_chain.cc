@@ -1,0 +1,49 @@
+#include "markov/dense_chain.h"
+
+#include <cassert>
+
+#include "random/binomial.h"
+
+namespace bitspread {
+
+DenseParallelChain::DenseParallelChain(const MemorylessProtocol& protocol,
+                                       std::uint64_t n, Opinion correct,
+                                       std::uint64_t sources)
+    : protocol_(&protocol), n_(n), correct_(correct), sources_(sources) {
+  assert(n_ > 0 && sources_ <= n_);
+}
+
+std::vector<double> DenseParallelChain::transition_row(std::uint64_t x) const {
+  assert(x >= min_state() && x <= max_state());
+  const Configuration config{n_, x, correct_, sources_};
+  const double p = config.fraction_ones();
+  const double p1 = protocol_->aggregate_adoption(Opinion::kOne, p, n_);
+  const double p0 = protocol_->aggregate_adoption(Opinion::kZero, p, n_);
+
+  const std::uint64_t ones = config.non_source_ones();
+  const std::uint64_t zeros = config.non_source_zeros();
+  const std::vector<double> pmf_ones = binomial_pmf(ones, p1);
+  const std::vector<double> pmf_zeros = binomial_pmf(zeros, p0);
+
+  std::vector<double> row(state_count(), 0.0);
+  const std::uint64_t base = config.source_ones();
+  for (std::uint64_t i = 0; i <= ones; ++i) {
+    if (pmf_ones[i] == 0.0) continue;
+    for (std::uint64_t j = 0; j <= zeros; ++j) {
+      const std::uint64_t next = base + i + j;
+      row[next - min_state()] += pmf_ones[i] * pmf_zeros[j];
+    }
+  }
+  return row;
+}
+
+double DenseParallelChain::row_mean(std::uint64_t x) const {
+  const std::vector<double> row = transition_row(x);
+  double mean = 0.0;
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    mean += row[i] * static_cast<double>(min_state() + i);
+  }
+  return mean;
+}
+
+}  // namespace bitspread

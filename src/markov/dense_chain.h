@@ -1,0 +1,65 @@
+// The exact parallel-round Markov chain on X_t, in dense form.
+//
+// For a memory-less protocol the parallel dynamics is the chain
+//   X' = [z sources] + Bin(#ns-ones, P_1(x/n)) + Bin(#ns-zeros, P_0(x/n)),
+// so row x of the transition matrix is the convolution of two binomial pmfs.
+// Building the full matrix costs O(n^3); it is meant for small n (<= ~300),
+// where it provides ground truth for the simulation engines and exact
+// expected absorption times (E10, E11).
+#ifndef BITSPREAD_MARKOV_DENSE_CHAIN_H_
+#define BITSPREAD_MARKOV_DENSE_CHAIN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/configuration.h"
+#include "core/protocol.h"
+
+namespace bitspread {
+
+class DenseParallelChain {
+ public:
+  // States are x = ones counts in [min_state(), max_state()] (the range the
+  // sources permit).
+  DenseParallelChain(const MemorylessProtocol& protocol, std::uint64_t n,
+                     Opinion correct, std::uint64_t sources = 1);
+
+  std::uint64_t n() const noexcept { return n_; }
+  Opinion correct() const noexcept { return correct_; }
+  std::uint64_t sources() const noexcept { return sources_; }
+
+  std::uint64_t min_state() const noexcept {
+    return correct_ == Opinion::kOne ? sources_ : 0;
+  }
+  std::uint64_t max_state() const noexcept {
+    return correct_ == Opinion::kOne ? n_ : n_ - sources_;
+  }
+  std::size_t state_count() const noexcept {
+    return static_cast<std::size_t>(max_state() - min_state()) + 1;
+  }
+
+  // Distribution of X_{t+1} given X_t = x, as a dense vector indexed by
+  // x' - min_state(). Exact (up to double round-off); sums to 1.
+  std::vector<double> transition_row(std::uint64_t x) const;
+
+  // E[X_{t+1} | X_t = x] from the exact row (tests compare this against
+  // core/problem.h's closed form and Proposition 5).
+  double row_mean(std::uint64_t x) const;
+
+  // The target absorbing state index (correct consensus).
+  std::uint64_t correct_consensus_state() const noexcept {
+    return correct_ == Opinion::kOne ? n_ : 0;
+  }
+
+  const MemorylessProtocol& protocol() const noexcept { return *protocol_; }
+
+ private:
+  const MemorylessProtocol* protocol_;
+  std::uint64_t n_;
+  Opinion correct_;
+  std::uint64_t sources_;
+};
+
+}  // namespace bitspread
+
+#endif  // BITSPREAD_MARKOV_DENSE_CHAIN_H_

@@ -1,0 +1,72 @@
+#include "markov/hitting.h"
+
+#include <cassert>
+
+#include "markov/linalg.h"
+
+namespace bitspread {
+
+std::vector<double> hitting_probabilities(
+    std::size_t state_count,
+    const std::function<std::vector<double>(std::size_t)>& row,
+    const std::vector<bool>& absorbing, const std::vector<bool>& target) {
+  assert(absorbing.size() == state_count);
+  assert(target.size() == state_count);
+
+  std::vector<std::size_t> transient_index(state_count, SIZE_MAX);
+  std::vector<std::size_t> transient_states;
+  for (std::size_t s = 0; s < state_count; ++s) {
+    assert(!target[s] || absorbing[s]);
+    if (!absorbing[s]) {
+      transient_index[s] = transient_states.size();
+      transient_states.push_back(s);
+    }
+  }
+  const std::size_t m = transient_states.size();
+
+  std::vector<double> probabilities(state_count, 0.0);
+  for (std::size_t s = 0; s < state_count; ++s) {
+    if (target[s]) probabilities[s] = 1.0;
+  }
+  if (m == 0) return probabilities;
+
+  // (I - Q) h = R * 1_target.
+  Matrix system(m, m, 0.0);
+  std::vector<double> rhs(m, 0.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    const std::vector<double> r = row(transient_states[i]);
+    assert(r.size() == state_count);
+    system.at(i, i) = 1.0;
+    for (std::size_t s = 0; s < state_count; ++s) {
+      if (absorbing[s]) {
+        if (target[s]) rhs[i] += r[s];
+      } else {
+        system.at(i, transient_index[s]) -= r[s];
+      }
+    }
+  }
+  const std::vector<double> h = solve_linear_system(std::move(system), rhs);
+  for (std::size_t i = 0; i < m; ++i) {
+    probabilities[transient_states[i]] = h[i];
+  }
+  return probabilities;
+}
+
+std::vector<double> consensus_one_probabilities(
+    const DenseParallelChain& chain) {
+  assert(chain.sources() == 0);
+  const std::size_t count = chain.state_count();
+  std::vector<bool> absorbing(count, false);
+  std::vector<bool> target(count, false);
+  absorbing.front() = true;  // x = 0.
+  absorbing.back() = true;   // x = n.
+  target.back() = true;
+  return hitting_probabilities(
+      count,
+      [&chain](std::size_t i) {
+        return chain.transition_row(chain.min_state() + i);
+      },
+      absorbing, target);
+}
+
+}  // namespace bitspread

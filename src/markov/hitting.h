@@ -1,0 +1,32 @@
+// Hitting probabilities for absorbing chains: which absorbing set wins?
+//
+// For source-less consensus runs both consensuses absorb, and the interesting
+// quantity is P(correct first | X_0 = x) — e.g. how big an initial majority
+// 3-majority needs to win w.h.p. Solved exactly via (I - Q) h = R * 1_A.
+#ifndef BITSPREAD_MARKOV_HITTING_H_
+#define BITSPREAD_MARKOV_HITTING_H_
+
+#include <functional>
+#include <vector>
+
+#include "markov/dense_chain.h"
+
+namespace bitspread {
+
+// Probability, from each state, of being absorbed in `target` (a subset of
+// `absorbing`) rather than in the other absorbing states. States in `target`
+// get 1, other absorbing states 0. The chain must reach `absorbing`
+// eventually from every transient state.
+std::vector<double> hitting_probabilities(
+    std::size_t state_count,
+    const std::function<std::vector<double>(std::size_t)>& row,
+    const std::vector<bool>& absorbing, const std::vector<bool>& target);
+
+// Source-less convenience: probability that a dense chain built with
+// sources = 0 reaches the all-ones consensus before all-zeros, from each
+// state. Requires a Prop.-3-compliant protocol (both consensuses absorbing).
+std::vector<double> consensus_one_probabilities(const DenseParallelChain& chain);
+
+}  // namespace bitspread
+
+#endif  // BITSPREAD_MARKOV_HITTING_H_

@@ -1,0 +1,82 @@
+#include "markov/linalg.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace bitspread {
+
+Matrix Matrix::identity(std::size_t size) {
+  Matrix m(size, size);
+  for (std::size_t i = 0; i < size; ++i) m.at(i, i) = 1.0;
+  return m;
+}
+
+std::vector<double> solve_linear_system(Matrix a, std::vector<double> b) {
+  const std::size_t n = a.rows();
+  assert(a.cols() == n);
+  assert(b.size() == n);
+
+  // Forward elimination with partial pivoting.
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    double best = std::abs(a.at(col, col));
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double candidate = std::abs(a.at(r, col));
+      if (candidate > best) {
+        best = candidate;
+        pivot = r;
+      }
+    }
+    assert(best > 0.0 && "singular matrix");
+    if (pivot != col) {
+      for (std::size_t c = col; c < n; ++c) {
+        std::swap(a.at(col, c), a.at(pivot, c));
+      }
+      std::swap(b[col], b[pivot]);
+    }
+    const double inv = 1.0 / a.at(col, col);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double factor = a.at(r, col) * inv;
+      if (factor == 0.0) continue;
+      a.at(r, col) = 0.0;
+      for (std::size_t c = col + 1; c < n; ++c) {
+        a.at(r, c) -= factor * a.at(col, c);
+      }
+      b[r] -= factor * b[col];
+    }
+  }
+
+  // Back substitution.
+  std::vector<double> x(n, 0.0);
+  for (std::size_t i = n; i-- > 0;) {
+    double acc = b[i];
+    for (std::size_t c = i + 1; c < n; ++c) acc -= a.at(i, c) * x[c];
+    x[i] = acc / a.at(i, i);
+  }
+  return x;
+}
+
+std::vector<double> solve_tridiagonal(std::vector<double> lower,
+                                      std::vector<double> diag,
+                                      std::vector<double> upper,
+                                      std::vector<double> rhs) {
+  const std::size_t n = diag.size();
+  assert(lower.size() == n && upper.size() == n && rhs.size() == n);
+  assert(n > 0);
+
+  for (std::size_t i = 1; i < n; ++i) {
+    assert(diag[i - 1] != 0.0);
+    const double w = lower[i] / diag[i - 1];
+    diag[i] -= w * upper[i - 1];
+    rhs[i] -= w * rhs[i - 1];
+  }
+  std::vector<double> x(n);
+  assert(diag[n - 1] != 0.0);
+  x[n - 1] = rhs[n - 1] / diag[n - 1];
+  for (std::size_t i = n - 1; i-- > 0;) {
+    x[i] = (rhs[i] - upper[i] * x[i + 1]) / diag[i];
+  }
+  return x;
+}
+
+}  // namespace bitspread

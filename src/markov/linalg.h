@@ -1,0 +1,49 @@
+// Minimal dense linear algebra: just enough to solve the absorbing-chain
+// systems (I - Q) t = b exactly, with no external dependency.
+#ifndef BITSPREAD_MARKOV_LINALG_H_
+#define BITSPREAD_MARKOV_LINALG_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace bitspread {
+
+// Row-major dense matrix.
+class Matrix {
+ public:
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  static Matrix identity(std::size_t size);
+
+  double& at(std::size_t r, std::size_t c) noexcept {
+    return data_[r * cols_ + c];
+  }
+  double at(std::size_t r, std::size_t c) const noexcept {
+    return data_[r * cols_ + c];
+  }
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<double> data_;
+};
+
+// Solves A x = b by Gaussian elimination with partial pivoting. A must be
+// square and nonsingular; returns the solution. O(n^3).
+std::vector<double> solve_linear_system(Matrix a, std::vector<double> b);
+
+// Solves the tridiagonal system with diagonals (lower, diag, upper) via the
+// Thomas algorithm. lower[0] and upper[n-1] are ignored. O(n). Used by the
+// sequential birth-death chain.
+std::vector<double> solve_tridiagonal(std::vector<double> lower,
+                                      std::vector<double> diag,
+                                      std::vector<double> upper,
+                                      std::vector<double> rhs);
+
+}  // namespace bitspread
+
+#endif  // BITSPREAD_MARKOV_LINALG_H_

@@ -1,0 +1,59 @@
+#include "markov/propagation.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace bitspread {
+
+std::vector<double> propagate(const DenseParallelChain& chain,
+                              const std::vector<double>& mu) {
+  const std::size_t count = chain.state_count();
+  assert(mu.size() == count);
+  std::vector<double> next(count, 0.0);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (mu[i] == 0.0) continue;
+    const std::vector<double> row =
+        chain.transition_row(chain.min_state() + i);
+    for (std::size_t j = 0; j < count; ++j) next[j] += mu[i] * row[j];
+  }
+  return next;
+}
+
+std::vector<double> distribution_after(const DenseParallelChain& chain,
+                                       std::uint64_t x0,
+                                       std::uint64_t rounds) {
+  std::vector<double> mu(chain.state_count(), 0.0);
+  assert(x0 >= chain.min_state() && x0 <= chain.max_state());
+  mu[x0 - chain.min_state()] = 1.0;
+  for (std::uint64_t t = 0; t < rounds; ++t) mu = propagate(chain, mu);
+  return mu;
+}
+
+std::vector<double> convergence_cdf(const DenseParallelChain& chain,
+                                    std::uint64_t x0, std::uint64_t horizon) {
+  // The target is absorbing for Prop.-3-compliant protocols, so the mass
+  // sitting on it IS P(tau <= t). (For non-compliant protocols the target
+  // leaks and this function is not meaningful; callers check Prop. 3.)
+  const std::size_t target =
+      chain.correct_consensus_state() - chain.min_state();
+  std::vector<double> mu(chain.state_count(), 0.0);
+  mu[x0 - chain.min_state()] = 1.0;
+  std::vector<double> cdf;
+  cdf.reserve(horizon + 1);
+  cdf.push_back(mu[target]);
+  for (std::uint64_t t = 0; t < horizon; ++t) {
+    mu = propagate(chain, mu);
+    cdf.push_back(mu[target]);
+  }
+  return cdf;
+}
+
+double total_variation(const std::vector<double>& a,
+                       const std::vector<double>& b) {
+  assert(a.size() == b.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += std::abs(a[i] - b[i]);
+  return 0.5 * acc;
+}
+
+}  // namespace bitspread

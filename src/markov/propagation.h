@@ -1,0 +1,36 @@
+// Exact distribution propagation: evolve the full law of X_t round by round.
+//
+// For small n the dense chain lets us compute the exact distribution of X_t
+// and hence the exact CDF of the convergence time, P(tau <= t) — turning
+// "w.h.p." statements into computable numbers instead of sampled estimates
+// (used by tests and bench_exact_vs_sim's tail checks).
+#ifndef BITSPREAD_MARKOV_PROPAGATION_H_
+#define BITSPREAD_MARKOV_PROPAGATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "markov/dense_chain.h"
+
+namespace bitspread {
+
+// One exact round: mu' = mu P. `mu` is indexed by x - min_state().
+std::vector<double> propagate(const DenseParallelChain& chain,
+                              const std::vector<double>& mu);
+
+// The law of X_t after `rounds` rounds from the point mass at x0.
+std::vector<double> distribution_after(const DenseParallelChain& chain,
+                                       std::uint64_t x0, std::uint64_t rounds);
+
+// Exact convergence-time CDF: entry t is P(tau <= t | X_0 = x0), for
+// t = 0..horizon, where tau is the first hit of the correct consensus.
+std::vector<double> convergence_cdf(const DenseParallelChain& chain,
+                                    std::uint64_t x0, std::uint64_t horizon);
+
+// Total variation distance between two distributions on the same support.
+double total_variation(const std::vector<double>& a,
+                       const std::vector<double>& b);
+
+}  // namespace bitspread
+
+#endif  // BITSPREAD_MARKOV_PROPAGATION_H_

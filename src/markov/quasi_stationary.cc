@@ -1,0 +1,98 @@
+#include "markov/quasi_stationary.h"
+
+#include <cassert>
+#include <cmath>
+#include <functional>
+
+namespace bitspread {
+
+double QuasiStationary::mean() const noexcept {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < distribution.size(); ++i) {
+    acc += distribution[i] * static_cast<double>(i);
+  }
+  return acc;
+}
+
+double QuasiStationary::stddev() const noexcept {
+  const double m = mean();
+  double acc = 0.0;
+  for (std::size_t i = 0; i < distribution.size(); ++i) {
+    const double d = static_cast<double>(i) - m;
+    acc += distribution[i] * d * d;
+  }
+  return std::sqrt(acc);
+}
+
+QuasiStationary quasi_stationary_distribution(
+    std::size_t state_count,
+    const std::function<std::vector<double>(std::size_t)>& row,
+    const std::vector<bool>& absorbing, int max_iterations, double tolerance) {
+  assert(absorbing.size() == state_count);
+
+  // Materialize the transient submatrix once (power iteration touches it
+  // many times).
+  std::vector<std::size_t> transient;
+  std::vector<std::size_t> index(state_count, SIZE_MAX);
+  for (std::size_t s = 0; s < state_count; ++s) {
+    if (!absorbing[s]) {
+      index[s] = transient.size();
+      transient.push_back(s);
+    }
+  }
+  const std::size_t m = transient.size();
+  QuasiStationary result;
+  result.distribution.assign(state_count, 0.0);
+  if (m == 0) return result;
+
+  std::vector<double> q(m * m, 0.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    const std::vector<double> r = row(transient[i]);
+    for (std::size_t s = 0; s < state_count; ++s) {
+      if (!absorbing[s]) q[i * m + index[s]] = r[s];
+    }
+  }
+
+  // Left eigenvector: v <- v Q, renormalized in L1; the normalization factor
+  // converges to lambda.
+  std::vector<double> v(m, 1.0 / static_cast<double>(m));
+  std::vector<double> next(m, 0.0);
+  double lambda_prev = 0.0;
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    std::fill(next.begin(), next.end(), 0.0);
+    for (std::size_t i = 0; i < m; ++i) {
+      const double vi = v[i];
+      if (vi == 0.0) continue;
+      const double* qi = &q[i * m];
+      for (std::size_t j = 0; j < m; ++j) next[j] += vi * qi[j];
+    }
+    double mass = 0.0;
+    for (const double x : next) mass += x;
+    assert(mass > 0.0);
+    for (std::size_t j = 0; j < m; ++j) v[j] = next[j] / mass;
+    result.iterations = iter + 1;
+    if (std::abs(mass - lambda_prev) < tolerance) {
+      result.lambda = mass;
+      break;
+    }
+    lambda_prev = mass;
+    result.lambda = mass;
+  }
+  for (std::size_t i = 0; i < m; ++i) result.distribution[transient[i]] = v[i];
+  return result;
+}
+
+QuasiStationary quasi_stationary_distribution(
+    const DenseParallelChain& chain) {
+  const std::size_t count = chain.state_count();
+  std::vector<bool> absorbing(count, false);
+  absorbing[chain.correct_consensus_state() - chain.min_state()] = true;
+  return quasi_stationary_distribution(
+      count,
+      [&chain](std::size_t i) {
+        return chain.transition_row(chain.min_state() + i);
+      },
+      absorbing);
+}
+
+}  // namespace bitspread

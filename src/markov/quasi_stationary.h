@@ -1,0 +1,54 @@
+// Quasi-stationary analysis: the shape and strength of the Theorem 1 trap.
+//
+// For a Case 1/2 protocol with constant l the chain spends an eternity near
+// its stable mixed state before an exponentially rare fluctuation carries it
+// to consensus. The quasi-stationary distribution (QSD) is the left Perron
+// eigenvector of the transition matrix restricted to the transient states,
+// and its eigenvalue lambda < 1 gives the escape rate: conditional on not
+// having been absorbed, one more round absorbs with probability 1 - lambda,
+// so the expected absorption time from quasi-stationarity is 1/(1 - lambda).
+// bench_minority_trap (E17) uses this to show the censored cells of E2 hide
+// genuinely exponential times.
+#ifndef BITSPREAD_MARKOV_QUASI_STATIONARY_H_
+#define BITSPREAD_MARKOV_QUASI_STATIONARY_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "markov/dense_chain.h"
+
+namespace bitspread {
+
+struct QuasiStationary {
+  // Distribution over state indices 0..state_count-1 (zero on absorbing
+  // states), normalized to sum 1 over the transient states.
+  std::vector<double> distribution;
+  // Perron eigenvalue of the transient submatrix; escape rate = 1 - lambda.
+  double lambda = 0.0;
+  int iterations = 0;
+
+  double expected_escape_rounds() const noexcept {
+    return lambda < 1.0 ? 1.0 / (1.0 - lambda) : 0.0;
+  }
+  // Mean and standard deviation of the state under the QSD.
+  double mean() const noexcept;
+  double stddev() const noexcept;
+};
+
+// Power iteration of the transposed transient submatrix; `absorbing` flags
+// which states are removed. Converges geometrically at the spectral-gap
+// rate; `tolerance` is on the eigenvalue estimate between sweeps.
+QuasiStationary quasi_stationary_distribution(
+    std::size_t state_count,
+    const std::function<std::vector<double>(std::size_t)>& row,
+    const std::vector<bool>& absorbing, int max_iterations = 20000,
+    double tolerance = 1e-13);
+
+// Convenience for the dense parallel chain: absorbing = the correct
+// consensus; indices are x - min_state().
+QuasiStationary quasi_stationary_distribution(const DenseParallelChain& chain);
+
+}  // namespace bitspread
+
+#endif  // BITSPREAD_MARKOV_QUASI_STATIONARY_H_

@@ -1,0 +1,19 @@
+#include "markov/worst_case.h"
+
+#include "markov/absorption.h"
+
+namespace bitspread {
+
+WorstInitialState worst_initial_state(const DenseParallelChain& chain) {
+  const auto times = expected_convergence_rounds(chain);
+  WorstInitialState worst;
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    if (times[i] > worst.expected_rounds) {
+      worst.expected_rounds = times[i];
+      worst.state = chain.min_state() + i;
+    }
+  }
+  return worst;
+}
+
+}  // namespace bitspread

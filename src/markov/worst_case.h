@@ -1,0 +1,25 @@
+// Adversarial initial-state search.
+//
+// Self-stabilization quantifies over initial configurations; for small n the
+// dense chain lets us find the TRUE worst start exactly — argmax over x of
+// the expected convergence time — instead of guessing (all-wrong, balanced,
+// ...). Used by tests and by experiment setup sanity checks.
+#ifndef BITSPREAD_MARKOV_WORST_CASE_H_
+#define BITSPREAD_MARKOV_WORST_CASE_H_
+
+#include <cstdint>
+
+#include "markov/dense_chain.h"
+
+namespace bitspread {
+
+struct WorstInitialState {
+  std::uint64_t state = 0;       // The x with maximal expected time.
+  double expected_rounds = 0.0;  // Its exact expected convergence time.
+};
+
+WorstInitialState worst_initial_state(const DenseParallelChain& chain);
+
+}  // namespace bitspread
+
+#endif  // BITSPREAD_MARKOV_WORST_CASE_H_

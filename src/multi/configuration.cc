@@ -1,0 +1,34 @@
+#include "multi/configuration.h"
+
+#include <cassert>
+#include <sstream>
+
+namespace bitspread {
+
+std::string MultiConfiguration::describe() const {
+  std::ostringstream out;
+  out << "MultiConfiguration{counts=[";
+  for (std::size_t j = 0; j < counts.size(); ++j) {
+    out << (j == 0 ? "" : ",") << counts[j];
+  }
+  out << "], correct=" << correct << ", sources=" << sources << "}";
+  return out.str();
+}
+
+MultiConfiguration embed_binary(std::uint64_t n, std::uint64_t ones,
+                                std::uint32_t correct,
+                                std::uint32_t opinion_count,
+                                std::uint64_t sources) {
+  assert(opinion_count >= 2);
+  assert(ones <= n);
+  MultiConfiguration config;
+  config.counts.assign(opinion_count, 0);
+  config.counts[0] = n - ones;
+  config.counts[1] = ones;
+  config.correct = correct;
+  config.sources = sources;
+  assert(config.valid());
+  return config;
+}
+
+}  // namespace bitspread

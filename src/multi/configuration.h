@@ -1,0 +1,66 @@
+// Multi-opinion configurations (the footnote-2 generalization).
+//
+// The paper notes Theorem 1 extends to more than two opinions, provided
+// agents never adopt an opinion they have not seen or held (otherwise extra
+// opinions are covert extra communication). With anonymous memory-less
+// agents, the state is the histogram of opinion counts plus the sources'
+// opinion.
+#ifndef BITSPREAD_MULTI_CONFIGURATION_H_
+#define BITSPREAD_MULTI_CONFIGURATION_H_
+
+#include <cstdint>
+#include <numeric>
+#include <string>
+#include <vector>
+
+namespace bitspread {
+
+struct MultiConfiguration {
+  std::vector<std::uint64_t> counts;  // counts[j] agents hold opinion j.
+  std::uint32_t correct = 0;          // The sources' opinion index.
+  std::uint64_t sources = 1;          // All sources hold `correct`.
+
+  std::uint64_t n() const noexcept {
+    return std::accumulate(counts.begin(), counts.end(), std::uint64_t{0});
+  }
+  std::uint32_t opinion_count() const noexcept {
+    return static_cast<std::uint32_t>(counts.size());
+  }
+
+  bool valid() const noexcept {
+    if (counts.empty() || correct >= counts.size()) return false;
+    if (n() == 0) return false;
+    return counts[correct] >= sources;
+  }
+
+  std::uint64_t non_source_count(std::uint32_t opinion) const noexcept {
+    return counts[opinion] - (opinion == correct ? sources : 0);
+  }
+
+  bool is_consensus() const noexcept {
+    const std::uint64_t total = n();
+    for (const std::uint64_t c : counts) {
+      if (c == total) return true;
+    }
+    return false;
+  }
+  bool is_correct_consensus() const noexcept {
+    return counts[correct] == n();
+  }
+
+  double fraction(std::uint32_t opinion) const noexcept {
+    return static_cast<double>(counts[opinion]) / static_cast<double>(n());
+  }
+
+  std::string describe() const;
+};
+
+// The binary embedding: a paper Configuration as a 2-opinion multi config.
+MultiConfiguration embed_binary(std::uint64_t n, std::uint64_t ones,
+                                std::uint32_t correct,
+                                std::uint32_t opinion_count = 2,
+                                std::uint64_t sources = 1);
+
+}  // namespace bitspread
+
+#endif  // BITSPREAD_MULTI_CONFIGURATION_H_

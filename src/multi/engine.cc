@@ -1,0 +1,163 @@
+#include "multi/engine.h"
+
+#include <cassert>
+
+#include "random/multinomial.h"
+
+namespace bitspread {
+namespace {
+
+std::optional<StopReason> evaluate_multi_stop(const MultiStopRule& rule,
+                                              const MultiConfiguration& c) {
+  if (c.is_correct_consensus()) return StopReason::kCorrectConsensus;
+  if (rule.stop_on_any_consensus && c.is_consensus()) {
+    return StopReason::kWrongConsensus;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::vector<double> MultiAggregateEngine::adoption_distribution(
+    std::uint32_t own, const MultiConfiguration& config) const {
+  const std::uint32_t m = config.opinion_count();
+  const std::uint64_t n = config.n();
+  const std::uint32_t ell = protocol_->sample_size(n);
+  assert(ell <= 12 && m <= 6 &&
+         "exact enumeration is for the constant-l regime");
+
+  std::vector<double> fractions(m);
+  for (std::uint32_t j = 0; j < m; ++j) fractions[j] = config.fraction(j);
+
+  std::vector<double> q(m, 0.0);
+  std::vector<double> out(m);
+  for_each_histogram(m, ell, [&](std::span<const std::uint32_t> histogram) {
+    const double weight = histogram_probability(histogram, fractions);
+    if (weight == 0.0) return;
+    protocol_->adoption_distribution(own, histogram, ell, n, out);
+    for (std::uint32_t j = 0; j < m; ++j) q[j] += weight * out[j];
+  });
+  return q;
+}
+
+MultiConfiguration MultiAggregateEngine::step(const MultiConfiguration& config,
+                                              Rng& rng) const {
+  assert(config.valid());
+  const std::uint32_t m = config.opinion_count();
+  MultiConfiguration next = config;
+  next.counts.assign(m, 0);
+  next.counts[config.correct] = config.sources;
+
+  for (std::uint32_t own = 0; own < m; ++own) {
+    const std::uint64_t movers = config.non_source_count(own);
+    if (movers == 0) continue;
+    const std::vector<double> q = adoption_distribution(own, config);
+    const std::vector<std::uint64_t> landed = multinomial(rng, movers, q);
+    for (std::uint32_t j = 0; j < m; ++j) next.counts[j] += landed[j];
+  }
+  return next;
+}
+
+MultiRunResult MultiAggregateEngine::run(MultiConfiguration config,
+                                         const MultiStopRule& rule,
+                                         Rng& rng) const {
+  MultiRunResult result;
+  for (std::uint64_t round = 0;; ++round) {
+    if (auto reason = evaluate_multi_stop(rule, config)) {
+      result.reason = *reason;
+      result.rounds = round;
+      break;
+    }
+    if (round >= rule.max_rounds) {
+      result.reason = StopReason::kRoundLimit;
+      result.rounds = round;
+      break;
+    }
+    config = step(config, rng);
+  }
+  result.final_config = std::move(config);
+  return result;
+}
+
+MultiConfiguration MultiAgentEngine::Population::config() const {
+  MultiConfiguration result;
+  result.counts.assign(opinion_count, 0);
+  for (const std::uint32_t opinion : opinions) ++result.counts[opinion];
+  result.correct = correct;
+  result.sources = sources;
+  return result;
+}
+
+MultiAgentEngine::Population MultiAgentEngine::make_population(
+    const MultiConfiguration& config) const {
+  assert(config.valid());
+  Population population;
+  population.correct = config.correct;
+  population.sources = config.sources;
+  population.opinion_count = config.opinion_count();
+  population.opinions.reserve(config.n());
+  for (std::uint64_t i = 0; i < config.sources; ++i) {
+    population.opinions.push_back(config.correct);
+  }
+  for (std::uint32_t j = 0; j < config.opinion_count(); ++j) {
+    for (std::uint64_t i = 0; i < config.non_source_count(j); ++i) {
+      population.opinions.push_back(j);
+    }
+  }
+  return population;
+}
+
+void MultiAgentEngine::step(Population& population, Rng& rng) const {
+  const std::uint64_t n = population.opinions.size();
+  const std::uint32_t m = population.opinion_count;
+  const std::uint32_t ell = protocol_->sample_size(n);
+  const std::vector<std::uint32_t> snapshot(population.opinions);
+
+  std::vector<std::uint32_t> histogram(m);
+  std::vector<double> distribution(m);
+  for (std::uint64_t i = population.sources; i < n; ++i) {
+    std::fill(histogram.begin(), histogram.end(), 0u);
+    for (std::uint32_t s = 0; s < ell; ++s) {
+      ++histogram[snapshot[rng.next_below(n)]];
+    }
+    protocol_->adoption_distribution(population.opinions[i], histogram, ell,
+                                     n, distribution);
+    // Inverse-CDF draw over the m opinions.
+    double u = rng.next_double();
+    std::uint32_t next = m - 1;
+    for (std::uint32_t j = 0; j < m; ++j) {
+      if (u < distribution[j]) {
+        next = j;
+        break;
+      }
+      u -= distribution[j];
+    }
+    population.opinions[i] = next;
+  }
+}
+
+MultiRunResult MultiAgentEngine::run(MultiConfiguration config,
+                                     const MultiStopRule& rule,
+                                     Rng& rng) const {
+  Population population = make_population(config);
+  MultiRunResult result;
+  MultiConfiguration current = population.config();
+  for (std::uint64_t round = 0;; ++round) {
+    if (auto reason = evaluate_multi_stop(rule, current)) {
+      result.reason = *reason;
+      result.rounds = round;
+      break;
+    }
+    if (round >= rule.max_rounds) {
+      result.reason = StopReason::kRoundLimit;
+      result.rounds = round;
+      break;
+    }
+    step(population, rng);
+    current = population.config();
+  }
+  result.final_config = std::move(current);
+  return result;
+}
+
+}  // namespace bitspread

@@ -1,0 +1,69 @@
+// Multi-opinion memory-less protocols.
+//
+// The behavioral rule generalizes g_n^[b](k): given the agent's own opinion
+// and the HISTOGRAM of opinions in its l-sample, the protocol returns a
+// distribution over the next opinion. The paper's footnote-2 constraint —
+// never adopt an opinion that is neither in the sample nor currently held —
+// is checkable via respects_no_spontaneous_adoption().
+#ifndef BITSPREAD_MULTI_PROTOCOL_H_
+#define BITSPREAD_MULTI_PROTOCOL_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/sample_size.h"
+
+namespace bitspread {
+
+class MultiOpinionProtocol {
+ public:
+  MultiOpinionProtocol(std::uint32_t opinion_count,
+                       SampleSizePolicy policy) noexcept
+      : opinion_count_(opinion_count), policy_(policy) {}
+  virtual ~MultiOpinionProtocol() = default;
+
+  MultiOpinionProtocol(const MultiOpinionProtocol&) = default;
+  MultiOpinionProtocol& operator=(const MultiOpinionProtocol&) = delete;
+
+  std::uint32_t opinion_count() const noexcept { return opinion_count_; }
+  std::uint32_t sample_size(std::uint64_t n) const noexcept {
+    return policy_.sample_size(n);
+  }
+  const SampleSizePolicy& policy() const noexcept { return policy_; }
+
+  // Fills `out` (size opinion_count) with the adoption distribution given
+  // the agent's own opinion and the sample histogram (sums to l). `out`
+  // must sum to 1.
+  virtual void adoption_distribution(std::uint32_t own,
+                                     std::span<const std::uint32_t> histogram,
+                                     std::uint32_t ell, std::uint64_t n,
+                                     std::span<double> out) const = 0;
+
+  virtual std::string name() const = 0;
+
+  // Footnote 2: checks (by enumerating histograms; constant-l only) that no
+  // probability mass ever lands on an opinion absent from sample + own.
+  bool respects_no_spontaneous_adoption(std::uint64_t n) const;
+
+ private:
+  std::uint32_t opinion_count_;
+  SampleSizePolicy policy_;
+};
+
+// Enumerates all histograms of `ell` samples over `opinions` categories and
+// invokes visit(histogram). Count is C(ell + opinions - 1, opinions - 1).
+void for_each_histogram(
+    std::uint32_t opinions, std::uint32_t ell,
+    const std::function<void(std::span<const std::uint32_t>)>& visit);
+
+// Probability of observing `histogram` when opinion j is sampled with
+// probability fractions[j], l times with replacement (multinomial pmf).
+double histogram_probability(std::span<const std::uint32_t> histogram,
+                             std::span<const double> fractions);
+
+}  // namespace bitspread
+
+#endif  // BITSPREAD_MULTI_PROTOCOL_H_

@@ -1,0 +1,45 @@
+#include "multi/protocols.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace bitspread {
+
+void MultiVoter::adoption_distribution(std::uint32_t /*own*/,
+                                       std::span<const std::uint32_t> histogram,
+                                       std::uint32_t ell, std::uint64_t /*n*/,
+                                       std::span<double> out) const {
+  assert(histogram.size() == out.size());
+  for (std::size_t j = 0; j < out.size(); ++j) {
+    out[j] = static_cast<double>(histogram[j]) / static_cast<double>(ell);
+  }
+}
+
+std::string MultiVoter::name() const {
+  return "multi-voter(m=" + std::to_string(opinion_count()) + ")";
+}
+
+void MultiMinority::adoption_distribution(
+    std::uint32_t /*own*/, std::span<const std::uint32_t> histogram,
+    std::uint32_t /*ell*/, std::uint64_t /*n*/, std::span<double> out) const {
+  assert(histogram.size() == out.size());
+  std::fill(out.begin(), out.end(), 0.0);
+  // Rarest PRESENT opinion; unanimity (only one present) adopts it.
+  std::uint32_t rarest = std::numeric_limits<std::uint32_t>::max();
+  for (const std::uint32_t k : histogram) {
+    if (k > 0) rarest = std::min(rarest, k);
+  }
+  std::uint32_t tie_count = 0;
+  for (const std::uint32_t k : histogram) tie_count += (k == rarest);
+  for (std::size_t j = 0; j < out.size(); ++j) {
+    if (histogram[j] == rarest) out[j] = 1.0 / tie_count;
+  }
+}
+
+std::string MultiMinority::name() const {
+  return "multi-minority(m=" + std::to_string(opinion_count()) + "," +
+         policy().describe() + ")";
+}
+
+}  // namespace bitspread

@@ -1,0 +1,47 @@
+// Concrete multi-opinion dynamics: the k-opinion Voter and Minority.
+#ifndef BITSPREAD_MULTI_PROTOCOLS_H_
+#define BITSPREAD_MULTI_PROTOCOLS_H_
+
+#include "multi/protocol.h"
+
+namespace bitspread {
+
+// Adopt the opinion of one uniformly random sample: P(next = j) = k_j / l.
+// The straight generalization of Protocol 1.
+class MultiVoter final : public MultiOpinionProtocol {
+ public:
+  explicit MultiVoter(std::uint32_t opinion_count,
+                      std::uint32_t ell = 1) noexcept
+      : MultiOpinionProtocol(opinion_count,
+                             SampleSizePolicy::constant(ell)) {}
+
+  void adoption_distribution(std::uint32_t own,
+                             std::span<const std::uint32_t> histogram,
+                             std::uint32_t ell, std::uint64_t n,
+                             std::span<double> out) const override;
+
+  std::string name() const override;
+};
+
+// Adopt the rarest opinion PRESENT in the sample (ties broken u.a.r.);
+// a unanimous sample is adopted as-is. Restricting to two active opinions
+// recovers Protocol 2 exactly (the tie at k = l/2 becomes the coin flip).
+class MultiMinority final : public MultiOpinionProtocol {
+ public:
+  explicit MultiMinority(std::uint32_t opinion_count,
+                         SampleSizePolicy policy) noexcept
+      : MultiOpinionProtocol(opinion_count, policy) {}
+  MultiMinority(std::uint32_t opinion_count, std::uint32_t ell) noexcept
+      : MultiMinority(opinion_count, SampleSizePolicy::constant(ell)) {}
+
+  void adoption_distribution(std::uint32_t own,
+                             std::span<const std::uint32_t> histogram,
+                             std::uint32_t ell, std::uint64_t n,
+                             std::span<double> out) const override;
+
+  std::string name() const override;
+};
+
+}  // namespace bitspread
+
+#endif  // BITSPREAD_MULTI_PROTOCOLS_H_

@@ -1,0 +1,83 @@
+#include "population/engine.h"
+
+#include <cassert>
+
+namespace bitspread {
+
+std::uint64_t PopulationEngine::Population::count_ones(
+    const PairwiseProtocol& protocol) const noexcept {
+  std::uint64_t ones = 0;
+  for (const std::uint32_t state : states) {
+    ones += to_int(protocol.opinion(state));
+  }
+  return ones;
+}
+
+PopulationEngine::Population PopulationEngine::make_population(
+    std::uint64_t n, Opinion correct, std::uint64_t initial_ones,
+    std::uint64_t sources) const {
+  assert(sources <= n);
+  Population population;
+  population.sources = sources;
+  population.correct = correct;
+  population.states.reserve(n);
+  const std::uint64_t source_ones = correct == Opinion::kOne ? sources : 0;
+  assert(initial_ones >= source_ones &&
+         initial_ones - source_ones <= n - sources);
+  for (std::uint64_t i = 0; i < sources; ++i) {
+    population.states.push_back(protocol_->source_state(correct));
+  }
+  for (std::uint64_t i = 0; i < initial_ones - source_ones; ++i) {
+    population.states.push_back(protocol_->initial_state(Opinion::kOne));
+  }
+  for (std::uint64_t i = sources + (initial_ones - source_ones); i < n; ++i) {
+    population.states.push_back(protocol_->initial_state(Opinion::kZero));
+  }
+  return population;
+}
+
+void PopulationEngine::interact(Population& population, Rng& rng) const {
+  const std::uint64_t n = population.states.size();
+  assert(n >= 2);
+  const std::uint64_t a = rng.next_below(n);
+  std::uint64_t b = rng.next_below(n - 1);
+  if (b >= a) ++b;
+  const auto [next_a, next_b] =
+      protocol_->interact(population.states[a], population.states[b], rng);
+  if (a >= population.sources) population.states[a] = next_a;
+  if (b >= population.sources) population.states[b] = next_b;
+}
+
+SequentialRunResult PopulationEngine::run(Population& population,
+                                          const StopRule& rule,
+                                          Rng& rng) const {
+  const std::uint64_t n = population.states.size();
+  const std::uint64_t max_interactions = rule.max_rounds * n;
+  SequentialRunResult result;
+  std::uint64_t interactions = 0;
+  while (true) {
+    // Check the display configuration (count is O(n): amortize by checking
+    // once per parallel round).
+    const std::uint64_t ones = population.count_ones(*protocol_);
+    const Configuration config{n, ones, population.correct,
+                               population.sources};
+    if (auto reason = evaluate_stop(rule, config)) {
+      result.reason = *reason;
+      result.final_config = config;
+      break;
+    }
+    if (interactions >= max_interactions) {
+      result.reason = StopReason::kRoundLimit;
+      result.final_config = config;
+      break;
+    }
+    for (std::uint64_t i = 0; i < n && interactions < max_interactions; ++i) {
+      interact(population, rng);
+      ++interactions;
+    }
+  }
+  result.activations = interactions;
+  return result;
+}
+
+}  // namespace bitspread

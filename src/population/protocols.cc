@@ -1,0 +1,20 @@
+#include "population/protocols.h"
+
+namespace bitspread {
+
+std::pair<std::uint32_t, std::uint32_t> EpidemicProtocol::interact(
+    std::uint32_t initiator, std::uint32_t responder, Rng& /*rng*/) const {
+  const bool a_informed = (initiator & kInformedBit) != 0;
+  const bool b_informed = (responder & kInformedBit) != 0;
+  if (a_informed && !b_informed) return {initiator, initiator};
+  if (b_informed && !a_informed) return {responder, responder};
+  return {initiator, responder};  // Both or neither informed: no change.
+}
+
+std::pair<std::uint32_t, std::uint32_t> PairwiseVoter::interact(
+    std::uint32_t /*initiator*/, std::uint32_t responder,
+    Rng& /*rng*/) const {
+  return {responder, responder};
+}
+
+}  // namespace bitspread

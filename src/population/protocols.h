@@ -1,0 +1,68 @@
+// Concrete pairwise (population-protocol) dynamics.
+#ifndef BITSPREAD_POPULATION_PROTOCOLS_H_
+#define BITSPREAD_POPULATION_PROTOCOLS_H_
+
+#include "population/engine.h"
+
+namespace bitspread {
+
+// Epidemic bit-dissemination with one extra "informed" bit (2 states per
+// opinion): an informed agent stamps its opinion and informed-ness onto any
+// partner. Spreads from the (informed) source in Theta(log n) parallel time
+// — the textbook demonstration that ACTIVE communication trivializes the
+// problem the paper proves hard under passive communication. NOT
+// self-stabilizing: an adversary may plant falsely-"informed" agents with
+// the wrong opinion (exposed as a constructor flag so experiments can show
+// exactly that failure; the full machinery of Dudek & Kosowski [22] exists
+// to repair it, at the cost the paper describes).
+class EpidemicProtocol final : public PairwiseProtocol {
+ public:
+  // States: bit 0 = opinion, bit 1 = informed.
+  static constexpr std::uint32_t kInformedBit = 2;
+
+  std::uint32_t state_count() const noexcept override { return 4; }
+
+  std::pair<std::uint32_t, std::uint32_t> interact(
+      std::uint32_t initiator, std::uint32_t responder,
+      Rng& rng) const override;
+
+  Opinion opinion(std::uint32_t state) const noexcept override {
+    return opinion_from(static_cast<int>(state & 1u));
+  }
+  std::uint32_t initial_state(Opinion opinion) const noexcept override {
+    return static_cast<std::uint32_t>(to_int(opinion));  // Uninformed.
+  }
+  std::uint32_t source_state(Opinion correct) const noexcept override {
+    return static_cast<std::uint32_t>(to_int(correct)) | kInformedBit;
+  }
+
+  std::string name() const override { return "epidemic(informed-bit)"; }
+};
+
+// The pairwise Voter: the initiator adopts the responder's opinion. The
+// population-protocol rendering of Protocol 1 (passive-equivalent content:
+// only the opinion is used), as a like-for-like baseline for the engine.
+class PairwiseVoter final : public PairwiseProtocol {
+ public:
+  std::uint32_t state_count() const noexcept override { return 2; }
+
+  std::pair<std::uint32_t, std::uint32_t> interact(
+      std::uint32_t initiator, std::uint32_t responder,
+      Rng& rng) const override;
+
+  Opinion opinion(std::uint32_t state) const noexcept override {
+    return opinion_from(static_cast<int>(state));
+  }
+  std::uint32_t initial_state(Opinion opinion) const noexcept override {
+    return static_cast<std::uint32_t>(to_int(opinion));
+  }
+  std::uint32_t source_state(Opinion correct) const noexcept override {
+    return static_cast<std::uint32_t>(to_int(correct));
+  }
+
+  std::string name() const override { return "pairwise-voter"; }
+};
+
+}  // namespace bitspread
+
+#endif  // BITSPREAD_POPULATION_PROTOCOLS_H_

@@ -1,0 +1,53 @@
+#include "protocols/custom.h"
+
+#include <cassert>
+#include <utility>
+
+namespace bitspread {
+namespace {
+
+void check_table(const std::vector<double>& table) {
+  assert(!table.empty());
+  for (const double v : table) {
+    assert(v >= 0.0 && v <= 1.0);
+    (void)v;
+  }
+}
+
+}  // namespace
+
+CustomProtocol::CustomProtocol(std::vector<double> g_zero,
+                               std::vector<double> g_one, std::string label)
+    : MemorylessProtocol(SampleSizePolicy::constant(
+          static_cast<std::uint32_t>(g_zero.size() - 1))),
+      g_zero_(std::move(g_zero)),
+      g_one_(std::move(g_one)),
+      label_(std::move(label)) {
+  check_table(g_zero_);
+  check_table(g_one_);
+  assert(g_zero_.size() == g_one_.size());
+}
+
+CustomProtocol::CustomProtocol(std::vector<double> g_both, std::string label)
+    : CustomProtocol(g_both, g_both, std::move(label)) {}
+
+double CustomProtocol::g(Opinion own, std::uint32_t ones_seen,
+                         std::uint32_t /*ell*/,
+                         std::uint64_t /*n*/) const noexcept {
+  const auto& table = own == Opinion::kOne ? g_one_ : g_zero_;
+  return table[ones_seen];
+}
+
+CustomProtocol random_protocol(Rng& rng, std::uint32_t ell,
+                               bool force_proposition3) {
+  std::vector<double> g_zero(ell + 1), g_one(ell + 1);
+  for (auto& v : g_zero) v = rng.next_double();
+  for (auto& v : g_one) v = rng.next_double();
+  if (force_proposition3) {
+    g_zero[0] = 0.0;
+    g_one[ell] = 1.0;
+  }
+  return CustomProtocol(std::move(g_zero), std::move(g_one), "random");
+}
+
+}  // namespace bitspread

@@ -1,0 +1,55 @@
+// Table-driven protocols: arbitrary g_n^[b] given as explicit vectors.
+//
+// This is the "any imaginable protocol within the constraints of the setting"
+// escape hatch: the lower bound (Theorem 1) quantifies over ALL g-families,
+// and the analysis/benchmark code exercises random and hand-crafted tables
+// through this class. For constant sample size the g tables cannot depend on
+// n in an interesting way for a fixed instance, which matches the paper's
+// regime; n-dependent families can be expressed with a factory callback.
+#ifndef BITSPREAD_PROTOCOLS_CUSTOM_H_
+#define BITSPREAD_PROTOCOLS_CUSTOM_H_
+
+#include <functional>
+#include <vector>
+
+#include "core/protocol.h"
+#include "random/rng.h"
+
+namespace bitspread {
+
+class CustomProtocol final : public MemorylessProtocol {
+ public:
+  // g_zero[k] (resp. g_one[k]) = probability of adopting 1 after seeing k
+  // ones, for an agent with own opinion 0 (resp. 1). Both must have size
+  // ell + 1 with entries in [0, 1].
+  CustomProtocol(std::vector<double> g_zero, std::vector<double> g_one,
+                 std::string label = "custom");
+
+  // Oblivious variant: same table regardless of the own opinion.
+  CustomProtocol(std::vector<double> g_both, std::string label = "custom");
+
+  double g(Opinion own, std::uint32_t ones_seen, std::uint32_t ell,
+           std::uint64_t n) const noexcept override;
+
+  std::string name() const override { return label_; }
+
+  std::uint32_t ell() const noexcept {
+    return static_cast<std::uint32_t>(g_zero_.size() - 1);
+  }
+
+ private:
+  std::vector<double> g_zero_;
+  std::vector<double> g_one_;
+  std::string label_;
+};
+
+// A uniformly random protocol table of sample size ell. When
+// `force_proposition3` is set, g[0](0) = 0 and g[1](l) = 1 are pinned so the
+// result is a candidate solver (used by property tests and by the lower-bound
+// bench's "adversarially chosen protocol" sweeps).
+CustomProtocol random_protocol(Rng& rng, std::uint32_t ell,
+                               bool force_proposition3 = true);
+
+}  // namespace bitspread
+
+#endif  // BITSPREAD_PROTOCOLS_CUSTOM_H_

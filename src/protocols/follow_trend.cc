@@ -1,0 +1,22 @@
+#include "protocols/follow_trend.h"
+
+namespace bitspread {
+
+StatefulProtocol::AgentView TrendFollowerDynamics::update(
+    AgentView current, std::uint32_t ones_seen, std::uint32_t ell,
+    std::uint64_t /*n*/, Rng& /*rng*/) const {
+  const std::uint32_t prev = current.state;
+  Opinion next = current.opinion;
+  if (ones_seen > prev) {
+    next = Opinion::kOne;
+  } else if (ones_seen < prev) {
+    next = Opinion::kZero;
+  } else if (2 * ones_seen > ell) {
+    next = Opinion::kOne;
+  } else if (2 * ones_seen < ell) {
+    next = Opinion::kZero;
+  }  // Exact tie on a flat reading: keep own opinion.
+  return AgentView{next, ones_seen};
+}
+
+}  // namespace bitspread

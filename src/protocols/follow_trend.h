@@ -1,0 +1,46 @@
+// Trend-following dynamics: a bounded-memory protocol in the spirit of
+// Korman & Vacus (PODC 2022), who showed that memorizing O(log log n) bits
+// (enough to store the previous sample count when l = Theta(log n)) breaks
+// the memory-less barrier. This is a *simplified* variant, not their exact
+// protocol: each agent remembers last round's ones-count k_prev and
+//   * adopts 1 if the count rose (k > k_prev): opinion 1 is trending up;
+//   * adopts 0 if it fell;
+//   * on a flat reading, follows the sample majority (tie -> keep own).
+// Memory: the previous count, i.e. ceil(log2(l+1)) bits. Used by the
+// bench_memory_extension experiment (E12) to contrast with memory-less
+// dynamics at equal sample size.
+#ifndef BITSPREAD_PROTOCOLS_FOLLOW_TREND_H_
+#define BITSPREAD_PROTOCOLS_FOLLOW_TREND_H_
+
+#include "core/sample_size.h"
+#include "core/stateful.h"
+
+namespace bitspread {
+
+class TrendFollowerDynamics final : public StatefulProtocol {
+ public:
+  explicit TrendFollowerDynamics(SampleSizePolicy policy,
+                                 std::uint64_t n_hint = 2) noexcept
+      : policy_(policy), state_count_(policy.sample_size(n_hint) + 1) {}
+
+  std::uint32_t state_count() const noexcept override { return state_count_; }
+  std::uint32_t sample_size(std::uint64_t n) const noexcept override {
+    return policy_.sample_size(n);
+  }
+
+  AgentView update(AgentView current, std::uint32_t ones_seen,
+                   std::uint32_t ell, std::uint64_t n,
+                   Rng& rng) const override;
+
+  std::string name() const override {
+    return "trend-follower(" + policy_.describe() + ")";
+  }
+
+ private:
+  SampleSizePolicy policy_;
+  std::uint32_t state_count_;
+};
+
+}  // namespace bitspread
+
+#endif  // BITSPREAD_PROTOCOLS_FOLLOW_TREND_H_

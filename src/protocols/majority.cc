@@ -1,0 +1,24 @@
+#include "protocols/majority.h"
+
+namespace bitspread {
+
+double MajorityDynamics::g(Opinion own, std::uint32_t ones_seen,
+                           std::uint32_t ell,
+                           std::uint64_t /*n*/) const noexcept {
+  if (2 * ones_seen > ell) return 1.0;
+  if (2 * ones_seen < ell) return 0.0;
+  switch (tie_) {
+    case TieBreak::kKeepOwn:
+      return own == Opinion::kOne ? 1.0 : 0.0;
+    case TieBreak::kRandom:
+      return 0.5;
+  }
+  return 0.5;  // Unreachable.
+}
+
+std::string MajorityDynamics::name() const {
+  return std::string("majority(") + policy().describe() +
+         (tie_ == TieBreak::kKeepOwn ? ",tie=own" : ",tie=coin") + ")";
+}
+
+}  // namespace bitspread

@@ -1,0 +1,37 @@
+// The Majority dynamics: adopt the majority opinion of the sample; on an
+// exact tie, either keep the own opinion (kKeepOwn) or flip a fair coin
+// (kRandom). Classic fast consensus dynamics (Ghaffari & Lengler 2018), but —
+// as the paper's introduction notes — it lacks sensitivity to the informed
+// source and in general FAILS the bit-dissemination problem: from a large
+// wrong majority it drives the system to the wrong consensus, which the
+// source then destabilizes only through unanimity-breaking samples. Included
+// as a baseline and as a Case-1/Case-2 specimen for the bias analysis.
+#ifndef BITSPREAD_PROTOCOLS_MAJORITY_H_
+#define BITSPREAD_PROTOCOLS_MAJORITY_H_
+
+#include "core/protocol.h"
+
+namespace bitspread {
+
+class MajorityDynamics final : public MemorylessProtocol {
+ public:
+  enum class TieBreak { kKeepOwn, kRandom };
+
+  explicit MajorityDynamics(std::uint32_t ell,
+                            TieBreak tie = TieBreak::kKeepOwn) noexcept
+      : MemorylessProtocol(SampleSizePolicy::constant(ell)), tie_(tie) {}
+  MajorityDynamics(SampleSizePolicy policy, TieBreak tie) noexcept
+      : MemorylessProtocol(policy), tie_(tie) {}
+
+  double g(Opinion own, std::uint32_t ones_seen, std::uint32_t ell,
+           std::uint64_t n) const noexcept override;
+
+  std::string name() const override;
+
+ private:
+  TieBreak tie_;
+};
+
+}  // namespace bitspread
+
+#endif  // BITSPREAD_PROTOCOLS_MAJORITY_H_

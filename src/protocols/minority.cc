@@ -1,0 +1,66 @@
+#include "protocols/minority.h"
+
+#include <cmath>
+
+namespace bitspread {
+namespace {
+
+// Eq. 2, branch-light form used by the aggregate walk below.
+inline double g_minority(std::uint32_t k, std::uint32_t ell) noexcept {
+  if (k == 0) return 0.0;
+  if (k == ell) return 1.0;
+  const std::uint32_t twice = 2 * k;
+  if (twice < ell) return 1.0;
+  if (twice == ell) return 0.5;
+  return 0.0;
+}
+
+}  // namespace
+
+double MinorityDynamics::g(Opinion /*own*/, std::uint32_t ones_seen,
+                           std::uint32_t ell,
+                           std::uint64_t /*n*/) const noexcept {
+  return g_minority(ones_seen, ell);
+}
+
+double MinorityDynamics::aggregate_adoption(Opinion /*own*/, double p,
+                                            std::uint64_t n) const noexcept {
+  const std::uint32_t ell = sample_size(n);
+  if (p <= 0.0) return 0.0;
+  if (p >= 1.0) return 1.0;
+  // Allocation-free tail sum: walk the Binomial(l, p) pmf outward from its
+  // mode with the multiplicative recurrence (the same scheme as
+  // eq4_adoption_sum, with g inlined). This is the aggregate engine's hot
+  // path in the sqrt(n log n) regime.
+  const double nd = static_cast<double>(ell);
+  const auto mode =
+      static_cast<std::uint32_t>(std::min(nd, std::floor((nd + 1.0) * p)));
+  const double log_mode =
+      std::lgamma(nd + 1.0) - std::lgamma(static_cast<double>(mode) + 1.0) -
+      std::lgamma(nd - static_cast<double>(mode) + 1.0) +
+      static_cast<double>(mode) * std::log(p) +
+      (nd - static_cast<double>(mode)) * std::log1p(-p);
+  const double ratio = p / (1.0 - p);
+
+  const double weight = std::exp(log_mode);
+  double acc = weight * g_minority(mode, ell);
+  double w = weight;
+  for (std::uint32_t k = mode; k < ell; ++k) {
+    w *= ratio * (nd - static_cast<double>(k)) / (static_cast<double>(k) + 1.0);
+    if (w <= 0.0) break;
+    acc += w * g_minority(k + 1, ell);
+  }
+  w = weight;
+  for (std::uint32_t k = mode; k > 0; --k) {
+    w *= static_cast<double>(k) / (ratio * (nd - static_cast<double>(k) + 1.0));
+    if (w <= 0.0) break;
+    acc += w * g_minority(k - 1, ell);
+  }
+  return std::fmin(std::fmax(acc, 0.0), 1.0);
+}
+
+std::string MinorityDynamics::name() const {
+  return "minority(" + policy().describe() + ")";
+}
+
+}  // namespace bitspread

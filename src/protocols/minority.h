@@ -1,0 +1,38 @@
+// The Minority dynamics (paper Protocol 2, from Becchetti et al. SODA 2024):
+// if the whole sample is unanimous, adopt that opinion; otherwise adopt the
+// minority opinion of the sample, breaking exact ties uniformly at random.
+// In g-form (Eq. 2):
+//   g(k) = 1   if k = l or 0 < k < l/2,
+//   g(k) = 1/2 if k = l/2,
+//   g(k) = 0   if k = 0 or l/2 < k < l.
+// With l = Omega(sqrt(n log n)) it solves bit-dissemination in O(log^2 n)
+// rounds w.h.p.; with constant l it falls under the Theorem 1 lower bound.
+#ifndef BITSPREAD_PROTOCOLS_MINORITY_H_
+#define BITSPREAD_PROTOCOLS_MINORITY_H_
+
+#include "core/protocol.h"
+
+namespace bitspread {
+
+class MinorityDynamics final : public MemorylessProtocol {
+ public:
+  explicit MinorityDynamics(SampleSizePolicy policy) noexcept
+      : MemorylessProtocol(policy) {}
+  explicit MinorityDynamics(std::uint32_t ell) noexcept
+      : MinorityDynamics(SampleSizePolicy::constant(ell)) {}
+
+  double g(Opinion own, std::uint32_t ones_seen, std::uint32_t ell,
+           std::uint64_t n) const noexcept override;
+
+  // Allocation-free specialization of the Eq. 4 sum (tail masses of
+  // Binomial(l, p) with the Eq. 2 weights, walked from the mode):
+  //   P(p) = Pr[0 < K < l/2] + 1/2 Pr[K = l/2] + Pr[K = l],  K~Bin(l, p).
+  double aggregate_adoption(Opinion own, double p,
+                            std::uint64_t n) const noexcept override;
+
+  std::string name() const override;
+};
+
+}  // namespace bitspread
+
+#endif  // BITSPREAD_PROTOCOLS_MINORITY_H_

@@ -1,0 +1,34 @@
+#include "protocols/perturbed.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace bitspread {
+
+PerturbedProtocol::PerturbedProtocol(const MemorylessProtocol& base,
+                                     double epsilon, double flip_bias) noexcept
+    : MemorylessProtocol(base.policy()),
+      base_(&base),
+      epsilon_(std::clamp(epsilon, 0.0, 1.0)),
+      flip_bias_(std::clamp(flip_bias, 0.0, 1.0)) {}
+
+double PerturbedProtocol::g(Opinion own, std::uint32_t ones_seen,
+                            std::uint32_t ell,
+                            std::uint64_t n) const noexcept {
+  return (1.0 - epsilon_) * base_->g(own, ones_seen, ell, n) +
+         epsilon_ * flip_bias_;
+}
+
+double PerturbedProtocol::aggregate_adoption(Opinion own, double p,
+                                             std::uint64_t n) const noexcept {
+  return (1.0 - epsilon_) * base_->aggregate_adoption(own, p, n) +
+         epsilon_ * flip_bias_;
+}
+
+std::string PerturbedProtocol::name() const {
+  std::ostringstream out;
+  out << base_->name() << "+noise(" << epsilon_ << ")";
+  return out.str();
+}
+
+}  // namespace bitspread

@@ -1,0 +1,38 @@
+// Epsilon-perturbed protocols: g' = (1 - epsilon) * g + epsilon * flip_bias.
+//
+// A perturbed protocol with epsilon > 0 violates Proposition 3 (g'(0) > 0),
+// so it can never *stabilize*: bench_prop3_necessity uses this wrapper to
+// show consensus escape. It also models unreliable agents (spontaneous
+// opinion noise), a standard robustness question in opinion dynamics.
+#ifndef BITSPREAD_PROTOCOLS_PERTURBED_H_
+#define BITSPREAD_PROTOCOLS_PERTURBED_H_
+
+#include "core/protocol.h"
+
+namespace bitspread {
+
+class PerturbedProtocol final : public MemorylessProtocol {
+ public:
+  // With probability epsilon the agent ignores its sample and adopts 1 with
+  // probability flip_bias; otherwise it follows `base`. `base` must outlive
+  // this wrapper.
+  PerturbedProtocol(const MemorylessProtocol& base, double epsilon,
+                    double flip_bias = 0.5) noexcept;
+
+  double g(Opinion own, std::uint32_t ones_seen, std::uint32_t ell,
+           std::uint64_t n) const noexcept override;
+
+  double aggregate_adoption(Opinion own, double p,
+                            std::uint64_t n) const noexcept override;
+
+  std::string name() const override;
+
+ private:
+  const MemorylessProtocol* base_;
+  double epsilon_;
+  double flip_bias_;
+};
+
+}  // namespace bitspread
+
+#endif  // BITSPREAD_PROTOCOLS_PERTURBED_H_

@@ -1,0 +1,16 @@
+#include "protocols/three_majority.h"
+
+namespace bitspread {
+
+double ThreeMajorityDynamics::g(Opinion /*own*/, std::uint32_t ones_seen,
+                                std::uint32_t /*ell*/,
+                                std::uint64_t /*n*/) const noexcept {
+  return ones_seen >= 2 ? 1.0 : 0.0;
+}
+
+double ThreeMajorityDynamics::aggregate_adoption(
+    Opinion /*own*/, double p, std::uint64_t /*n*/) const noexcept {
+  return p * p * (3.0 - 2.0 * p);
+}
+
+}  // namespace bitspread

@@ -1,0 +1,29 @@
+// The 3-Majority dynamics: sample three agents, adopt their majority opinion.
+// The l = 3, tie-impossible special case of Majority, ubiquitous in the
+// consensus literature. Constant sample size, so it sits squarely inside the
+// Theorem 1 lower-bound regime.
+#ifndef BITSPREAD_PROTOCOLS_THREE_MAJORITY_H_
+#define BITSPREAD_PROTOCOLS_THREE_MAJORITY_H_
+
+#include "core/protocol.h"
+
+namespace bitspread {
+
+class ThreeMajorityDynamics final : public MemorylessProtocol {
+ public:
+  ThreeMajorityDynamics() noexcept
+      : MemorylessProtocol(SampleSizePolicy::constant(3)) {}
+
+  double g(Opinion own, std::uint32_t ones_seen, std::uint32_t ell,
+           std::uint64_t n) const noexcept override;
+
+  // Closed form: P(p) = 3p^2 - 2p^3.
+  double aggregate_adoption(Opinion own, double p,
+                            std::uint64_t n) const noexcept override;
+
+  std::string name() const override { return "3-majority"; }
+};
+
+}  // namespace bitspread
+
+#endif  // BITSPREAD_PROTOCOLS_THREE_MAJORITY_H_

@@ -1,0 +1,21 @@
+#include "protocols/two_choice.h"
+
+namespace bitspread {
+
+double TwoChoiceDynamics::g(Opinion own, std::uint32_t ones_seen,
+                            std::uint32_t /*ell*/,
+                            std::uint64_t /*n*/) const noexcept {
+  if (ones_seen == 2) return 1.0;
+  if (ones_seen == 0) return 0.0;
+  return own == Opinion::kOne ? 1.0 : 0.0;  // Disagreement: keep own.
+}
+
+double TwoChoiceDynamics::aggregate_adoption(Opinion own, double p,
+                                             std::uint64_t /*n*/)
+    const noexcept {
+  const double agree_one = p * p;
+  const double disagree = 2.0 * p * (1.0 - p);
+  return agree_one + (own == Opinion::kOne ? disagree : 0.0);
+}
+
+}  // namespace bitspread

@@ -1,0 +1,29 @@
+// The 2-Choice dynamics: sample two agents; if they agree, adopt their common
+// opinion, otherwise keep the own opinion. Equivalent in law to "sample two,
+// majority with tie -> keep own". Another classic constant-sample dynamics
+// (Ghaffari & Lengler 2018) covered by the Theorem 1 lower bound.
+#ifndef BITSPREAD_PROTOCOLS_TWO_CHOICE_H_
+#define BITSPREAD_PROTOCOLS_TWO_CHOICE_H_
+
+#include "core/protocol.h"
+
+namespace bitspread {
+
+class TwoChoiceDynamics final : public MemorylessProtocol {
+ public:
+  TwoChoiceDynamics() noexcept
+      : MemorylessProtocol(SampleSizePolicy::constant(2)) {}
+
+  double g(Opinion own, std::uint32_t ones_seen, std::uint32_t ell,
+           std::uint64_t n) const noexcept override;
+
+  // Closed form: P_b(p) = p^2 + [b == 1] * 2p(1-p).
+  double aggregate_adoption(Opinion own, double p,
+                            std::uint64_t n) const noexcept override;
+
+  std::string name() const override { return "2-choice"; }
+};
+
+}  // namespace bitspread
+
+#endif  // BITSPREAD_PROTOCOLS_TWO_CHOICE_H_

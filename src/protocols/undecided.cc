@@ -1,0 +1,16 @@
+#include "protocols/undecided.h"
+
+namespace bitspread {
+
+StatefulProtocol::AgentView UndecidedStateDynamics::update(
+    AgentView current, std::uint32_t ones_seen, std::uint32_t /*ell*/,
+    std::uint64_t /*n*/, Rng& /*rng*/) const {
+  const Opinion observed = opinion_from(static_cast<int>(ones_seen));
+  if (current.state == kUndecided) {
+    return AgentView{observed, kCommitted};
+  }
+  if (observed == current.opinion) return current;
+  return AgentView{current.opinion, kUndecided};
+}
+
+}  // namespace bitspread

@@ -1,0 +1,38 @@
+// The Undecided-State Dynamics (USD), adapted to passive communication.
+//
+// Classic USD uses a third "undecided" state; here agents must still display
+// a binary opinion (passive communication), so the undecided flag is internal
+// memory (1 bit) while the displayed opinion stays what it was. Rules, with
+// sample size 1 (the traditional pairwise form):
+//   * committed to b, observes b      -> stays committed to b;
+//   * committed to b, observes not-b  -> becomes undecided (still displays b);
+//   * undecided, observes x           -> commits to x and displays x.
+// Included as the canonical example of a *1-bit-memory* dynamics, outside the
+// memory-less class covered by Theorem 1.
+#ifndef BITSPREAD_PROTOCOLS_UNDECIDED_H_
+#define BITSPREAD_PROTOCOLS_UNDECIDED_H_
+
+#include "core/stateful.h"
+
+namespace bitspread {
+
+class UndecidedStateDynamics final : public StatefulProtocol {
+ public:
+  static constexpr std::uint32_t kCommitted = 0;
+  static constexpr std::uint32_t kUndecided = 1;
+
+  std::uint32_t state_count() const noexcept override { return 2; }
+  std::uint32_t sample_size(std::uint64_t /*n*/) const noexcept override {
+    return 1;
+  }
+
+  AgentView update(AgentView current, std::uint32_t ones_seen,
+                   std::uint32_t ell, std::uint64_t n,
+                   Rng& rng) const override;
+
+  std::string name() const override { return "undecided-state"; }
+};
+
+}  // namespace bitspread
+
+#endif  // BITSPREAD_PROTOCOLS_UNDECIDED_H_

@@ -1,0 +1,18 @@
+#include "protocols/voter.h"
+
+namespace bitspread {
+
+double VoterDynamics::g(Opinion /*own*/, std::uint32_t ones_seen,
+                        std::uint32_t ell,
+                        std::uint64_t /*n*/) const noexcept {
+  return static_cast<double>(ones_seen) / static_cast<double>(ell);
+}
+
+double VoterDynamics::aggregate_adoption(Opinion /*own*/, double p,
+                                         std::uint64_t /*n*/) const noexcept {
+  return p;
+}
+
+std::string VoterDynamics::name() const { return "voter"; }
+
+}  // namespace bitspread

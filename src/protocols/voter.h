@@ -1,0 +1,31 @@
+// The Voter dynamics (paper Protocol 1): adopt the opinion of a uniformly
+// random sampled agent. In g-form: g_n^[b](k) = k / l (Eq. 1), independent of
+// the own opinion, so the protocol is oblivious and the sample size is
+// irrelevant (w.l.o.g. l = 1). Solves bit-dissemination in O(n log n) rounds
+// w.h.p. (Theorem 2) and is subject to the almost-linear lower bound because
+// its bias F_n is identically zero (§4.1).
+#ifndef BITSPREAD_PROTOCOLS_VOTER_H_
+#define BITSPREAD_PROTOCOLS_VOTER_H_
+
+#include "core/protocol.h"
+
+namespace bitspread {
+
+class VoterDynamics final : public MemorylessProtocol {
+ public:
+  explicit VoterDynamics(std::uint32_t ell = 1) noexcept
+      : MemorylessProtocol(SampleSizePolicy::constant(ell)) {}
+
+  double g(Opinion own, std::uint32_t ones_seen, std::uint32_t ell,
+           std::uint64_t n) const noexcept override;
+
+  // Closed form: P_b(p) = E[K]/l = p, for both b.
+  double aggregate_adoption(Opinion own, double p,
+                            std::uint64_t n) const noexcept override;
+
+  std::string name() const override;
+};
+
+}  // namespace bitspread
+
+#endif  // BITSPREAD_PROTOCOLS_VOTER_H_

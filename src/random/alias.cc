@@ -1,0 +1,49 @@
+#include "random/alias.h"
+
+#include <cassert>
+#include <numeric>
+
+namespace bitspread {
+
+AliasTable::AliasTable(std::span<const double> weights)
+    : prob_(weights.size(), 1.0),
+      alias_(weights.size(), 0),
+      normalized_(weights.size()) {
+  assert(!weights.empty());
+  const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  assert(total > 0.0);
+  const auto k = weights.size();
+  std::vector<double> scaled(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    assert(weights[i] >= 0.0);
+    normalized_[i] = weights[i] / total;
+    scaled[i] = normalized_[i] * static_cast<double>(k);
+  }
+
+  std::vector<std::uint32_t> small, large;
+  small.reserve(k);
+  large.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<std::uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    const std::uint32_t s = small.back();
+    small.pop_back();
+    const std::uint32_t l = large.back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  // Leftovers are numerically 1.0; prob_ already initialized to 1.0.
+}
+
+std::size_t AliasTable::sample(Rng& rng) const noexcept {
+  const std::size_t bucket = rng.next_below(prob_.size());
+  return rng.next_double() < prob_[bucket] ? bucket : alias_[bucket];
+}
+
+}  // namespace bitspread

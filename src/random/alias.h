@@ -1,0 +1,38 @@
+// Walker/Vose alias method: O(1) sampling from a fixed discrete distribution
+// after O(k) preprocessing. Used for drawing per-agent sample counts from a
+// precomputed binomial pmf in the agent-level engine's fast path, and by
+// table-driven initial-configuration generators.
+#ifndef BITSPREAD_RANDOM_ALIAS_H_
+#define BITSPREAD_RANDOM_ALIAS_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "random/rng.h"
+
+namespace bitspread {
+
+class AliasTable {
+ public:
+  // Builds the table from non-negative weights (need not be normalized).
+  // At least one weight must be positive.
+  explicit AliasTable(std::span<const double> weights);
+
+  // Samples an index in [0, size()) with probability proportional to its weight.
+  std::size_t sample(Rng& rng) const noexcept;
+
+  std::size_t size() const noexcept { return prob_.size(); }
+
+  // Normalized probability of outcome i (for testing).
+  double probability(std::size_t i) const noexcept { return normalized_[i]; }
+
+ private:
+  std::vector<double> prob_;          // Acceptance threshold per bucket.
+  std::vector<std::uint32_t> alias_;  // Alternative outcome per bucket.
+  std::vector<double> normalized_;
+};
+
+}  // namespace bitspread
+
+#endif  // BITSPREAD_RANDOM_ALIAS_H_

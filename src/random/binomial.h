@@ -1,0 +1,46 @@
+// Exact binomial sampling.
+//
+// Binomial(n, p) draws are the workhorse of the aggregate simulation engine
+// (engine/aggregate.h): one parallel round of any memory-less protocol reduces
+// to two binomial draws, which is what makes populations of 10^9 agents as
+// cheap to simulate as 10^3. Two regimes:
+//
+//   * BINV inversion (Kachitvichyanukul & Schmeiser 1988) when n*min(p,1-p)
+//     is small: walk the CDF with the pmf recurrence. Expected O(n*p) work.
+//   * BTRS transformed rejection (Hoermann 1993) otherwise: exact, O(1)
+//     expected work independent of n.
+//
+// Both are exact samplers of the binomial law (no normal approximation), so
+// aggregate-engine trajectories follow the true Markov chain distribution.
+#ifndef BITSPREAD_RANDOM_BINOMIAL_H_
+#define BITSPREAD_RANDOM_BINOMIAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "random/rng.h"
+
+namespace bitspread {
+
+// Draws from Binomial(n, p). p outside [0,1] is clamped.
+std::uint64_t binomial(Rng& rng, std::uint64_t n, double p) noexcept;
+
+// Internal regimes, exposed for testing and for the sampler ablation bench.
+namespace binomial_detail {
+std::uint64_t binv(Rng& rng, std::uint64_t n, double p) noexcept;  // p <= 0.5
+std::uint64_t btrs(Rng& rng, std::uint64_t n, double p) noexcept;  // p <= 0.5
+// Threshold on n*p between the regimes.
+inline constexpr double kInversionThreshold = 10.0;
+}  // namespace binomial_detail
+
+// pmf of Binomial(n, k) at all k in [0, n], computed with the stable
+// multiplicative recurrence. Used by the exact Markov-chain module.
+std::vector<double> binomial_pmf(std::uint64_t n, double p);
+
+// P(Binomial(n, p) <= k), by direct stable summation. Exact enough for the
+// moderate n used in analysis code (n up to ~10^6).
+double binomial_cdf(std::uint64_t n, double p, std::uint64_t k);
+
+}  // namespace bitspread
+
+#endif  // BITSPREAD_RANDOM_BINOMIAL_H_

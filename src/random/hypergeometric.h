@@ -1,0 +1,33 @@
+// Exact hypergeometric sampling.
+//
+// Models sampling *without* replacement: drawing `draws` agents from a
+// population of size `total` containing `successes` agents with opinion 1.
+// The paper's model samples with replacement (binomial); the without-
+// replacement variant is provided so users can study how little the choice
+// matters at scale (the laws coincide as total -> infinity), and it is used
+// by the agent-level engine's "distinct samples" option.
+#ifndef BITSPREAD_RANDOM_HYPERGEOMETRIC_H_
+#define BITSPREAD_RANDOM_HYPERGEOMETRIC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "random/rng.h"
+
+namespace bitspread {
+
+// Number of successes among `draws` draws without replacement from a
+// population with `successes` successes out of `total`. Requires
+// successes <= total and draws <= total.
+std::uint64_t hypergeometric(Rng& rng, std::uint64_t total,
+                             std::uint64_t successes,
+                             std::uint64_t draws) noexcept;
+
+// pmf over k = 0..draws, via stable recurrence (for tests & exact analysis).
+std::vector<double> hypergeometric_pmf(std::uint64_t total,
+                                       std::uint64_t successes,
+                                       std::uint64_t draws);
+
+}  // namespace bitspread
+
+#endif  // BITSPREAD_RANDOM_HYPERGEOMETRIC_H_

@@ -1,0 +1,31 @@
+#include "random/multinomial.h"
+
+#include <cassert>
+#include <numeric>
+
+#include "random/binomial.h"
+
+namespace bitspread {
+
+std::vector<std::uint64_t> multinomial(Rng& rng, std::uint64_t trials,
+                                       std::span<const double> probabilities) {
+  assert(!probabilities.empty());
+  std::vector<std::uint64_t> counts(probabilities.size(), 0);
+  double remaining_mass =
+      std::accumulate(probabilities.begin(), probabilities.end(), 0.0);
+  assert(remaining_mass > 0.0);
+  std::uint64_t remaining = trials;
+  for (std::size_t i = 0; i + 1 < probabilities.size(); ++i) {
+    if (remaining == 0) break;
+    const double p = probabilities[i];
+    if (p <= 0.0) continue;
+    const double conditional = remaining_mass > 0.0 ? p / remaining_mass : 1.0;
+    counts[i] = binomial(rng, remaining, conditional);
+    remaining -= counts[i];
+    remaining_mass -= p;
+  }
+  counts.back() += remaining;
+  return counts;
+}
+
+}  // namespace bitspread

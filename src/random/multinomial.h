@@ -1,0 +1,23 @@
+// Exact multinomial sampling via sequential binomial conditioning:
+// counts[0] ~ Bin(n, p0), counts[1] ~ Bin(n - counts[0], p1/(1-p0)), ...
+// Used by the multi-opinion aggregate engine.
+#ifndef BITSPREAD_RANDOM_MULTINOMIAL_H_
+#define BITSPREAD_RANDOM_MULTINOMIAL_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "random/rng.h"
+
+namespace bitspread {
+
+// Draws counts (one per category) for `trials` trials with the given
+// probabilities (must be non-negative; normalized internally). The result
+// sums to `trials` exactly.
+std::vector<std::uint64_t> multinomial(Rng& rng, std::uint64_t trials,
+                                       std::span<const double> probabilities);
+
+}  // namespace bitspread
+
+#endif  // BITSPREAD_RANDOM_MULTINOMIAL_H_

@@ -1,0 +1,37 @@
+#include "random/seeding.h"
+
+namespace bitspread {
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+constexpr std::uint64_t fnv1a(std::string_view text) noexcept {
+  std::uint64_t hash = kFnvOffset;
+  for (const char ch : text) {
+    hash ^= static_cast<std::uint8_t>(ch);
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+}  // namespace
+
+std::uint64_t SeedSequence::derive(std::uint64_t a, std::uint64_t b,
+                                   std::uint64_t c) const noexcept {
+  SplitMix64 mixer(master_);
+  std::uint64_t seed = mixer.next();
+  SplitMix64 ha(seed ^ (a * 0x9e3779b97f4a7c15ULL + 1));
+  seed = ha.next();
+  SplitMix64 hb(seed ^ (b * 0xd1b54a32d192ed03ULL + 2));
+  seed = hb.next();
+  SplitMix64 hc(seed ^ (c * 0x8cb92ba72f3d8dd7ULL + 3));
+  return hc.next();
+}
+
+std::uint64_t SeedSequence::derive(std::string_view label,
+                                   std::uint64_t index) const noexcept {
+  return derive(fnv1a(label), index, 0x5eedULL);
+}
+
+}  // namespace bitspread

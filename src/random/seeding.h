@@ -1,0 +1,46 @@
+// Reproducible seed derivation for experiments.
+//
+// A SeedSequence turns one master seed into arbitrarily many statistically
+// independent named streams, so that an experiment cell (n, l, protocol,
+// replicate) always sees the same randomness regardless of execution order or
+// which other cells ran. Derivation is a SplitMix64 hash chain over the
+// master seed and the stream coordinates.
+#ifndef BITSPREAD_RANDOM_SEEDING_H_
+#define BITSPREAD_RANDOM_SEEDING_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "random/rng.h"
+
+namespace bitspread {
+
+class SeedSequence {
+ public:
+  explicit constexpr SeedSequence(std::uint64_t master) noexcept
+      : master_(master) {}
+
+  // Derives a 64-bit seed from up to three coordinates (e.g. cell index,
+  // replicate index, phase).
+  std::uint64_t derive(std::uint64_t a, std::uint64_t b = 0,
+                       std::uint64_t c = 0) const noexcept;
+
+  // Derives from a string label plus an index (FNV-1a over the label).
+  std::uint64_t derive(std::string_view label,
+                       std::uint64_t index = 0) const noexcept;
+
+  // Convenience: an Rng for the derived stream.
+  Rng stream(std::uint64_t a, std::uint64_t b = 0,
+             std::uint64_t c = 0) const noexcept {
+    return Rng(derive(a, b, c));
+  }
+
+  std::uint64_t master() const noexcept { return master_; }
+
+ private:
+  std::uint64_t master_;
+};
+
+}  // namespace bitspread
+
+#endif  // BITSPREAD_RANDOM_SEEDING_H_

@@ -1,0 +1,96 @@
+#include "sim/ascii_plot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <iomanip>
+
+namespace bitspread {
+namespace {
+
+struct Range {
+  double lo = 0.0;
+  double hi = 1.0;
+};
+
+Range find_range(std::span<const double> values) {
+  Range range{std::numeric_limits<double>::infinity(),
+              -std::numeric_limits<double>::infinity()};
+  for (const double v : values) {
+    range.lo = std::min(range.lo, v);
+    range.hi = std::max(range.hi, v);
+  }
+  if (!(range.hi > range.lo)) {  // Flat or empty series.
+    range.lo -= 0.5;
+    range.hi += 0.5;
+  }
+  return range;
+}
+
+std::string render(std::span<const double> x, std::span<const double> y,
+                   const PlotOptions& options) {
+  if (y.size() < 2) return "(series too short to plot)\n";
+  const int width = std::max(options.width, 8);
+  const int height = std::max(options.height, 4);
+  const Range xr = find_range(x);
+  const Range yr = find_range(y);
+
+  std::vector<std::string> grid(static_cast<std::size_t>(height),
+                                std::string(static_cast<std::size_t>(width),
+                                            ' '));
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    const double fx = (x[i] - xr.lo) / (xr.hi - xr.lo);
+    const double fy = (y[i] - yr.lo) / (yr.hi - yr.lo);
+    const int col = std::clamp(static_cast<int>(fx * (width - 1) + 0.5), 0,
+                               width - 1);
+    const int row = std::clamp(
+        height - 1 - static_cast<int>(fy * (height - 1) + 0.5), 0,
+        height - 1);
+    grid[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)] = '*';
+  }
+
+  std::ostringstream out;
+  auto format_tick = [](double v) {
+    std::ostringstream tick;
+    tick << std::setw(10) << std::setprecision(4) << std::defaultfloat << v;
+    return tick.str();
+  };
+  if (!options.y_label.empty()) out << options.y_label << '\n';
+  for (int r = 0; r < height; ++r) {
+    if (options.show_axes) {
+      if (r == 0) {
+        out << format_tick(yr.hi) << " |";
+      } else if (r == height - 1) {
+        out << format_tick(yr.lo) << " |";
+      } else {
+        out << std::string(10, ' ') << " |";
+      }
+    }
+    out << grid[static_cast<std::size_t>(r)] << '\n';
+  }
+  if (options.show_axes) {
+    out << std::string(11, ' ') << '+'
+        << std::string(static_cast<std::size_t>(width), '-') << '\n'
+        << std::string(12, ' ') << format_tick(xr.lo)
+        << std::setw(width - 10) << format_tick(xr.hi) << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace
+
+std::string ascii_plot(std::span<const double> y, const PlotOptions& options) {
+  std::vector<double> x(y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = static_cast<double>(i);
+  return render(x, y, options);
+}
+
+std::string ascii_plot_xy(std::span<const double> x,
+                          std::span<const double> y,
+                          const PlotOptions& options) {
+  if (x.size() != y.size()) return "(x/y size mismatch)\n";
+  return render(x, y, options);
+}
+
+}  // namespace bitspread

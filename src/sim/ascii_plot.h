@@ -1,0 +1,31 @@
+// Minimal ASCII line plots, so experiment binaries can render the paper's
+// figures (trajectories, F_n curves, CDFs) directly in the terminal/logs.
+#ifndef BITSPREAD_SIM_ASCII_PLOT_H_
+#define BITSPREAD_SIM_ASCII_PLOT_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace bitspread {
+
+struct PlotOptions {
+  int width = 72;
+  int height = 16;
+  std::string y_label;
+  bool show_axes = true;
+};
+
+// Plots y against its index (x = 0..n-1), auto-scaled. Returns the multi-line
+// string. Series shorter than 2 points yield an explanatory placeholder.
+std::string ascii_plot(std::span<const double> y,
+                       const PlotOptions& options = {});
+
+// Plots (x, y) pairs, auto-scaled on both axes. Both spans must match.
+std::string ascii_plot_xy(std::span<const double> x,
+                          std::span<const double> y,
+                          const PlotOptions& options = {});
+
+}  // namespace bitspread
+
+#endif  // BITSPREAD_SIM_ASCII_PLOT_H_

@@ -1,0 +1,54 @@
+#include "sim/cli.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+#include "sim/csv.h"
+#include "sim/seeds.h"
+
+namespace bitspread {
+
+BenchOptions parse_bench_options(int argc, char** argv) {
+  BenchOptions options;
+  options.seed = master_seed_from_env();
+  const char* quick_env = std::getenv("BITSPREAD_QUICK");
+  if (quick_env != nullptr && std::strcmp(quick_env, "0") != 0) {
+    options.quick = true;
+  }
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      options.quick = true;
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      options.seed = std::strtoull(arg.c_str() + 7, nullptr, 0);
+    } else if (arg.rfind("--reps=", 0) == 0) {
+      options.replicates = std::atoi(arg.c_str() + 7);
+    } else if (arg.rfind("--csv=", 0) == 0) {
+      options.csv_path = arg.substr(6);
+    } else {
+      std::cerr << "warning: unknown option '" << arg << "' ignored\n";
+    }
+  }
+  return options;
+}
+
+void emit_table(const Table& table, const BenchOptions& options) {
+  table.print(std::cout);
+  if (options.csv_path) {
+    if (write_csv(table, *options.csv_path)) {
+      std::cerr << "[csv written to " << *options.csv_path << "]\n";
+    } else {
+      std::cerr << "[failed to write csv to " << *options.csv_path << "]\n";
+    }
+  }
+}
+
+void print_banner(const std::string& experiment_id, const std::string& title,
+                  const BenchOptions& options) {
+  std::cout << "=== " << experiment_id << ": " << title << " ===\n"
+            << "seed=" << options.seed
+            << (options.quick ? " (quick mode)" : "") << "\n\n";
+}
+
+}  // namespace bitspread

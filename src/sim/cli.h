@@ -1,0 +1,40 @@
+// Shared command-line handling for the bench/experiment binaries.
+//
+// Every bench accepts:
+//   --quick          smaller grids / fewer replicates (also BITSPREAD_QUICK=1)
+//   --seed=<u64>     master seed (also BITSPREAD_SEED)
+//   --reps=<int>     replicate override
+//   --csv=<path>     mirror the main table to a CSV file
+#ifndef BITSPREAD_SIM_CLI_H_
+#define BITSPREAD_SIM_CLI_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "sim/table.h"
+
+namespace bitspread {
+
+struct BenchOptions {
+  bool quick = false;
+  std::uint64_t seed = 0;
+  std::optional<int> replicates;
+  std::optional<std::string> csv_path;
+
+  int reps_or(int dflt) const noexcept { return replicates.value_or(dflt); }
+};
+
+BenchOptions parse_bench_options(int argc, char** argv);
+
+// Prints the table to stdout and mirrors to CSV if requested; reports the
+// CSV path (or an error) on stderr.
+void emit_table(const Table& table, const BenchOptions& options);
+
+// Standard experiment banner.
+void print_banner(const std::string& experiment_id, const std::string& title,
+                  const BenchOptions& options);
+
+}  // namespace bitspread
+
+#endif  // BITSPREAD_SIM_CLI_H_

@@ -1,0 +1,42 @@
+#include "sim/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace bitspread {
+
+std::string csv_escape(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (const char ch : field) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+std::string to_csv(const Table& table) {
+  std::ostringstream out;
+  const auto emit_row = [&out](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c != 0) out << ',';
+      out << csv_escape(cells[c]);
+    }
+    out << '\n';
+  };
+  emit_row(table.headers());
+  for (const auto& row : table.rows()) emit_row(row);
+  return out.str();
+}
+
+bool write_csv(const Table& table, const std::string& path) {
+  std::ofstream file(path);
+  if (!file) return false;
+  file << to_csv(table);
+  return static_cast<bool>(file);
+}
+
+}  // namespace bitspread

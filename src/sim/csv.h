@@ -1,0 +1,23 @@
+// CSV export for tables (so experiment outputs can be post-processed/plotted).
+#ifndef BITSPREAD_SIM_CSV_H_
+#define BITSPREAD_SIM_CSV_H_
+
+#include <string>
+
+#include "sim/table.h"
+
+namespace bitspread {
+
+// RFC-4180 field escaping.
+std::string csv_escape(const std::string& field);
+
+// Serializes a table (header + rows).
+std::string to_csv(const Table& table);
+
+// Writes to `path`; returns false (and leaves no partial file guarantee) on
+// I/O failure.
+bool write_csv(const Table& table, const std::string& path);
+
+}  // namespace bitspread
+
+#endif  // BITSPREAD_SIM_CSV_H_

@@ -1,0 +1,45 @@
+#include "sim/experiment.h"
+
+namespace bitspread {
+namespace {
+
+ConvergenceMeasurement measure(const std::function<RunResult(Rng&)>& single_run,
+                               const SeedSequence& seeds, std::uint64_t cell,
+                               int replicates, StopReason success) {
+  ConvergenceMeasurement out;
+  out.replicates = replicates;
+  for (int rep = 0; rep < replicates; ++rep) {
+    Rng rng = seeds.stream(cell, static_cast<std::uint64_t>(rep));
+    const RunResult result = single_run(rng);
+    const auto rounds = static_cast<double>(result.rounds);
+    out.rounds_lower_bound.add(rounds);
+    if (result.reason == success) {
+      ++out.converged;
+      out.rounds.add(rounds);
+      out.round_samples.push_back(rounds);
+    } else if (result.reason == StopReason::kRoundLimit) {
+      ++out.censored;
+    } else {
+      ++out.wrong_outcome;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+ConvergenceMeasurement measure_convergence(
+    const std::function<RunResult(Rng&)>& single_run, const SeedSequence& seeds,
+    std::uint64_t cell, int replicates) {
+  return measure(single_run, seeds, cell, replicates,
+                 StopReason::kCorrectConsensus);
+}
+
+ConvergenceMeasurement measure_crossing(
+    const std::function<RunResult(Rng&)>& single_run, const SeedSequence& seeds,
+    std::uint64_t cell, int replicates) {
+  return measure(single_run, seeds, cell, replicates,
+                 StopReason::kIntervalExit);
+}
+
+}  // namespace bitspread

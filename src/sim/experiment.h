@@ -1,0 +1,56 @@
+// Replicated convergence-time measurement with right-censoring.
+//
+// Lower-bound experiments must cap rounds (the whole point is that
+// convergence is SLOW), so the measurement distinguishes converged runs from
+// censored ones and reports censored counts explicitly instead of silently
+// truncating (a censored mean would understate the truth).
+#ifndef BITSPREAD_SIM_EXPERIMENT_H_
+#define BITSPREAD_SIM_EXPERIMENT_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "engine/stopping.h"
+#include "random/seeding.h"
+#include "stats/summary.h"
+
+namespace bitspread {
+
+struct ConvergenceMeasurement {
+  int replicates = 0;
+  int converged = 0;
+  int censored = 0;       // Hit the round cap: true time exceeds the cap.
+  int wrong_outcome = 0;  // Wrong consensus / interval exit (context-specific).
+
+  // Rounds of CONVERGED runs only.
+  RunningStats rounds;
+  std::vector<double> round_samples;
+
+  // Rounds over ALL runs, counting a censored run at the cap (a conservative
+  // lower bound on the true mean).
+  RunningStats rounds_lower_bound;
+
+  double convergence_rate() const noexcept {
+    return replicates == 0
+               ? 0.0
+               : static_cast<double>(converged) / replicates;
+  }
+};
+
+// Runs `replicates` independent repetitions of `single_run`, which receives a
+// replicate-specific Rng and must return a RunResult (any engine). `cell`
+// distinguishes parameter cells so sweeps get disjoint streams.
+ConvergenceMeasurement measure_convergence(
+    const std::function<RunResult(Rng&)>& single_run, const SeedSequence& seeds,
+    std::uint64_t cell, int replicates);
+
+// Variant for runs that report interval crossings: counts kIntervalExit as
+// the measured event instead of convergence.
+ConvergenceMeasurement measure_crossing(
+    const std::function<RunResult(Rng&)>& single_run, const SeedSequence& seeds,
+    std::uint64_t cell, int replicates);
+
+}  // namespace bitspread
+
+#endif  // BITSPREAD_SIM_EXPERIMENT_H_

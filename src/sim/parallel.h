@@ -1,0 +1,31 @@
+// Thread-parallel replication.
+//
+// Because every replicate draws its randomness from its own derived stream
+// (SeedSequence), results are IDENTICAL whether replicates run serially or
+// across threads, in any interleaving — so parallelism is a pure wall-clock
+// optimization with no reproducibility cost (tested).
+#ifndef BITSPREAD_SIM_PARALLEL_H_
+#define BITSPREAD_SIM_PARALLEL_H_
+
+#include <functional>
+
+#include "sim/experiment.h"
+
+namespace bitspread {
+
+// Runs fn(i) for i in [0, count) across up to max_threads threads
+// (0 = hardware concurrency). fn must be safe to call concurrently for
+// distinct i.
+void parallel_for(int count, const std::function<void(int)>& fn,
+                  unsigned max_threads = 0);
+
+// Drop-in parallel variant of measure_convergence: same inputs, identical
+// output (per-replicate seed streams make the result schedule-independent).
+ConvergenceMeasurement measure_convergence_parallel(
+    const std::function<RunResult(Rng&)>& single_run,
+    const SeedSequence& seeds, std::uint64_t cell, int replicates,
+    unsigned max_threads = 0);
+
+}  // namespace bitspread
+
+#endif  // BITSPREAD_SIM_PARALLEL_H_

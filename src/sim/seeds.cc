@@ -1,0 +1,17 @@
+#include "sim/seeds.h"
+
+#include <cstdlib>
+#include <string>
+
+namespace bitspread {
+
+std::uint64_t master_seed_from_env() noexcept {
+  const char* raw = std::getenv("BITSPREAD_SEED");
+  if (raw == nullptr) return kDefaultMasterSeed;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(raw, &end, 0);
+  if (end == raw) return kDefaultMasterSeed;
+  return static_cast<std::uint64_t>(value);
+}
+
+}  // namespace bitspread

@@ -1,0 +1,22 @@
+// Experiment seeding conventions: one master seed (overridable via the
+// BITSPREAD_SEED environment variable or --seed) fans out into independent
+// streams per (experiment, cell, replicate).
+#ifndef BITSPREAD_SIM_SEEDS_H_
+#define BITSPREAD_SIM_SEEDS_H_
+
+#include <cstdint>
+
+#include "random/seeding.h"
+
+namespace bitspread {
+
+// The library-wide default master seed (stable across releases so recorded
+// outputs are reproducible).
+inline constexpr std::uint64_t kDefaultMasterSeed = 0x5eedB17599999ULL;
+
+// kDefaultMasterSeed unless BITSPREAD_SEED is set to a parseable integer.
+std::uint64_t master_seed_from_env() noexcept;
+
+}  // namespace bitspread
+
+#endif  // BITSPREAD_SIM_SEEDS_H_

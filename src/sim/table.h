@@ -1,0 +1,40 @@
+// Fixed-width console tables: every bench binary prints its paper
+// table/figure series through this, and can mirror the rows to CSV.
+#ifndef BITSPREAD_SIM_TABLE_H_
+#define BITSPREAD_SIM_TABLE_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace bitspread {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  // Cell formatting helpers.
+  static std::string fmt(double value, int precision = 3);
+  static std::string fmt(std::uint64_t value);
+  static std::string fmt(std::int64_t value);
+
+  void add_row(std::vector<std::string> cells);
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+  // Pretty-prints with aligned columns and a header rule.
+  void print(std::ostream& out) const;
+
+  const std::vector<std::string>& headers() const noexcept { return headers_; }
+  const std::vector<std::vector<std::string>>& rows() const noexcept {
+    return rows_;
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace bitspread
+
+#endif  // BITSPREAD_SIM_TABLE_H_

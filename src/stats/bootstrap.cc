@@ -1,0 +1,39 @@
+#include "stats/bootstrap.h"
+
+#include <vector>
+
+#include "stats/quantiles.h"
+#include "stats/summary.h"
+
+namespace bitspread {
+
+ConfidenceInterval bootstrap_ci(
+    std::span<const double> values,
+    const std::function<double(std::span<const double>)>& statistic, Rng& rng,
+    int resamples, double level) {
+  ConfidenceInterval ci;
+  ci.level = level;
+  ci.point = statistic(values);
+  if (values.empty()) return ci;
+
+  std::vector<double> resample(values.size());
+  std::vector<double> stats;
+  stats.reserve(static_cast<std::size_t>(resamples));
+  for (int r = 0; r < resamples; ++r) {
+    for (auto& slot : resample) slot = values[rng.next_below(values.size())];
+    stats.push_back(statistic(resample));
+  }
+  const double alpha = (1.0 - level) / 2.0;
+  ci.lo = quantile(stats, alpha);
+  ci.hi = quantile(stats, 1.0 - alpha);
+  return ci;
+}
+
+ConfidenceInterval bootstrap_mean_ci(std::span<const double> values, Rng& rng,
+                                     int resamples, double level) {
+  return bootstrap_ci(
+      values, [](std::span<const double> v) { return summarize(v).mean(); },
+      rng, resamples, level);
+}
+
+}  // namespace bitspread

@@ -1,0 +1,32 @@
+// Percentile bootstrap confidence intervals for arbitrary statistics.
+#ifndef BITSPREAD_STATS_BOOTSTRAP_H_
+#define BITSPREAD_STATS_BOOTSTRAP_H_
+
+#include <functional>
+#include <span>
+
+#include "random/rng.h"
+
+namespace bitspread {
+
+struct ConfidenceInterval {
+  double point = 0.0;  // Statistic on the original sample.
+  double lo = 0.0;
+  double hi = 0.0;
+  double level = 0.95;
+};
+
+// Percentile bootstrap: resamples `values` with replacement `resamples` times
+// and takes empirical quantiles of the statistic.
+ConfidenceInterval bootstrap_ci(
+    std::span<const double> values,
+    const std::function<double(std::span<const double>)>& statistic, Rng& rng,
+    int resamples = 1000, double level = 0.95);
+
+// Common case: CI for the mean.
+ConfidenceInterval bootstrap_mean_ci(std::span<const double> values, Rng& rng,
+                                     int resamples = 1000, double level = 0.95);
+
+}  // namespace bitspread
+
+#endif  // BITSPREAD_STATS_BOOTSTRAP_H_

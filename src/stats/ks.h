@@ -1,0 +1,33 @@
+// Two-sample Kolmogorov-Smirnov statistic and chi-square goodness of fit.
+// Used to cross-validate the aggregate engine against the agent-level engine
+// and the samplers against exact pmfs.
+#ifndef BITSPREAD_STATS_KS_H_
+#define BITSPREAD_STATS_KS_H_
+
+#include <cstdint>
+#include <span>
+
+namespace bitspread {
+
+// sup_x |F1(x) - F2(x)| over the empirical CDFs of the two samples.
+double ks_statistic(std::span<const double> a, std::span<const double> b);
+
+// Asymptotic two-sample KS p-value (Kolmogorov distribution tail).
+double ks_p_value(double statistic, std::size_t n_a, std::size_t n_b);
+
+// Pearson chi-square statistic of observed counts against expected
+// probabilities (bins with expected count < min_expected are pooled into
+// their neighbor). Returns the statistic and writes the resulting degrees of
+// freedom to *dof.
+double chi_square_statistic(std::span<const std::uint64_t> observed,
+                            std::span<const double> expected_probability,
+                            std::uint64_t total, int* dof,
+                            double min_expected = 5.0);
+
+// Upper-tail probability of a chi-square distribution with `dof` degrees of
+// freedom (via the regularized incomplete gamma function).
+double chi_square_p_value(double statistic, int dof);
+
+}  // namespace bitspread
+
+#endif  // BITSPREAD_STATS_KS_H_

@@ -1,0 +1,49 @@
+#include "stats/quantiles.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace bitspread {
+
+double quantile(std::span<const double> values, double q) {
+  if (values.empty()) return std::numeric_limits<double>::quiet_NaN();
+  q = std::clamp(q, 0.0, 1.0);
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(pos));
+  const auto hi = static_cast<std::size_t>(std::ceil(pos));
+  const double frac = pos - std::floor(pos);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double median(std::span<const double> values) { return quantile(values, 0.5); }
+
+Histogram::Histogram(double lo_edge, double hi_edge, std::size_t bins)
+    : lo(lo_edge), hi(hi_edge), counts(bins, 0) {
+  assert(bins > 0);
+  assert(hi_edge > lo_edge);
+}
+
+void Histogram::add(double x) noexcept {
+  const double width = (hi - lo) / static_cast<double>(counts.size());
+  auto bin = static_cast<std::int64_t>(std::floor((x - lo) / width));
+  bin = std::clamp<std::int64_t>(bin, 0,
+                                 static_cast<std::int64_t>(counts.size()) - 1);
+  ++counts[static_cast<std::size_t>(bin)];
+}
+
+std::uint64_t Histogram::total() const noexcept {
+  return std::accumulate(counts.begin(), counts.end(), std::uint64_t{0});
+}
+
+double Histogram::fraction(std::size_t i) const noexcept {
+  const std::uint64_t n = total();
+  if (n == 0) return 0.0;
+  return static_cast<double>(counts[i]) / static_cast<double>(n);
+}
+
+}  // namespace bitspread

@@ -1,0 +1,46 @@
+#include "stats/regression.h"
+
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+namespace bitspread {
+
+LinearFit ols_fit(std::span<const double> x, std::span<const double> y) {
+  assert(x.size() == y.size());
+  assert(x.size() >= 2);
+  const auto n = static_cast<double>(x.size());
+  double sx = 0.0, sy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+  }
+  const double mx = sx / n;
+  const double my = sy / n;
+  double sxx = 0.0, sxy = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  LinearFit fit;
+  assert(sxx > 0.0);
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  fit.r_squared = syy > 0.0 ? (sxy * sxy) / (sxx * syy) : 1.0;
+  return fit;
+}
+
+LinearFit loglog_fit(std::span<const double> x, std::span<const double> y) {
+  std::vector<double> lx(x.size()), ly(y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    assert(x[i] > 0.0 && y[i] > 0.0);
+    lx[i] = std::log(x[i]);
+    ly[i] = std::log(y[i]);
+  }
+  return ols_fit(lx, ly);
+}
+
+}  // namespace bitspread

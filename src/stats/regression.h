@@ -1,0 +1,26 @@
+// Ordinary least squares in one variable, plus the log-log variant used to
+// estimate empirical scaling exponents (e.g. fitting T(n) ~ c * n^alpha for
+// the Theorem 1 almost-linear lower bound).
+#ifndef BITSPREAD_STATS_REGRESSION_H_
+#define BITSPREAD_STATS_REGRESSION_H_
+
+#include <span>
+
+namespace bitspread {
+
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;
+};
+
+// Fits y ~ intercept + slope * x. Requires at least two points with distinct x.
+LinearFit ols_fit(std::span<const double> x, std::span<const double> y);
+
+// Fits log(y) ~ log(c) + alpha * log(x); `slope` is the scaling exponent
+// alpha, `intercept` is log(c). All inputs must be positive.
+LinearFit loglog_fit(std::span<const double> x, std::span<const double> y);
+
+}  // namespace bitspread
+
+#endif  // BITSPREAD_STATS_REGRESSION_H_

@@ -1,0 +1,43 @@
+// Streaming summary statistics (Welford's algorithm) and batch helpers.
+#ifndef BITSPREAD_STATS_SUMMARY_H_
+#define BITSPREAD_STATS_SUMMARY_H_
+
+#include <cstdint>
+#include <limits>
+#include <span>
+
+namespace bitspread {
+
+// Numerically stable streaming mean / variance / min / max accumulator.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  std::uint64_t count() const noexcept { return count_; }
+  double mean() const noexcept { return mean_; }
+  // Unbiased sample variance; 0 for fewer than two observations.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  // Standard error of the mean; 0 for fewer than two observations.
+  double stderr_mean() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+  double sum() const noexcept { return mean_ * static_cast<double>(count_); }
+
+  // Merges another accumulator (Chan et al. parallel combination).
+  void merge(const RunningStats& other) noexcept;
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// Batch convenience wrappers.
+RunningStats summarize(std::span<const double> values) noexcept;
+
+}  // namespace bitspread
+
+#endif  // BITSPREAD_STATS_SUMMARY_H_

@@ -1,0 +1,206 @@
+// The bias function F_n, the Case 1 / Case 2 classification (§4.2), the
+// paper's probability bounds, and the Theorem 6 assumption checker.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/bias.h"
+#include "analysis/bounds.h"
+#include "analysis/cases.h"
+#include "analysis/theorem6.h"
+#include "protocols/custom.h"
+#include "protocols/majority.h"
+#include "protocols/minority.h"
+#include "protocols/three_majority.h"
+#include "protocols/two_choice.h"
+#include "protocols/voter.h"
+
+namespace bitspread {
+namespace {
+
+constexpr std::uint64_t kN = 1 << 12;
+
+TEST(BiasFunction, VoterBiasIsIdenticallyZero) {
+  // §4.1: F_n^voter == 0.
+  for (const std::uint32_t ell : {1u, 3u, 8u}) {
+    const VoterDynamics voter(ell);
+    const BiasFunction bias(voter, kN);
+    EXPECT_TRUE(bias.is_identically_zero()) << "l=" << ell;
+    for (int i = 0; i <= 20; ++i) {
+      EXPECT_NEAR(bias(i / 20.0), 0.0, 1e-12);
+    }
+  }
+}
+
+TEST(BiasFunction, NumericAndPolynomialAgree) {
+  const MinorityDynamics minority(5);
+  const BiasFunction bias(minority, kN);
+  const Polynomial f = bias.to_polynomial();
+  for (int i = 0; i <= 100; ++i) {
+    const double p = i / 100.0;
+    EXPECT_NEAR(bias(p), f(p), 1e-10) << "p=" << p;
+  }
+}
+
+TEST(BiasFunction, Minority3HasKnownRoots) {
+  // F(p) = 2p(1-p)(1-2p) for minority with l = 3: roots {0, 1/2, 1}.
+  const MinorityDynamics minority(3);
+  const BiasFunction bias(minority, kN);
+  const auto roots = bias.roots();
+  ASSERT_EQ(roots.size(), 3u);
+  EXPECT_NEAR(roots[0], 0.0, 1e-9);
+  EXPECT_NEAR(roots[1], 0.5, 1e-9);
+  EXPECT_NEAR(roots[2], 1.0, 1e-9);
+  // And the closed form itself.
+  for (int i = 0; i <= 20; ++i) {
+    const double p = i / 20.0;
+    EXPECT_NEAR(bias(p), 2.0 * p * (1.0 - p) * (1.0 - 2.0 * p), 1e-12);
+  }
+}
+
+TEST(BiasFunction, ThreeMajorityBias) {
+  // F(p) = -p + 3p^2 - 2p^3 = -p(1-p)(1-2p): roots {0, 1/2, 1}, sign
+  // opposite to minority (pushes TOWARD the local majority).
+  const ThreeMajorityDynamics three;
+  const BiasFunction bias(three, kN);
+  EXPECT_NEAR(bias(0.25), -0.25 * 0.75 * 0.5, 1e-12);
+  EXPECT_NEAR(bias(0.75), +0.75 * 0.25 * 0.5, 1e-12);
+  const auto roots = bias.roots();
+  ASSERT_EQ(roots.size(), 3u);
+  EXPECT_NEAR(roots[1], 0.5, 1e-9);
+}
+
+TEST(BiasFunction, DegreeIsAtMostEllPlusOne) {
+  const MinorityDynamics minority(6);
+  const BiasFunction bias(minority, kN);
+  EXPECT_LE(bias.to_polynomial().degree(), 7);
+}
+
+TEST(BiasFunction, Prop3CompliantProtocolVanishesAtEndpoints) {
+  Rng rng(3);
+  for (int i = 0; i < 10; ++i) {
+    const CustomProtocol proto = random_protocol(rng, 4);
+    const BiasFunction bias(proto, kN);
+    EXPECT_NEAR(bias(0.0), 0.0, 1e-12);
+    EXPECT_NEAR(bias(1.0), 0.0, 1e-12);
+  }
+}
+
+TEST(Classification, VoterIsZeroBias) {
+  const VoterDynamics voter;
+  const CaseAnalysis analysis = classify_bias(voter, kN);
+  EXPECT_EQ(analysis.bias_case, BiasCase::kZeroBias);
+  EXPECT_EQ(analysis.slow_correct, Opinion::kOne);
+  EXPECT_TRUE(analysis.upward);
+  EXPECT_DOUBLE_EQ(analysis.a1, 0.25);
+  EXPECT_DOUBLE_EQ(analysis.a3, 0.75);
+  EXPECT_DOUBLE_EQ(analysis.x0_fraction, 0.625);
+}
+
+TEST(Classification, Minority3IsCase1) {
+  // Minority pushes the fraction DOWN on (1/2, 1): Case 1, slow with z=1.
+  const MinorityDynamics minority(3);
+  const CaseAnalysis analysis = classify_bias(minority, kN);
+  EXPECT_EQ(analysis.bias_case, BiasCase::kCase1);
+  EXPECT_EQ(analysis.slow_correct, Opinion::kOne);
+  EXPECT_TRUE(analysis.upward);
+  EXPECT_NEAR(analysis.interval_lo, 0.5, 1e-6);
+  EXPECT_GT(analysis.a1, 0.5);
+  EXPECT_LT(analysis.a3, 1.0);
+  EXPECT_GT(analysis.x0_fraction, analysis.a2);
+  EXPECT_LT(analysis.x0_fraction, analysis.a3);
+}
+
+TEST(Classification, ThreeMajorityIsCase2) {
+  // 3-majority pushes UP on (1/2, 1): Case 2, slow with z=0.
+  const ThreeMajorityDynamics three;
+  const CaseAnalysis analysis = classify_bias(three, kN);
+  EXPECT_EQ(analysis.bias_case, BiasCase::kCase2);
+  EXPECT_EQ(analysis.slow_correct, Opinion::kZero);
+  EXPECT_FALSE(analysis.upward);
+  EXPECT_NEAR(analysis.interval_lo, 0.5, 1e-6);
+}
+
+TEST(Classification, TwoChoiceIsCase2) {
+  // 2-choice also drifts toward the current majority on (1/2, 1).
+  const TwoChoiceDynamics two;
+  const CaseAnalysis analysis = classify_bias(two, kN);
+  EXPECT_EQ(analysis.bias_case, BiasCase::kCase2);
+}
+
+TEST(Bounds, HoeffdingKnownValues) {
+  EXPECT_NEAR(hoeffding_tail(100, 10.0), std::exp(-2.0), 1e-12);
+  EXPECT_DOUBLE_EQ(hoeffding_tail(0, 1.0), 1.0);
+  EXPECT_GT(hoeffding_tail(100, 1.0), hoeffding_tail(100, 20.0));
+}
+
+TEST(Bounds, Proposition4Y) {
+  // y(c, l) = 1 - (1-c)^{l+1}/2; y(0, l) = 1/2, y -> 1 as c -> 1.
+  EXPECT_DOUBLE_EQ(proposition4_y(0.0, 3), 0.5);
+  EXPECT_NEAR(proposition4_y(0.5, 1), 1.0 - 0.25 / 2.0, 1e-12);
+  EXPECT_GT(proposition4_y(0.9, 3), proposition4_y(0.1, 3));
+  for (const double c : {0.1, 0.5, 0.9}) {
+    const double y = proposition4_y(c, 5);
+    EXPECT_GT(y, c);  // The paper requires y in (c, 1).
+    EXPECT_LT(y, 1.0);
+  }
+}
+
+TEST(Bounds, Proposition4FailureDecays) {
+  EXPECT_NEAR(proposition4_failure(10000), std::exp(-200.0), 1e-90);
+  EXPECT_GT(proposition4_failure(100), proposition4_failure(10000));
+}
+
+TEST(Bounds, AzumaTail) {
+  // Matches 2 exp(-delta^2 / (2 T c^2)) + p.
+  EXPECT_NEAR(azuma_tail(100, 1.0, 20.0, 0.0),
+              2.0 * std::exp(-400.0 / 200.0), 1e-12);
+  EXPECT_DOUBLE_EQ(azuma_tail(0, 1.0, 5.0, 0.125), 0.125);
+  EXPECT_LE(azuma_tail(1, 1.0, 0.0, 0.0), 1.0);
+}
+
+TEST(Bounds, CrossingFloor) {
+  EXPECT_DOUBLE_EQ(theorem6_crossing_floor(1000, 0.0), 1000.0);
+  EXPECT_NEAR(theorem6_crossing_floor(10000, 0.5), 100.0, 1e-9);
+}
+
+TEST(Theorem6Checker, MinorityCase1SatisfiesAssumptions) {
+  const MinorityDynamics minority(3);
+  const CaseAnalysis analysis = classify_bias(minority, kN);
+  const Theorem6Report report = check_theorem6(minority, kN, analysis, 0.25);
+  EXPECT_TRUE(report.drift_ok) << report.describe();
+  // On (1/2, 1) the drift n*F is strictly negative away from the roots.
+  EXPECT_LT(report.worst_directional_drift, 1.0);
+  EXPECT_LT(report.jump_probability_bound, 1e-6);
+  EXPECT_LT(report.deviation_probability_bound, 1.0);
+  EXPECT_NEAR(report.predicted_floor, std::pow(double(kN), 0.75), 1e-6);
+}
+
+TEST(Theorem6Checker, ThreeMajorityCase2SatisfiesAssumptions) {
+  const ThreeMajorityDynamics three;
+  const CaseAnalysis analysis = classify_bias(three, kN);
+  const Theorem6Report report = check_theorem6(three, kN, analysis, 0.25);
+  EXPECT_TRUE(report.drift_ok) << report.describe();
+}
+
+TEST(Theorem6Checker, VoterZeroBiasSatisfiesAssumptions) {
+  const VoterDynamics voter;
+  const CaseAnalysis analysis = classify_bias(voter, kN);
+  const Theorem6Report report = check_theorem6(voter, kN, analysis, 0.25);
+  EXPECT_TRUE(report.drift_ok) << report.describe();
+  EXPECT_NEAR(report.worst_directional_drift, 0.0, 1e-9);
+}
+
+TEST(Theorem6Checker, WrongDirectionFailsDriftCheck) {
+  // Deliberately run 3-majority "upward with z=1" above 1/2, where its drift
+  // is strongly POSITIVE: assumption (i) must fail.
+  const ThreeMajorityDynamics three;
+  CaseAnalysis analysis = classify_bias(three, kN);
+  analysis.upward = true;  // Wrong direction on purpose.
+  const Theorem6Report report = check_theorem6(three, kN, analysis, 0.25);
+  EXPECT_FALSE(report.drift_ok);
+  EXPECT_GT(report.worst_directional_drift, 1.0);
+}
+
+}  // namespace
+}  // namespace bitspread

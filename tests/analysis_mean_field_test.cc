@@ -1,0 +1,100 @@
+// Mean-field map: fixed points, stability, orbits — the deterministic
+// skeleton behind the Case 1/2 phenomenology.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/mean_field.h"
+#include "protocols/minority.h"
+#include "protocols/three_majority.h"
+#include "protocols/voter.h"
+
+namespace bitspread {
+namespace {
+
+constexpr std::uint64_t kN = 1 << 12;
+
+TEST(MeanField, VoterEveryPointIsFixed) {
+  const VoterDynamics voter;
+  const MeanFieldMap map(voter, kN);
+  for (const double p : {0.0, 0.3, 0.7, 1.0}) {
+    EXPECT_NEAR(map.step(p), p, 1e-12);
+  }
+  const auto fps = map.fixed_points();
+  ASSERT_EQ(fps.size(), 3u);
+  for (const auto& fp : fps) {
+    EXPECT_EQ(fp.stability, FixedPointStability::kMarginal);
+  }
+}
+
+TEST(MeanField, Minority3HasStableInteriorFixedPoint) {
+  // F = 2p(1-p)(1-2p): fixed points 0, 1/2, 1. F'(1/2) = -1 => slope 0:
+  // strongly stable interior point; endpoints have F'(0) = 2, F'(1) = 2:
+  // slope 3, unstable. This is WHY constant-l minority stalls at balance.
+  const MinorityDynamics minority(3);
+  const MeanFieldMap map(minority, kN);
+  const auto fps = map.fixed_points();
+  ASSERT_EQ(fps.size(), 3u);
+  EXPECT_NEAR(fps[0].p, 0.0, 1e-9);
+  EXPECT_EQ(fps[0].stability, FixedPointStability::kUnstable);
+  EXPECT_NEAR(fps[1].p, 0.5, 1e-9);
+  EXPECT_EQ(fps[1].stability, FixedPointStability::kStable);
+  EXPECT_NEAR(fps[1].derivative, -1.0, 1e-8);
+  EXPECT_NEAR(fps[2].p, 1.0, 1e-9);
+  EXPECT_EQ(fps[2].stability, FixedPointStability::kUnstable);
+}
+
+TEST(MeanField, ThreeMajorityHasUnstableInteriorFixedPoint) {
+  // F = -p(1-p)(1-2p): interior point 1/2 is UNSTABLE (drift away),
+  // endpoints stable — majority dynamics tips to a consensus.
+  const ThreeMajorityDynamics three;
+  const MeanFieldMap map(three, kN);
+  const auto fps = map.fixed_points();
+  ASSERT_EQ(fps.size(), 3u);
+  EXPECT_EQ(fps[0].stability, FixedPointStability::kStable);
+  EXPECT_EQ(fps[1].stability, FixedPointStability::kUnstable);
+  EXPECT_EQ(fps[2].stability, FixedPointStability::kStable);
+}
+
+TEST(MeanField, OrbitsConvergeToPredictedLimits) {
+  const MinorityDynamics minority(3);
+  const MeanFieldMap minority_map(minority, kN);
+  EXPECT_NEAR(minority_map.limit_from(0.9), 0.5, 1e-6);
+  EXPECT_NEAR(minority_map.limit_from(0.1), 0.5, 1e-6);
+
+  const ThreeMajorityDynamics three;
+  const MeanFieldMap majority_map(three, kN);
+  EXPECT_NEAR(majority_map.limit_from(0.6), 1.0, 1e-6);
+  EXPECT_NEAR(majority_map.limit_from(0.4), 0.0, 1e-6);
+}
+
+TEST(MeanField, OrbitRecordsEveryIterate) {
+  const ThreeMajorityDynamics three;
+  const MeanFieldMap map(three, kN);
+  const auto orbit = map.orbit(0.6, 10);
+  ASSERT_EQ(orbit.size(), 11u);
+  EXPECT_DOUBLE_EQ(orbit[0], 0.6);
+  for (std::size_t i = 1; i < orbit.size(); ++i) {
+    EXPECT_GE(orbit[i], orbit[i - 1] - 1e-12);  // Monotone climb to 1.
+  }
+}
+
+TEST(MeanField, StepStaysInUnitInterval) {
+  const MinorityDynamics minority(7);
+  const MeanFieldMap map(minority, kN);
+  for (int i = 0; i <= 50; ++i) {
+    const double p = i / 50.0;
+    const double next = map.step(p);
+    EXPECT_GE(next, 0.0);
+    EXPECT_LE(next, 1.0);
+  }
+}
+
+TEST(MeanField, StabilityStringNames) {
+  EXPECT_EQ(to_string(FixedPointStability::kStable), "stable");
+  EXPECT_EQ(to_string(FixedPointStability::kUnstable), "unstable");
+  EXPECT_EQ(to_string(FixedPointStability::kMarginal), "marginal");
+}
+
+}  // namespace
+}  // namespace bitspread

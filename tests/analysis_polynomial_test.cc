@@ -1,0 +1,221 @@
+// Polynomial arithmetic, Bernstein conversion, and root isolation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "analysis/bernstein.h"
+#include "analysis/polynomial.h"
+#include "analysis/roots.h"
+#include "random/rng.h"
+
+namespace bitspread {
+namespace {
+
+TEST(Polynomial, ZeroPolynomial) {
+  const Polynomial zero;
+  EXPECT_TRUE(zero.is_zero());
+  EXPECT_EQ(zero.degree(), -1);
+  EXPECT_DOUBLE_EQ(zero(3.0), 0.0);
+}
+
+TEST(Polynomial, TrailingZerosTrimmed) {
+  const Polynomial p({1.0, 2.0, 0.0, 0.0});
+  EXPECT_EQ(p.degree(), 1);
+}
+
+TEST(Polynomial, HornerEvaluation) {
+  const Polynomial p({1.0, -2.0, 3.0});  // 3x^2 - 2x + 1
+  EXPECT_DOUBLE_EQ(p(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(p(1.0), 2.0);
+  EXPECT_DOUBLE_EQ(p(2.0), 9.0);
+  EXPECT_DOUBLE_EQ(p(-1.0), 6.0);
+}
+
+TEST(Polynomial, ArithmeticIdentities) {
+  const Polynomial p({1.0, 1.0});        // 1 + x
+  const Polynomial q({-1.0, 1.0});       // -1 + x
+  const Polynomial product = p * q;      // x^2 - 1
+  EXPECT_EQ(product.degree(), 2);
+  EXPECT_DOUBLE_EQ(product(3.0), 8.0);
+  const Polynomial sum = p + q;          // 2x
+  EXPECT_DOUBLE_EQ(sum(5.0), 10.0);
+  const Polynomial diff = p - q;         // 2
+  EXPECT_EQ(diff.degree(), 0);
+  EXPECT_DOUBLE_EQ(diff(42.0), 2.0);
+  const Polynomial scaled = p * 3.0;
+  EXPECT_DOUBLE_EQ(scaled(1.0), 6.0);
+}
+
+TEST(Polynomial, MultiplicationByZero) {
+  const Polynomial p({1.0, 2.0, 3.0});
+  EXPECT_TRUE((p * Polynomial()).is_zero());
+  EXPECT_TRUE((p * 0.0).is_zero());
+}
+
+TEST(Polynomial, Derivative) {
+  const Polynomial p({5.0, 3.0, 0.0, 2.0});  // 2x^3 + 3x + 5
+  const Polynomial d = p.derivative();       // 6x^2 + 3
+  EXPECT_EQ(d.degree(), 2);
+  EXPECT_DOUBLE_EQ(d(0.0), 3.0);
+  EXPECT_DOUBLE_EQ(d(1.0), 9.0);
+  EXPECT_TRUE(Polynomial::constant(7.0).derivative().is_zero());
+}
+
+TEST(Polynomial, ToString) {
+  EXPECT_EQ(Polynomial().to_string(), "0");
+  const Polynomial p({1.0, 0.0, -2.0});
+  EXPECT_EQ(p.to_string(), "-2*p^2 + 1");  // leading term first
+}
+
+TEST(BinomialCoefficient, KnownValues) {
+  EXPECT_DOUBLE_EQ(binomial_coefficient(5, 0), 1.0);
+  EXPECT_DOUBLE_EQ(binomial_coefficient(5, 2), 10.0);
+  EXPECT_DOUBLE_EQ(binomial_coefficient(5, 5), 1.0);
+  EXPECT_DOUBLE_EQ(binomial_coefficient(10, 3), 120.0);
+  EXPECT_DOUBLE_EQ(binomial_coefficient(3, 7), 0.0);
+}
+
+TEST(Bernstein, BasisEvaluatesToDefinition) {
+  for (const std::uint32_t ell : {1u, 3u, 6u}) {
+    for (std::uint32_t k = 0; k <= ell; ++k) {
+      const Polynomial b = bernstein_basis(k, ell);
+      for (int i = 0; i <= 10; ++i) {
+        const double p = i / 10.0;
+        const double expected = binomial_coefficient(ell, k) *
+                                std::pow(p, k) *
+                                std::pow(1.0 - p, ell - k);
+        EXPECT_NEAR(b(p), expected, 1e-12) << "l=" << ell << " k=" << k;
+      }
+    }
+  }
+}
+
+TEST(Bernstein, PartitionOfUnity) {
+  const std::uint32_t ell = 7;
+  const std::vector<double> ones(ell + 1, 1.0);
+  const Polynomial sum = from_bernstein(ones);
+  // sum_k B_{k,l} == 1.
+  EXPECT_EQ(sum.degree(), 0);
+  EXPECT_NEAR(sum(0.37), 1.0, 1e-12);
+}
+
+TEST(Bernstein, LinearPrecision) {
+  // sum_k (k/l) B_{k,l}(p) = p (this is exactly why Voter's bias vanishes).
+  const std::uint32_t ell = 9;
+  std::vector<double> values(ell + 1);
+  for (std::uint32_t k = 0; k <= ell; ++k) {
+    values[k] = static_cast<double>(k) / ell;
+  }
+  const Polynomial p = from_bernstein(values);
+  EXPECT_EQ(p.degree(), 1);
+  EXPECT_NEAR(p.coefficient(1), 1.0, 1e-12);
+  EXPECT_NEAR(p.coefficient(0), 0.0, 1e-12);
+}
+
+TEST(Roots, LinearAndQuadratic) {
+  const Polynomial linear({-0.5, 1.0});  // x - 0.5
+  const auto r1 = real_roots_in(linear, 0.0, 1.0);
+  ASSERT_EQ(r1.size(), 1u);
+  EXPECT_NEAR(r1[0], 0.5, 1e-10);
+
+  const Polynomial quadratic =
+      Polynomial({-0.25, 1.0}) * Polynomial({-0.75, 1.0});
+  const auto r2 = real_roots_in(quadratic, 0.0, 1.0);
+  ASSERT_EQ(r2.size(), 2u);
+  EXPECT_NEAR(r2[0], 0.25, 1e-9);
+  EXPECT_NEAR(r2[1], 0.75, 1e-9);
+}
+
+TEST(Roots, RootsOutsideIntervalIgnored) {
+  const Polynomial p({-2.0, 1.0});  // root at 2
+  EXPECT_TRUE(real_roots_in(p, 0.0, 1.0).empty());
+}
+
+TEST(Roots, EndpointRoots) {
+  // p(x) = x(1-x): roots exactly at both endpoints of [0,1].
+  const Polynomial p({0.0, 1.0, -1.0});
+  const auto roots = real_roots_in(p, 0.0, 1.0);
+  ASSERT_EQ(roots.size(), 2u);
+  EXPECT_NEAR(roots[0], 0.0, 1e-9);
+  EXPECT_NEAR(roots[1], 1.0, 1e-9);
+}
+
+TEST(Roots, DoubleRootIsFound) {
+  // (x - 0.5)^2: even multiplicity, no sign change.
+  const Polynomial p = Polynomial({-0.5, 1.0}) * Polynomial({-0.5, 1.0});
+  const auto roots = real_roots_in(p, 0.0, 1.0);
+  ASSERT_EQ(roots.size(), 1u);
+  EXPECT_NEAR(roots[0], 0.5, 1e-6);
+}
+
+TEST(Roots, CubicWithThreeRoots) {
+  const Polynomial p = Polynomial({-0.1, 1.0}) * Polynomial({-0.5, 1.0}) *
+                       Polynomial({-0.9, 1.0});
+  const auto roots = real_roots_in(p, 0.0, 1.0);
+  ASSERT_EQ(roots.size(), 3u);
+  EXPECT_NEAR(roots[0], 0.1, 1e-8);
+  EXPECT_NEAR(roots[1], 0.5, 1e-8);
+  EXPECT_NEAR(roots[2], 0.9, 1e-8);
+}
+
+TEST(Roots, NoRootsOnPositivePolynomial) {
+  const Polynomial p({1.0, 0.0, 1.0});  // x^2 + 1
+  EXPECT_TRUE(real_roots_in(p, 0.0, 1.0).empty());
+}
+
+// Property test: build polynomials from random root sets in (0,1) and verify
+// every planted root is recovered.
+class PlantedRootsTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PlantedRootsTest, AllPlantedRootsRecovered) {
+  Rng rng(100 + GetParam());
+  const int degree = 2 + GetParam() % 5;
+  std::vector<double> planted;
+  for (int i = 0; i < degree; ++i) {
+    planted.push_back(0.05 + 0.9 * rng.next_double());
+  }
+  std::sort(planted.begin(), planted.end());
+  // Keep roots separated so isolation is well-posed.
+  bool well_separated = true;
+  for (std::size_t i = 1; i < planted.size(); ++i) {
+    if (planted[i] - planted[i - 1] < 0.02) well_separated = false;
+  }
+  if (!well_separated) GTEST_SKIP() << "degenerate random instance";
+
+  Polynomial p = Polynomial::constant(1.0);
+  for (const double r : planted) {
+    p = p * Polynomial({-r, 1.0});
+  }
+  const auto roots = real_roots_in(p, 0.0, 1.0);
+  ASSERT_EQ(roots.size(), planted.size());
+  for (std::size_t i = 0; i < planted.size(); ++i) {
+    EXPECT_NEAR(roots[i], planted[i], 1e-7);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, PlantedRootsTest,
+                         ::testing::Range(0, 25));
+
+TEST(MaxAbsOn, FindsInteriorExtremum) {
+  // x(1-x) has max 0.25 at 0.5.
+  const Polynomial p({0.0, 1.0, -1.0});
+  EXPECT_NEAR(max_abs_on(p, 0.0, 1.0), 0.25, 1e-9);
+}
+
+TEST(MaxAbsOn, EndpointDominates) {
+  const Polynomial p({0.0, 1.0});  // x on [0, 2]
+  EXPECT_NEAR(max_abs_on(p, 0.0, 2.0), 2.0, 1e-12);
+}
+
+TEST(SignOnInterval, DetectsSigns) {
+  EXPECT_EQ(sign_on_interval(Polynomial({1.0}), 0.0, 1.0), 1);
+  EXPECT_EQ(sign_on_interval(Polynomial({-1.0}), 0.0, 1.0), -1);
+  EXPECT_EQ(sign_on_interval(Polynomial(), 0.0, 1.0), 0);
+  // x(1-x) is positive on (0,1).
+  EXPECT_EQ(sign_on_interval(Polynomial({0.0, 1.0, -1.0}), 0.0, 1.0), 1);
+}
+
+}  // namespace
+}  // namespace bitspread

@@ -1,0 +1,177 @@
+// Tests for opinions, configurations, sample-size policies, problem
+// predicates, and initializers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/configuration.h"
+#include "core/init.h"
+#include "core/opinion.h"
+#include "core/problem.h"
+#include "core/sample_size.h"
+#include "protocols/minority.h"
+#include "protocols/perturbed.h"
+#include "protocols/voter.h"
+
+namespace bitspread {
+namespace {
+
+TEST(Opinion, RoundTripAndOpposite) {
+  EXPECT_EQ(to_int(Opinion::kZero), 0);
+  EXPECT_EQ(to_int(Opinion::kOne), 1);
+  EXPECT_EQ(opposite(Opinion::kZero), Opinion::kOne);
+  EXPECT_EQ(opposite(Opinion::kOne), Opinion::kZero);
+  EXPECT_EQ(opinion_from(0), Opinion::kZero);
+  EXPECT_EQ(opinion_from(1), Opinion::kOne);
+  EXPECT_EQ(opinion_from(7), Opinion::kOne);
+}
+
+TEST(Configuration, ValidityRespectsSource) {
+  EXPECT_TRUE((Configuration{10, 1, Opinion::kOne}.valid()));
+  EXPECT_FALSE((Configuration{10, 0, Opinion::kOne}.valid()));
+  EXPECT_TRUE((Configuration{10, 9, Opinion::kZero}.valid()));
+  EXPECT_FALSE((Configuration{10, 10, Opinion::kZero}.valid()));
+  EXPECT_FALSE((Configuration{0, 0, Opinion::kZero}.valid()));
+  EXPECT_FALSE((Configuration{10, 11, Opinion::kOne}.valid()));
+}
+
+TEST(Configuration, ValidityWithMultipleSources) {
+  EXPECT_TRUE((Configuration{10, 3, Opinion::kOne, 3}.valid()));
+  EXPECT_FALSE((Configuration{10, 2, Opinion::kOne, 3}.valid()));
+  EXPECT_TRUE((Configuration{10, 7, Opinion::kZero, 3}.valid()));
+  EXPECT_FALSE((Configuration{10, 8, Opinion::kZero, 3}.valid()));
+}
+
+TEST(Configuration, NonSourceCounts) {
+  const Configuration c{10, 4, Opinion::kOne};
+  EXPECT_EQ(c.non_source_ones(), 3u);
+  EXPECT_EQ(c.non_source_zeros(), 6u);
+  const Configuration d{10, 4, Opinion::kZero};
+  EXPECT_EQ(d.non_source_ones(), 4u);
+  EXPECT_EQ(d.non_source_zeros(), 5u);
+}
+
+TEST(Configuration, SourcelessConsensusMode) {
+  const Configuration c{10, 10, Opinion::kOne, 0};
+  EXPECT_TRUE(c.valid());
+  EXPECT_EQ(c.non_source_ones(), 10u);
+  EXPECT_TRUE(c.is_correct_consensus());
+  const Configuration d{10, 0, Opinion::kOne, 0};
+  EXPECT_TRUE(d.valid());
+  EXPECT_TRUE(d.is_wrong_consensus());
+}
+
+TEST(Configuration, ConsensusPredicates) {
+  EXPECT_TRUE((Configuration{5, 5, Opinion::kOne}.is_correct_consensus()));
+  EXPECT_FALSE((Configuration{5, 4, Opinion::kOne}.is_consensus()));
+  EXPECT_TRUE((Configuration{5, 0, Opinion::kZero}.is_correct_consensus()));
+  EXPECT_FALSE((Configuration{5, 0, Opinion::kZero}.is_wrong_consensus()));
+  EXPECT_EQ(correct_consensus(7, Opinion::kOne).ones, 7u);
+  EXPECT_EQ(correct_consensus(7, Opinion::kZero).ones, 0u);
+}
+
+TEST(Configuration, FractionOnes) {
+  const Configuration c{8, 2, Opinion::kOne};
+  EXPECT_DOUBLE_EQ(c.fraction_ones(), 0.25);
+  EXPECT_EQ(c.zeros(), 6u);
+}
+
+TEST(SampleSizePolicy, Constant) {
+  const auto policy = SampleSizePolicy::constant(5);
+  EXPECT_EQ(policy.sample_size(10), 5u);
+  EXPECT_EQ(policy.sample_size(1000000), 5u);
+  EXPECT_TRUE(policy.is_constant());
+  EXPECT_EQ(policy.describe(), "l=5");
+}
+
+TEST(SampleSizePolicy, ConstantZeroClampsToOne) {
+  EXPECT_EQ(SampleSizePolicy::constant(0).sample_size(10), 1u);
+}
+
+TEST(SampleSizePolicy, SqrtNLogN) {
+  const auto policy = SampleSizePolicy::sqrt_n_log_n();
+  const std::uint64_t n = 1 << 20;
+  const double expected =
+      std::sqrt(static_cast<double>(n) * std::log(static_cast<double>(n)));
+  EXPECT_EQ(policy.sample_size(n),
+            static_cast<std::uint32_t>(std::ceil(expected)));
+  EXPECT_FALSE(policy.is_constant());
+}
+
+TEST(SampleSizePolicy, LogNAndPowerGrow) {
+  const auto log_policy = SampleSizePolicy::log_n(2.0);
+  EXPECT_GT(log_policy.sample_size(1 << 20), log_policy.sample_size(1 << 10));
+  const auto pow_policy = SampleSizePolicy::power(0.5);
+  EXPECT_EQ(pow_policy.sample_size(10000), 100u);
+  EXPECT_GE(pow_policy.sample_size(2), 1u);
+}
+
+TEST(Proposition3, CompliantProtocolsPass) {
+  const VoterDynamics voter;
+  EXPECT_TRUE(proposition3_violations(voter, 100).empty());
+  const MinorityDynamics minority(3);
+  EXPECT_TRUE(proposition3_violations(minority, 100).empty());
+}
+
+TEST(Proposition3, PerturbedProtocolFails) {
+  const VoterDynamics voter;
+  const PerturbedProtocol noisy(voter, 0.1);
+  const auto violations = proposition3_violations(noisy, 100);
+  EXPECT_EQ(violations.size(), 2u);
+}
+
+TEST(IsAbsorbing, ConsensusOnlyAndProp3Gated) {
+  const MinorityDynamics minority(3);
+  EXPECT_TRUE(is_absorbing(minority, Configuration{10, 10, Opinion::kOne}));
+  EXPECT_TRUE(is_absorbing(minority, Configuration{10, 0, Opinion::kZero}));
+  EXPECT_FALSE(is_absorbing(minority, Configuration{10, 5, Opinion::kOne}));
+  const VoterDynamics voter;
+  const PerturbedProtocol noisy(voter, 0.5);
+  EXPECT_FALSE(is_absorbing(noisy, Configuration{10, 10, Opinion::kOne}));
+}
+
+TEST(ExactDrift, VoterDriftIsPureSourceTerm) {
+  // For Voter, P_b(p) = p, so E[X'] = z + (n-1)p: drift = z - p.
+  const VoterDynamics voter;
+  const Configuration c{100, 40, Opinion::kOne};
+  const double drift = exact_one_round_drift(voter, c);
+  EXPECT_NEAR(drift, 1.0 - 0.4, 1e-12);
+  const Configuration d{100, 40, Opinion::kZero};
+  EXPECT_NEAR(exact_one_round_drift(voter, d), -0.4, 1e-12);
+}
+
+TEST(InitAllWrong, OnlySourcesHoldCorrect) {
+  const Configuration c = init_all_wrong(10, Opinion::kOne);
+  EXPECT_EQ(c.ones, 1u);
+  EXPECT_TRUE(c.valid());
+  const Configuration d = init_all_wrong(10, Opinion::kZero);
+  EXPECT_EQ(d.ones, 9u);
+  EXPECT_TRUE(d.valid());
+}
+
+TEST(InitAllCorrect, IsCorrectConsensus) {
+  EXPECT_TRUE(init_all_correct(10, Opinion::kOne).is_correct_consensus());
+  EXPECT_TRUE(init_all_correct(10, Opinion::kZero).is_correct_consensus());
+}
+
+TEST(InitFraction, RoundsAndClamps) {
+  EXPECT_EQ(init_fraction_ones(10, Opinion::kOne, 0.5).ones, 5u);
+  EXPECT_EQ(init_fraction_ones(10, Opinion::kOne, 0.0).ones, 1u);  // source
+  EXPECT_EQ(init_fraction_ones(10, Opinion::kZero, 1.0).ones, 9u);
+  EXPECT_EQ(init_half(9, Opinion::kOne).ones, 5u);  // round(4.5) = 5
+}
+
+TEST(InitRandom, RespectsBiasAndValidity) {
+  Rng rng(1);
+  const int kDraws = 2000;
+  double total = 0.0;
+  for (int i = 0; i < kDraws; ++i) {
+    const Configuration c = init_random(1000, Opinion::kZero, 0.3, rng);
+    ASSERT_TRUE(c.valid());
+    total += static_cast<double>(c.ones);
+  }
+  EXPECT_NEAR(total / kDraws, 0.3 * 999, 2.0);
+}
+
+}  // namespace
+}  // namespace bitspread

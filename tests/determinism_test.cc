@@ -1,0 +1,77 @@
+// Cross-cutting reproducibility guarantees: whole experiments, not just
+// single streams, must replay bit-for-bit from the master seed.
+#include <gtest/gtest.h>
+
+#include "core/init.h"
+#include "engine/aggregate.h"
+#include "engine/sequential.h"
+#include "protocols/minority.h"
+#include "protocols/voter.h"
+#include "sim/experiment.h"
+
+namespace bitspread {
+namespace {
+
+ConvergenceMeasurement run_experiment(std::uint64_t master_seed) {
+  const MinorityDynamics minority(SampleSizePolicy::sqrt_n_log_n());
+  const AggregateParallelEngine engine(minority);
+  const SeedSequence seeds(master_seed);
+  StopRule rule;
+  rule.max_rounds = 2000;
+  const Configuration init = init_all_wrong(4096, Opinion::kOne);
+  const auto runner = [&](Rng& rng) { return engine.run(init, rule, rng); };
+  return measure_convergence(runner, seeds, /*cell=*/3, /*replicates=*/25);
+}
+
+TEST(Determinism, WholeExperimentReplaysBitForBit) {
+  const ConvergenceMeasurement a = run_experiment(123456);
+  const ConvergenceMeasurement b = run_experiment(123456);
+  EXPECT_EQ(a.converged, b.converged);
+  EXPECT_EQ(a.round_samples, b.round_samples);
+  EXPECT_DOUBLE_EQ(a.rounds.mean(), b.rounds.mean());
+  EXPECT_DOUBLE_EQ(a.rounds.variance(), b.rounds.variance());
+}
+
+TEST(Determinism, MasterSeedChangesResults) {
+  const ConvergenceMeasurement a = run_experiment(1);
+  const ConvergenceMeasurement b = run_experiment(2);
+  EXPECT_NE(a.round_samples, b.round_samples);
+}
+
+TEST(Determinism, ReplicateOrderIrrelevantToEachReplicate) {
+  // Replicate k's result depends only on (cell, k), not on which replicates
+  // ran before it: running 10 then extending to 20 keeps the first 10.
+  const VoterDynamics voter;
+  const AggregateParallelEngine engine(voter);
+  const SeedSequence seeds(77);
+  StopRule rule;
+  rule.max_rounds = 1000000;
+  const Configuration init = init_half(128, Opinion::kOne);
+  const auto runner = [&](Rng& rng) { return engine.run(init, rule, rng); };
+  const auto ten = measure_convergence(runner, seeds, 0, 10);
+  const auto twenty = measure_convergence(runner, seeds, 0, 20);
+  ASSERT_GE(twenty.round_samples.size(), ten.round_samples.size());
+  for (std::size_t i = 0; i < ten.round_samples.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ten.round_samples[i], twenty.round_samples[i]);
+  }
+}
+
+TEST(Determinism, EnginesDoNotShareHiddenState) {
+  // Two engines over the same protocol advanced with separate RNGs produce
+  // independent runs; the protocol object itself is stateless (const).
+  const MinorityDynamics minority(3);
+  const AggregateParallelEngine engine_a(minority);
+  const SequentialEngine engine_b(minority);
+  Rng rng_a(5), rng_b(5);
+  Configuration config{200, 100, Opinion::kOne};
+  const Configuration after_parallel = engine_a.step(config, rng_a);
+  const auto seq = engine_b.step(config, rng_b);
+  (void)seq;
+  // Replaying the parallel step with a fresh identically seeded RNG matches,
+  // proving the sequential interleaving did not perturb anything shared.
+  Rng rng_c(5);
+  EXPECT_EQ(engine_a.step(config, rng_c), after_parallel);
+}
+
+}  // namespace
+}  // namespace bitspread

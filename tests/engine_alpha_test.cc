@@ -1,0 +1,127 @@
+// The alpha-synchronous engine: consistency with the parallel engine at
+// alpha = 1, one-step expectations, invariants, and the synchrony collapse.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/init.h"
+#include "core/problem.h"
+#include "engine/aggregate.h"
+#include "engine/alpha_sync.h"
+#include "protocols/minority.h"
+#include "protocols/voter.h"
+#include "stats/ks.h"
+#include "stats/summary.h"
+
+namespace bitspread {
+namespace {
+
+TEST(AlphaSync, AlphaOneMatchesParallelEngineInLaw) {
+  const VoterDynamics voter;
+  const AlphaSynchronousEngine alpha_engine(voter, 1.0);
+  const AggregateParallelEngine parallel_engine(voter);
+  const std::uint64_t n = 40;
+  StopRule rule;
+  rule.max_rounds = 1000000;
+  const int kTrials = 300;
+  std::vector<double> a_times, b_times;
+  for (int i = 0; i < kTrials; ++i) {
+    Rng rng_a(90000 + i), rng_b(91000 + i);
+    const RunResult a =
+        alpha_engine.run(Configuration{n, 15, Opinion::kOne}, rule, rng_a);
+    const RunResult b = parallel_engine.run(Configuration{n, 15, Opinion::kOne},
+                                            rule, rng_b);
+    ASSERT_TRUE(a.converged());
+    ASSERT_TRUE(b.converged());
+    a_times.push_back(static_cast<double>(a.rounds));
+    b_times.push_back(static_cast<double>(b.rounds));
+  }
+  const double d = ks_statistic(a_times, b_times);
+  EXPECT_GT(ks_p_value(d, a_times.size(), b_times.size()), 1e-3) << "KS=" << d;
+}
+
+TEST(AlphaSync, StepPreservesValidityAndSources) {
+  const MinorityDynamics minority(3);
+  const AlphaSynchronousEngine engine(minority, 0.4);
+  Rng rng(1);
+  Configuration config{500, 200, Opinion::kOne};
+  for (int t = 0; t < 300; ++t) {
+    config = engine.step(config, rng);
+    ASSERT_TRUE(config.valid());
+    EXPECT_GE(config.ones, 1u);
+  }
+}
+
+TEST(AlphaSync, OneStepMeanInterpolatesDrift) {
+  // E[X' | x] = x + alpha * (full-parallel drift): inactive agents freeze.
+  const MinorityDynamics minority(3);
+  const double alpha = 0.3;
+  const AlphaSynchronousEngine engine(minority, alpha);
+  const std::uint64_t n = 3000;
+  const Configuration start{n, 1000, Opinion::kOne};
+  const double expected =
+      static_cast<double>(start.ones) +
+      alpha * exact_one_round_drift(minority, start);
+  Rng rng(2);
+  RunningStats stats;
+  const int kTrials = 4000;
+  for (int i = 0; i < kTrials; ++i) {
+    stats.add(static_cast<double>(engine.step(start, rng).ones));
+  }
+  EXPECT_NEAR(stats.mean(), expected, 5.0 * stats.stderr_mean() + 1e-9);
+}
+
+TEST(AlphaSync, ConsensusAbsorbingForCompliantProtocol) {
+  const MinorityDynamics minority(5);
+  const AlphaSynchronousEngine engine(minority, 0.6);
+  Rng rng(3);
+  Configuration config = correct_consensus(200, Opinion::kOne);
+  for (int t = 0; t < 100; ++t) {
+    config = engine.step(config, rng);
+    EXPECT_TRUE(config.is_correct_consensus());
+  }
+}
+
+TEST(AlphaSync, SmallAlphaApproachesSequentialScale) {
+  // With alpha = 1/n, each round performs ~1 activation; voter's
+  // convergence measured in alpha-rounds should be ~n times the parallel
+  // count (sanity of the time normalization).
+  const VoterDynamics voter;
+  const std::uint64_t n = 64;
+  const AlphaSynchronousEngine engine(voter, 1.0 / static_cast<double>(n));
+  StopRule rule;
+  rule.max_rounds = 50'000'000;
+  Rng rng(4);
+  const RunResult result =
+      engine.run(init_half(n, Opinion::kOne), rule, rng);
+  ASSERT_TRUE(result.converged());
+  // Effective parallel rounds = rounds / n: should be within a sane factor
+  // of voter's ~n-ish convergence (very loose bounds; this is a unit test).
+  const double effective =
+      static_cast<double>(result.rounds) / static_cast<double>(n);
+  EXPECT_GT(effective, 5.0);
+  EXPECT_LT(effective, 100000.0);
+}
+
+TEST(AlphaSync, MinorityMechanismCollapsesUnderMildAsynchrony) {
+  // The E18 headline at unit-test scale: minority with l = sqrt(n ln n)
+  // converges from all-wrong at alpha = 1 in a handful of rounds, but at
+  // alpha = 0.9 it fails a 100x budget.
+  const MinorityDynamics minority(SampleSizePolicy::sqrt_n_log_n());
+  const std::uint64_t n = 1 << 12;
+  const Configuration init = init_all_wrong(n, Opinion::kOne);
+
+  const AlphaSynchronousEngine sync(minority, 1.0);
+  StopRule rule;
+  rule.max_rounds = 100;
+  Rng rng_a(5);
+  EXPECT_TRUE(sync.run(init, rule, rng_a).converged());
+
+  const AlphaSynchronousEngine lagged(minority, 0.9);
+  rule.max_rounds = 10000;
+  Rng rng_b(6);
+  EXPECT_TRUE(lagged.run(init, rule, rng_b).censored());
+}
+
+}  // namespace
+}  // namespace bitspread

@@ -1,0 +1,84 @@
+// The conflicting-sources engine (majority bit-dissemination, §1.3).
+#include <gtest/gtest.h>
+
+#include "engine/conflicting.h"
+#include "protocols/majority.h"
+#include "protocols/minority.h"
+#include "protocols/voter.h"
+
+namespace bitspread {
+namespace {
+
+TEST(ConflictingConfiguration, ValidityAndCamps) {
+  ConflictingConfiguration c{100, 40, 10, 20};
+  EXPECT_TRUE(c.valid());
+  EXPECT_EQ(c.free_ones(), 30u);
+  EXPECT_EQ(c.free_zeros(), 40u);
+  EXPECT_EQ(c.majority_preference(), Opinion::kZero);
+  c.stubborn_ones = 50;  // More stubborn ones than displayed ones.
+  EXPECT_FALSE(c.valid());
+}
+
+TEST(ConflictingEngine, StubbornCountsAreInvariant) {
+  const VoterDynamics voter;
+  const ConflictingAggregateEngine engine(voter);
+  Rng rng(1);
+  ConflictingConfiguration config{200, 100, 15, 10};
+  for (int t = 0; t < 200; ++t) {
+    config = engine.step(config, rng);
+    ASSERT_TRUE(config.valid()) << config.describe();
+    EXPECT_GE(config.ones, 15u);
+    EXPECT_LE(config.ones, 190u);
+    EXPECT_EQ(config.stubborn_ones, 15u);
+    EXPECT_EQ(config.stubborn_zeros, 10u);
+  }
+}
+
+TEST(ConflictingEngine, NoConsensusEverWhileBothCampsExist) {
+  const MinorityDynamics minority(3);
+  const ConflictingAggregateEngine engine(minority);
+  Rng rng(2);
+  ConflictingConfiguration config{500, 250, 20, 20};
+  for (int t = 0; t < 500; ++t) {
+    config = engine.step(config, rng);
+    EXPECT_GT(config.ones, 0u);
+    EXPECT_LT(config.ones, 500u);
+  }
+}
+
+TEST(ConflictingEngine, WatchReportsTrackingStatistics) {
+  // Voter with a 3:1 stubborn imbalance: the free population's stationary
+  // mean leans toward the bigger camp, so tracking should beat 1/2 clearly.
+  const VoterDynamics voter;
+  const ConflictingAggregateEngine engine(voter);
+  Rng rng(3);
+  ConflictingConfiguration config{1000, 500, 30, 10};
+  const auto result = engine.watch(config, 20000, rng);
+  EXPECT_GT(result.tracking_fraction, 0.7);
+  EXPECT_LE(result.tracking_fraction, 1.0);
+  EXPECT_TRUE(result.final_config.valid());
+}
+
+TEST(ConflictingEngine, NeverNearConsensusUnderVoterWithBalancedCamps) {
+  // Balanced camps: the mix hovers near 1/2; >=90% alignment of the free
+  // population should be (essentially) never observed.
+  const VoterDynamics voter;
+  const ConflictingAggregateEngine engine(voter);
+  Rng rng(4);
+  ConflictingConfiguration config{1000, 500, 20, 20};
+  const auto result = engine.watch(config, 5000, rng);
+  EXPECT_LT(result.near_consensus_fraction, 0.01);
+}
+
+TEST(ConflictingEngine, TrajectoryRecording) {
+  const MajorityDynamics majority(5, MajorityDynamics::TieBreak::kKeepOwn);
+  const ConflictingAggregateEngine engine(majority);
+  Rng rng(5);
+  Trajectory trajectory;
+  engine.watch(ConflictingConfiguration{400, 200, 12, 8}, 100, rng,
+               &trajectory);
+  EXPECT_EQ(trajectory.size(), 101u);
+}
+
+}  // namespace
+}  // namespace bitspread

@@ -1,0 +1,132 @@
+// Distribution-identity cross-checks between the three representations of
+// the same dynamics: the aggregate engine, the agent-level engine, and the
+// exact dense Markov chain. These tests are the empirical backbone of the
+// aggregate-chain reduction (DESIGN.md §3).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/stateful.h"
+#include "engine/agent.h"
+#include "engine/aggregate.h"
+#include "markov/absorption.h"
+#include "markov/dense_chain.h"
+#include "protocols/minority.h"
+#include "protocols/three_majority.h"
+#include "protocols/voter.h"
+#include "stats/ks.h"
+#include "stats/summary.h"
+
+namespace bitspread {
+namespace {
+
+// One-step distribution of the aggregate engine against the exact chain row,
+// by chi-square.
+TEST(CrossValidation, AggregateStepMatchesExactChainRow) {
+  const MinorityDynamics minority(3);
+  const std::uint64_t n = 30;
+  const std::uint64_t x0 = 12;
+  const DenseParallelChain chain(minority, n, Opinion::kOne);
+  const std::vector<double> expected = chain.transition_row(x0);
+
+  const AggregateParallelEngine engine(minority);
+  Rng rng(1);
+  const int kTrials = 40000;
+  std::vector<std::uint64_t> counts(chain.state_count(), 0);
+  for (int i = 0; i < kTrials; ++i) {
+    const Configuration next =
+        engine.step(Configuration{n, x0, Opinion::kOne}, rng);
+    ++counts[next.ones - chain.min_state()];
+  }
+  int dof = 0;
+  const double stat = chi_square_statistic(counts, expected, kTrials, &dof);
+  EXPECT_GT(chi_square_p_value(stat, dof), 1e-4)
+      << "stat=" << stat << " dof=" << dof;
+}
+
+// One-step distribution of the AGENT engine against the exact chain row.
+TEST(CrossValidation, AgentStepMatchesExactChainRow) {
+  const ThreeMajorityDynamics three;
+  const std::uint64_t n = 24;
+  const std::uint64_t x0 = 10;
+  const DenseParallelChain chain(three, n, Opinion::kZero);
+  const std::vector<double> expected = chain.transition_row(x0);
+
+  const MemorylessAsStateful adapter(three);
+  const AgentParallelEngine engine(adapter);
+  Rng rng(2);
+  const int kTrials = 30000;
+  std::vector<std::uint64_t> counts(chain.state_count(), 0);
+  for (int i = 0; i < kTrials; ++i) {
+    auto population =
+        engine.make_population(Configuration{n, x0, Opinion::kZero});
+    engine.step(population, rng);
+    ++counts[population.count_ones() - chain.min_state()];
+  }
+  int dof = 0;
+  const double stat = chi_square_statistic(counts, expected, kTrials, &dof);
+  EXPECT_GT(chi_square_p_value(stat, dof), 1e-4)
+      << "stat=" << stat << " dof=" << dof;
+}
+
+// Full-trajectory comparison: convergence-time samples from the two engines
+// are drawn from the same law (KS test).
+TEST(CrossValidation, ConvergenceTimeLawsAgreeAcrossEngines) {
+  // Voter converges from any start in O(n log n) rounds, so every replicate
+  // finishes. (Minority with constant l would stall at its interior fixed
+  // point — the Theorem 1 phenomenon — and censor the comparison.)
+  const VoterDynamics voter;
+  const std::uint64_t n = 30;
+  StopRule rule;
+  rule.max_rounds = 1000000;
+
+  const AggregateParallelEngine aggregate(voter);
+  const MemorylessAsStateful adapter(voter);
+  const AgentParallelEngine agent(adapter);
+
+  const int kTrials = 400;
+  std::vector<double> agg_times, agent_times;
+  for (int i = 0; i < kTrials; ++i) {
+    Rng rng_a(10000 + i), rng_b(20000 + i);
+    const RunResult a =
+        aggregate.run(Configuration{n, 10, Opinion::kOne}, rule, rng_a);
+    const RunResult b =
+        agent.run(Configuration{n, 10, Opinion::kOne}, rule, rng_b);
+    ASSERT_TRUE(a.converged());
+    ASSERT_TRUE(b.converged());
+    agg_times.push_back(static_cast<double>(a.rounds));
+    agent_times.push_back(static_cast<double>(b.rounds));
+  }
+  const double d = ks_statistic(agg_times, agent_times);
+  EXPECT_GT(ks_p_value(d, agg_times.size(), agent_times.size()), 1e-3)
+      << "KS=" << d;
+}
+
+// Mean convergence time of the aggregate engine against the exact expected
+// absorption time from the dense chain.
+TEST(CrossValidation, MeanConvergenceMatchesExactAbsorptionTime) {
+  const MinorityDynamics minority(3);
+  const std::uint64_t n = 20;
+  const std::uint64_t x0 = 8;
+  const DenseParallelChain chain(minority, n, Opinion::kOne);
+  const double exact =
+      expected_convergence_rounds(chain)[x0 - chain.min_state()];
+
+  const AggregateParallelEngine engine(minority);
+  StopRule rule;
+  rule.max_rounds = 1000000;
+  RunningStats stats;
+  const int kTrials = 4000;
+  for (int i = 0; i < kTrials; ++i) {
+    Rng rng(30000 + i);
+    const RunResult result =
+        engine.run(Configuration{n, x0, Opinion::kOne}, rule, rng);
+    ASSERT_TRUE(result.converged());
+    stats.add(static_cast<double>(result.rounds));
+  }
+  EXPECT_NEAR(stats.mean(), exact, 5.0 * stats.stderr_mean())
+      << "exact=" << exact;
+}
+
+}  // namespace
+}  // namespace bitspread

@@ -1,0 +1,119 @@
+// The sequential engine, and its exact agreement with the birth-death chain.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/init.h"
+#include "engine/sequential.h"
+#include "markov/birth_death.h"
+#include "protocols/minority.h"
+#include "protocols/voter.h"
+#include "stats/summary.h"
+
+namespace bitspread {
+namespace {
+
+TEST(SequentialEngine, StepMovesAtMostOne) {
+  // The structural fact behind all sequential lower bounds (§1).
+  const MinorityDynamics minority(5);
+  const SequentialEngine engine(minority);
+  Rng rng(1);
+  Configuration config{100, 50, Opinion::kOne};
+  for (int t = 0; t < 2000; ++t) {
+    const Configuration next = engine.step(config, rng);
+    ASSERT_TRUE(next.valid());
+    const std::int64_t delta = static_cast<std::int64_t>(next.ones) -
+                               static_cast<std::int64_t>(config.ones);
+    EXPECT_LE(std::abs(delta), 1);
+    config = next;
+  }
+}
+
+TEST(SequentialEngine, RunReportsActivationsAndParallelRounds) {
+  const VoterDynamics voter;
+  const SequentialEngine engine(voter);
+  Rng rng(2);
+  StopRule rule;
+  rule.max_rounds = 3;  // 3 parallel rounds = 3n activations.
+  const SequentialRunResult result =
+      engine.run(init_half(1000, Opinion::kOne), rule, rng);
+  EXPECT_EQ(result.reason, StopReason::kRoundLimit);
+  EXPECT_EQ(result.activations, 3000u);
+  EXPECT_DOUBLE_EQ(result.parallel_rounds(), 3.0);
+}
+
+TEST(SequentialEngine, ConvergesOnTinyInstance) {
+  const VoterDynamics voter;
+  const SequentialEngine engine(voter);
+  Rng rng(3);
+  StopRule rule;
+  rule.max_rounds = 1000000;
+  const SequentialRunResult result =
+      engine.run(init_all_wrong(12, Opinion::kOne), rule, rng);
+  EXPECT_TRUE(result.converged());
+  EXPECT_GT(result.activations, 0u);
+}
+
+TEST(SequentialEngine, ConsensusIsAbsorbing) {
+  const MinorityDynamics minority(3);
+  const SequentialEngine engine(minority);
+  Rng rng(4);
+  Configuration config = correct_consensus(50, Opinion::kZero);
+  for (int t = 0; t < 500; ++t) {
+    config = engine.step(config, rng);
+    EXPECT_TRUE(config.is_correct_consensus());
+  }
+}
+
+TEST(SequentialEngine, MeanConvergenceTimeMatchesBirthDeathChain) {
+  // Cross-validation against the EXACT expected absorption time. n is tiny
+  // so sampling error is controlled.
+  const VoterDynamics voter;
+  const std::uint64_t n = 10;
+  const std::uint64_t x0 = 5;
+  const BirthDeathChain chain(voter, n, Opinion::kOne);
+  const double exact =
+      chain.expected_absorption_activations()[x0 - chain.min_state()];
+
+  const SequentialEngine engine(voter);
+  StopRule rule;
+  rule.max_rounds = 1000000;
+  RunningStats stats;
+  const int kTrials = 3000;
+  for (int i = 0; i < kTrials; ++i) {
+    Rng rng(1000 + i);
+    const SequentialRunResult result =
+        engine.run(Configuration{n, x0, Opinion::kOne}, rule, rng);
+    ASSERT_TRUE(result.converged());
+    stats.add(static_cast<double>(result.activations));
+  }
+  EXPECT_NEAR(stats.mean(), exact, 5.0 * stats.stderr_mean())
+      << "exact=" << exact << " simulated=" << stats.mean();
+}
+
+TEST(SequentialEngine, TrajectoryRecordsPerParallelRound) {
+  const VoterDynamics voter;
+  const SequentialEngine engine(voter);
+  Rng rng(5);
+  StopRule rule;
+  rule.max_rounds = 5;
+  Trajectory trajectory;
+  engine.run(init_half(100, Opinion::kOne), rule, rng, &trajectory);
+  EXPECT_GE(trajectory.size(), 2u);
+  EXPECT_LE(trajectory.size(), 7u);
+}
+
+TEST(SequentialEngine, DeterministicGivenSeed) {
+  const MinorityDynamics minority(3);
+  const SequentialEngine engine(minority);
+  StopRule rule;
+  rule.max_rounds = 100000;
+  Rng a(6), b(6);
+  const auto ra = engine.run(init_half(64, Opinion::kOne), rule, a);
+  const auto rb = engine.run(init_half(64, Opinion::kOne), rule, b);
+  EXPECT_EQ(ra.activations, rb.activations);
+  EXPECT_EQ(ra.final_config, rb.final_config);
+}
+
+}  // namespace
+}  // namespace bitspread

@@ -1,0 +1,118 @@
+// Hitting probabilities: gambler's ruin ground truth, source-less consensus
+// outcomes, and simulation cross-checks.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "engine/aggregate.h"
+#include "markov/dense_chain.h"
+#include "markov/hitting.h"
+#include "protocols/three_majority.h"
+#include "protocols/voter.h"
+
+namespace bitspread {
+namespace {
+
+TEST(Hitting, SymmetricRandomWalkIsLinear) {
+  // States 0..4, both ends absorbing, +-1 fair steps: h(x) = x/4.
+  const auto h = hitting_probabilities(
+      5,
+      [](std::size_t s) {
+        std::vector<double> row(5, 0.0);
+        row[s - 1] = 0.5;
+        row[s + 1] = 0.5;
+        return row;
+      },
+      {true, false, false, false, true}, {false, false, false, false, true});
+  EXPECT_DOUBLE_EQ(h[0], 0.0);
+  EXPECT_NEAR(h[1], 0.25, 1e-12);
+  EXPECT_NEAR(h[2], 0.50, 1e-12);
+  EXPECT_NEAR(h[3], 0.75, 1e-12);
+  EXPECT_DOUBLE_EQ(h[4], 1.0);
+}
+
+TEST(Hitting, BiasedWalkMatchesGamblersRuinFormula) {
+  // p up, q down: h(x) = (1 - (q/p)^x) / (1 - (q/p)^N).
+  const double p = 0.6, q = 0.4;
+  const std::size_t N = 6;
+  const auto h = hitting_probabilities(
+      N + 1,
+      [&](std::size_t s) {
+        std::vector<double> row(N + 1, 0.0);
+        row[s - 1] = q;
+        row[s + 1] = p;
+        return row;
+      },
+      [&] {
+        std::vector<bool> a(N + 1, false);
+        a[0] = a[N] = true;
+        return a;
+      }(),
+      [&] {
+        std::vector<bool> t(N + 1, false);
+        t[N] = true;
+        return t;
+      }());
+  const double ratio = q / p;
+  for (std::size_t x = 0; x <= N; ++x) {
+    const double expected = (1.0 - std::pow(ratio, static_cast<double>(x))) /
+                            (1.0 - std::pow(ratio, static_cast<double>(N)));
+    EXPECT_NEAR(h[x], expected, 1e-10) << "x=" << x;
+  }
+}
+
+TEST(Hitting, SourcelessVoterIsMartingaleFair) {
+  // Voter without a source: P(all-ones wins | X0 = x) = x/n exactly (X_t is
+  // a martingale). The dense-chain solve must reproduce this.
+  const VoterDynamics voter;
+  const std::uint64_t n = 24;
+  const DenseParallelChain chain(voter, n, Opinion::kOne, /*sources=*/0);
+  const auto h = consensus_one_probabilities(chain);
+  for (std::uint64_t x = 0; x <= n; ++x) {
+    EXPECT_NEAR(h[x], static_cast<double>(x) / static_cast<double>(n), 1e-8)
+        << "x=" << x;
+  }
+}
+
+TEST(Hitting, SourcelessThreeMajorityAmplifiesMajorities) {
+  // 3-majority drifts toward the current majority, so the win probability
+  // must dominate the martingale line above n/2 and sit below it under n/2.
+  const ThreeMajorityDynamics three;
+  const std::uint64_t n = 30;
+  const DenseParallelChain chain(three, n, Opinion::kOne, /*sources=*/0);
+  const auto h = consensus_one_probabilities(chain);
+  EXPECT_GT(h[20], 20.0 / 30.0);
+  EXPECT_GT(h[25], 0.99);
+  EXPECT_LT(h[10], 10.0 / 30.0);
+  EXPECT_LT(h[5], 0.01);
+  // Monotone in the initial count.
+  for (std::uint64_t x = 0; x < n; ++x) {
+    EXPECT_LE(h[x], h[x + 1] + 1e-9);
+  }
+}
+
+TEST(Hitting, MatchesSimulatedWinFrequencies) {
+  const ThreeMajorityDynamics three;
+  const std::uint64_t n = 20;
+  const std::uint64_t x0 = 12;
+  const DenseParallelChain chain(three, n, Opinion::kOne, 0);
+  const double exact = consensus_one_probabilities(chain)[x0];
+
+  const AggregateParallelEngine engine(three);
+  StopRule rule;
+  rule.max_rounds = 1000000;
+  int wins = 0;
+  const int kTrials = 4000;
+  for (int i = 0; i < kTrials; ++i) {
+    Rng rng(40000 + i);
+    const RunResult r =
+        engine.run(Configuration{n, x0, Opinion::kOne, 0}, rule, rng);
+    wins += r.final_config.ones == n;
+  }
+  const double freq = static_cast<double>(wins) / kTrials;
+  const double sigma = std::sqrt(exact * (1.0 - exact) / kTrials);
+  EXPECT_NEAR(freq, exact, 5.0 * sigma);
+}
+
+}  // namespace
+}  // namespace bitspread

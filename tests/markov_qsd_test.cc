@@ -1,0 +1,175 @@
+// Quasi-stationary distributions, exact one-round variance, and the
+// sequential agent engine.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/init.h"
+#include "core/problem.h"
+#include "core/stateful.h"
+#include "engine/agent.h"
+#include "engine/sequential.h"
+#include "markov/absorption.h"
+#include "markov/dense_chain.h"
+#include "markov/quasi_stationary.h"
+#include "protocols/minority.h"
+#include "protocols/undecided.h"
+#include "protocols/voter.h"
+#include "stats/ks.h"
+#include "stats/summary.h"
+
+namespace bitspread {
+namespace {
+
+TEST(ExactVariance, VoterMatchesBinomialVariance) {
+  // Voter: every non-source agent flips to 1 w.p. p, so
+  // Var = (n-1) p (1-p).
+  const VoterDynamics voter;
+  const Configuration c{100, 40, Opinion::kOne};
+  EXPECT_NEAR(exact_one_round_variance(voter, c), 99.0 * 0.4 * 0.6, 1e-9);
+}
+
+TEST(ExactVariance, MatchesDenseChainSecondMoment) {
+  const MinorityDynamics minority(3);
+  const std::uint64_t n = 30;
+  const DenseParallelChain chain(minority, n, Opinion::kOne);
+  for (std::uint64_t x = chain.min_state(); x <= chain.max_state(); ++x) {
+    const auto row = chain.transition_row(x);
+    double mean = 0.0, second = 0.0;
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      const double v = static_cast<double>(chain.min_state() + i);
+      mean += row[i] * v;
+      second += row[i] * v * v;
+    }
+    const Configuration c{n, x, Opinion::kOne};
+    EXPECT_NEAR(second - mean * mean, exact_one_round_variance(minority, c),
+                1e-6)
+        << "x=" << x;
+  }
+}
+
+TEST(ExactVariance, ZeroAtAbsorbingConsensus) {
+  const MinorityDynamics minority(5);
+  EXPECT_DOUBLE_EQ(
+      exact_one_round_variance(minority, correct_consensus(50, Opinion::kOne)),
+      0.0);
+}
+
+TEST(QuasiStationary, TwoStateChainClosedForm) {
+  // States {0, 1}; 1 absorbing; from 0: stay 0.9, absorb 0.1.
+  // QSD = point mass at 0, lambda = 0.9, escape = 10.
+  const auto qsd = quasi_stationary_distribution(
+      2,
+      [](std::size_t s) {
+        return s == 0 ? std::vector<double>{0.9, 0.1}
+                      : std::vector<double>{0.0, 1.0};
+      },
+      {false, true});
+  EXPECT_NEAR(qsd.lambda, 0.9, 1e-10);
+  EXPECT_NEAR(qsd.distribution[0], 1.0, 1e-10);
+  EXPECT_DOUBLE_EQ(qsd.distribution[1], 0.0);
+  EXPECT_NEAR(qsd.expected_escape_rounds(), 10.0, 1e-8);
+}
+
+TEST(QuasiStationary, EscapeTimeMatchesExactAbsorptionForDeepTrap) {
+  // For a strongly metastable chain the expected absorption time from the
+  // trap equals 1/(1-lambda) up to lower-order terms.
+  const MinorityDynamics minority(3);
+  const std::uint64_t n = 24;
+  const DenseParallelChain chain(minority, n, Opinion::kOne);
+  const QuasiStationary qsd = quasi_stationary_distribution(chain);
+  const auto times = expected_convergence_rounds(chain);
+  const double exact_mid = times[n / 2 - chain.min_state()];
+  EXPECT_NEAR(qsd.expected_escape_rounds() / exact_mid, 1.0, 0.01);
+}
+
+TEST(QuasiStationary, MinorityTrapCentersAtHalf) {
+  const MinorityDynamics minority(3);
+  const std::uint64_t n = 32;
+  const DenseParallelChain chain(minority, n, Opinion::kOne);
+  const QuasiStationary qsd = quasi_stationary_distribution(chain);
+  const double mean_state =
+      qsd.mean() + static_cast<double>(chain.min_state());
+  EXPECT_NEAR(mean_state / static_cast<double>(n), 0.5, 0.05);
+  EXPECT_NEAR(qsd.stddev() / std::sqrt(static_cast<double>(n)), 0.5, 0.1);
+  // Distribution is a proper distribution over transient states.
+  double total = 0.0;
+  for (const double p : qsd.distribution) {
+    EXPECT_GE(p, 0.0);
+    total += p;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(SequentialAgentEngine, ActivationDeltaIsAtMostOne) {
+  const UndecidedStateDynamics usd;
+  const AgentSequentialEngine engine(usd);
+  Rng rng(1);
+  auto population =
+      engine.make_population(init_half(60, Opinion::kOne));
+  for (int t = 0; t < 2000; ++t) {
+    const int delta = engine.activate(population, rng);
+    EXPECT_GE(delta, -1);
+    EXPECT_LE(delta, 1);
+  }
+}
+
+TEST(SequentialAgentEngine, MatchesAggregateSequentialForMemoryless) {
+  // For a memory-less protocol via the adapter, the sequential agent engine
+  // and the aggregate SequentialEngine follow the same law: compare
+  // convergence-activation distributions by KS.
+  const VoterDynamics voter;
+  const MemorylessAsStateful adapter(voter);
+  const AgentSequentialEngine agent_engine(adapter);
+  const SequentialEngine aggregate_engine(voter);
+  const std::uint64_t n = 14;
+  StopRule rule;
+  rule.max_rounds = 1000000;
+
+  const int kTrials = 400;
+  std::vector<double> agent_times, aggregate_times;
+  for (int i = 0; i < kTrials; ++i) {
+    Rng rng_a(70000 + i), rng_b(80000 + i);
+    const SequentialRunResult a =
+        agent_engine.run(Configuration{n, 7, Opinion::kOne}, rule, rng_a);
+    const SequentialRunResult b =
+        aggregate_engine.run(Configuration{n, 7, Opinion::kOne}, rule, rng_b);
+    ASSERT_TRUE(a.converged());
+    ASSERT_TRUE(b.converged());
+    agent_times.push_back(static_cast<double>(a.activations));
+    aggregate_times.push_back(static_cast<double>(b.activations));
+  }
+  const double d = ks_statistic(agent_times, aggregate_times);
+  EXPECT_GT(ks_p_value(d, agent_times.size(), aggregate_times.size()), 1e-3)
+      << "KS=" << d;
+}
+
+TEST(SequentialAgentEngine, RunReportsActivationsAndStops) {
+  const UndecidedStateDynamics usd;
+  const AgentSequentialEngine engine(usd);
+  Rng rng(2);
+  StopRule rule;
+  rule.max_rounds = 3;
+  const SequentialRunResult result =
+      engine.run(init_half(50, Opinion::kOne), rule, rng);
+  EXPECT_EQ(result.reason, StopReason::kRoundLimit);
+  EXPECT_EQ(result.activations, 150u);
+}
+
+TEST(SequentialAgentEngine, SourcePinnedAndCountsConsistent) {
+  const UndecidedStateDynamics usd;
+  const AgentSequentialEngine engine(usd);
+  Rng rng(3);
+  auto population = engine.make_population(
+      init_fraction_ones(40, Opinion::kOne, 0.6));
+  std::uint64_t tracked = population.count_ones();
+  for (int t = 0; t < 3000; ++t) {
+    tracked = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(tracked) + engine.activate(population, rng));
+    EXPECT_EQ(population.views[0].opinion, Opinion::kOne);
+  }
+  EXPECT_EQ(tracked, population.count_ones());
+}
+
+}  // namespace
+}  // namespace bitspread

@@ -1,0 +1,130 @@
+// Property tests over RANDOM multi-opinion protocols: the no-spontaneous-
+// adoption constraint, distributional validity, and aggregate/agent parity.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "multi/engine.h"
+#include "multi/protocol.h"
+#include "multi/protocols.h"
+#include "random/rng.h"
+
+namespace bitspread {
+namespace {
+
+// A random table protocol that distributes adoption mass over the opinions
+// PRESENT in the sample plus the agent's own — so it respects footnote 2 by
+// construction. Deterministic given the seed.
+class RandomMultiProtocol final : public MultiOpinionProtocol {
+ public:
+  RandomMultiProtocol(std::uint32_t opinions, std::uint32_t ell,
+                      std::uint64_t seed)
+      : MultiOpinionProtocol(opinions, SampleSizePolicy::constant(ell)),
+        seed_(seed) {}
+
+  void adoption_distribution(std::uint32_t own,
+                             std::span<const std::uint32_t> histogram,
+                             std::uint32_t /*ell*/, std::uint64_t /*n*/,
+                             std::span<double> out) const override {
+    // Deterministic pseudo-random weights per (own, histogram) cell.
+    std::uint64_t key = seed_ ^ (static_cast<std::uint64_t>(own) << 40);
+    for (std::size_t j = 0; j < histogram.size(); ++j) {
+      key = key * 0x9e3779b97f4a7c15ULL + histogram[j] + 1;
+    }
+    SplitMix64 mixer(key);
+    double total = 0.0;
+    for (std::size_t j = 0; j < out.size(); ++j) {
+      const bool allowed = histogram[j] > 0 || j == own;
+      out[j] = allowed
+                   ? 0.05 + static_cast<double>(mixer.next() >> 11) * 0x1.0p-53
+                   : 0.0;
+      total += out[j];
+    }
+    for (double& v : out) v /= total;
+  }
+
+  std::string name() const override { return "random-multi"; }
+
+ private:
+  std::uint64_t seed_;
+};
+
+class RandomMultiTest : public ::testing::TestWithParam<int> {
+ protected:
+  RandomMultiProtocol make_protocol(std::uint32_t opinions,
+                                    std::uint32_t ell) const {
+    return RandomMultiProtocol(opinions, ell,
+                               0xfeed + 131 * GetParam());
+  }
+};
+
+TEST_P(RandomMultiTest, RespectsNoSpontaneousAdoption) {
+  const RandomMultiProtocol protocol = make_protocol(3, 4);
+  EXPECT_TRUE(protocol.respects_no_spontaneous_adoption(1000));
+}
+
+TEST_P(RandomMultiTest, AggregateDistributionIsValid) {
+  const RandomMultiProtocol protocol = make_protocol(4, 3);
+  const MultiAggregateEngine engine(protocol);
+  MultiConfiguration config;
+  config.counts = {30, 25, 25, 20};
+  config.correct = 0;
+  for (std::uint32_t own = 0; own < 4; ++own) {
+    const auto q = engine.adoption_distribution(own, config);
+    double total = 0.0;
+    for (const double v : q) {
+      EXPECT_GE(v, -1e-15);
+      total += v;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST_P(RandomMultiTest, UnpopulatedOpinionStaysUnpopulatedUnlessOwn) {
+  // If opinion 3 has zero holders, non-holders can never land on it.
+  const RandomMultiProtocol protocol = make_protocol(4, 3);
+  const MultiAggregateEngine engine(protocol);
+  MultiConfiguration config;
+  config.counts = {40, 30, 30, 0};
+  config.correct = 0;
+  for (std::uint32_t own = 0; own < 3; ++own) {
+    const auto q = engine.adoption_distribution(own, config);
+    EXPECT_NEAR(q[3], 0.0, 1e-15) << "own=" << own;
+  }
+  Rng rng(1 + GetParam());
+  for (int t = 0; t < 30; ++t) {
+    config = engine.step(config, rng);
+    ASSERT_EQ(config.counts[3], 0u);
+  }
+}
+
+TEST_P(RandomMultiTest, AggregateAndAgentOneStepMeansAgree) {
+  const RandomMultiProtocol protocol = make_protocol(3, 3);
+  const MultiAggregateEngine aggregate(protocol);
+  const MultiAgentEngine agent(protocol);
+  MultiConfiguration config;
+  config.counts = {40, 30, 30};
+  config.correct = 1;
+  const int kTrials = 500;
+  std::vector<double> agg(3, 0.0), ag(3, 0.0);
+  Rng rng_a(10 + GetParam()), rng_b(20 + GetParam());
+  for (int i = 0; i < kTrials; ++i) {
+    const MultiConfiguration a = aggregate.step(config, rng_a);
+    auto population = agent.make_population(config);
+    agent.step(population, rng_b);
+    const MultiConfiguration b = population.config();
+    for (int j = 0; j < 3; ++j) {
+      agg[j] += static_cast<double>(a.counts[j]) / kTrials;
+      ag[j] += static_cast<double>(b.counts[j]) / kTrials;
+    }
+  }
+  for (int j = 0; j < 3; ++j) {
+    EXPECT_NEAR(agg[j], ag[j], 1.5) << "opinion " << j;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomMultiTest, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace bitspread

@@ -1,0 +1,134 @@
+// The population-protocol (pairwise, active-communication) engine and its
+// dynamics: the §1.3 contrast class.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "population/engine.h"
+#include "population/protocols.h"
+#include "stats/summary.h"
+
+namespace bitspread {
+namespace {
+
+TEST(EpidemicProtocol, InteractionRulesMatchSpec) {
+  const EpidemicProtocol epidemic;
+  Rng rng(1);
+  const std::uint32_t informed_one = 1 | EpidemicProtocol::kInformedBit;
+  const std::uint32_t ignorant_zero = 0;
+  // Informed stamps the ignorant partner, either direction.
+  EXPECT_EQ(epidemic.interact(informed_one, ignorant_zero, rng),
+            (std::pair<std::uint32_t, std::uint32_t>{informed_one,
+                                                     informed_one}));
+  EXPECT_EQ(epidemic.interact(ignorant_zero, informed_one, rng),
+            (std::pair<std::uint32_t, std::uint32_t>{informed_one,
+                                                     informed_one}));
+  // Two ignorants: nothing happens.
+  EXPECT_EQ(epidemic.interact(0, 1, rng),
+            (std::pair<std::uint32_t, std::uint32_t>{0, 1}));
+  // Opinion projection and source state.
+  EXPECT_EQ(epidemic.opinion(informed_one), Opinion::kOne);
+  EXPECT_EQ(epidemic.opinion(ignorant_zero), Opinion::kZero);
+  EXPECT_EQ(epidemic.source_state(Opinion::kZero),
+            EpidemicProtocol::kInformedBit);
+}
+
+TEST(PairwiseVoter, InitiatorCopiesResponder) {
+  const PairwiseVoter voter;
+  Rng rng(2);
+  EXPECT_EQ(voter.interact(0, 1, rng),
+            (std::pair<std::uint32_t, std::uint32_t>{1, 1}));
+  EXPECT_EQ(voter.interact(1, 0, rng),
+            (std::pair<std::uint32_t, std::uint32_t>{0, 0}));
+}
+
+TEST(PopulationEngine, MakePopulationLayout) {
+  const EpidemicProtocol epidemic;
+  const PopulationEngine engine(epidemic);
+  const auto population =
+      engine.make_population(10, Opinion::kOne, /*initial_ones=*/4);
+  EXPECT_EQ(population.states.size(), 10u);
+  EXPECT_EQ(population.count_ones(epidemic), 4u);
+  // Source is informed; non-source starters are not.
+  EXPECT_EQ(population.states[0],
+            1u | EpidemicProtocol::kInformedBit);
+  EXPECT_EQ(population.states[1], 1u);
+}
+
+TEST(PopulationEngine, SourceStateIsPinned) {
+  const PairwiseVoter voter;
+  const PopulationEngine engine(voter);
+  auto population = engine.make_population(20, Opinion::kOne, 1);
+  Rng rng(3);
+  for (int t = 0; t < 2000; ++t) {
+    engine.interact(population, rng);
+    EXPECT_EQ(population.states[0], 1u);
+  }
+}
+
+TEST(PopulationEngine, EpidemicConvergesInLogTime) {
+  const EpidemicProtocol epidemic;
+  const PopulationEngine engine(epidemic);
+  const std::uint64_t n = 4096;
+  RunningStats rounds;
+  for (int rep = 0; rep < 10; ++rep) {
+    Rng rng(100 + rep);
+    auto population = engine.make_population(n, Opinion::kOne, 1);
+    StopRule rule;
+    rule.max_rounds = 10000;
+    const SequentialRunResult r = engine.run(population, rule, rng);
+    ASSERT_TRUE(r.converged());
+    rounds.add(r.parallel_rounds());
+  }
+  // Epidemic time ~ 2 log2 n ~ 24; allow generous slack.
+  EXPECT_LT(rounds.mean(), 4.0 * std::log2(static_cast<double>(n)));
+  EXPECT_GT(rounds.mean(), 0.5 * std::log2(static_cast<double>(n)));
+}
+
+TEST(PopulationEngine, EpidemicWorksForZeroSourceToo) {
+  const EpidemicProtocol epidemic;
+  const PopulationEngine engine(epidemic);
+  Rng rng(4);
+  auto population =
+      engine.make_population(512, Opinion::kZero, /*initial_ones=*/511);
+  StopRule rule;
+  rule.max_rounds = 10000;
+  const SequentialRunResult r = engine.run(population, rule, rng);
+  EXPECT_TRUE(r.converged());
+  EXPECT_EQ(r.final_config.ones, 0u);
+}
+
+TEST(PopulationEngine, PairwiseVoterEventuallyConverges) {
+  const PairwiseVoter voter;
+  const PopulationEngine engine(voter);
+  Rng rng(5);
+  auto population = engine.make_population(16, Opinion::kOne, 1);
+  StopRule rule;
+  rule.max_rounds = 1000000;
+  const SequentialRunResult r = engine.run(population, rule, rng);
+  EXPECT_TRUE(r.converged());
+}
+
+TEST(PopulationEngine, FalselyInformedAgentsBreakSelfStabilization) {
+  // The adversarial init of E20 at unit-test scale: the naive epidemic
+  // locks in wrongly-informed agents forever.
+  const EpidemicProtocol epidemic;
+  const PopulationEngine engine(epidemic);
+  Rng rng(6);
+  auto population = engine.make_population(128, Opinion::kOne, 1);
+  population.states[1] = 0 | EpidemicProtocol::kInformedBit;
+  StopRule rule;
+  rule.max_rounds = 500;
+  rule.stop_on_any_consensus = false;
+  const SequentialRunResult r = engine.run(population, rule, rng);
+  EXPECT_FALSE(r.converged());
+  // The falsely-informed agent never loses its mark.
+  std::uint64_t wrong_informed = 0;
+  for (const std::uint32_t s : population.states) {
+    wrong_informed += (s == (0u | EpidemicProtocol::kInformedBit));
+  }
+  EXPECT_GE(wrong_informed, 1u);
+}
+
+}  // namespace
+}  // namespace bitspread

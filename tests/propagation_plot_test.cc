@@ -1,0 +1,137 @@
+// Exact distribution propagation (the law of X_t, convergence-time CDFs,
+// total variation) and the ASCII plotter.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "engine/aggregate.h"
+#include "markov/absorption.h"
+#include "markov/dense_chain.h"
+#include "markov/propagation.h"
+#include "protocols/minority.h"
+#include "protocols/voter.h"
+#include "sim/ascii_plot.h"
+
+namespace bitspread {
+namespace {
+
+TEST(Propagation, PreservesProbabilityMass) {
+  const MinorityDynamics minority(3);
+  const DenseParallelChain chain(minority, 20, Opinion::kOne);
+  auto mu = distribution_after(chain, 10, 7);
+  EXPECT_NEAR(std::accumulate(mu.begin(), mu.end(), 0.0), 1.0, 1e-9);
+  for (const double p : mu) EXPECT_GE(p, -1e-15);
+}
+
+TEST(Propagation, OneRoundMatchesTransitionRow) {
+  const VoterDynamics voter;
+  const DenseParallelChain chain(voter, 15, Opinion::kZero);
+  const auto mu = distribution_after(chain, 7, 1);
+  const auto row = chain.transition_row(7);
+  ASSERT_EQ(mu.size(), row.size());
+  for (std::size_t i = 0; i < mu.size(); ++i) {
+    EXPECT_NEAR(mu[i], row[i], 1e-12);
+  }
+}
+
+TEST(Propagation, CdfIsMonotoneAndStartsAtZero) {
+  const MinorityDynamics minority(3);
+  const DenseParallelChain chain(minority, 16, Opinion::kOne);
+  const auto cdf = convergence_cdf(chain, 8, 200);
+  ASSERT_EQ(cdf.size(), 201u);
+  EXPECT_DOUBLE_EQ(cdf[0], 0.0);
+  for (std::size_t t = 1; t < cdf.size(); ++t) {
+    EXPECT_GE(cdf[t] + 1e-12, cdf[t - 1]);
+    EXPECT_LE(cdf[t], 1.0 + 1e-12);
+  }
+}
+
+TEST(Propagation, CdfFromConsensusIsOne) {
+  const MinorityDynamics minority(3);
+  const DenseParallelChain chain(minority, 16, Opinion::kOne);
+  const auto cdf = convergence_cdf(chain, 16, 3);
+  EXPECT_DOUBLE_EQ(cdf[0], 1.0);
+}
+
+TEST(Propagation, CdfMeanMatchesFundamentalMatrixSolve) {
+  // E[tau] = sum_t (1 - CDF(t)); with a long horizon this must match the
+  // exact expected absorption time.
+  const VoterDynamics voter;
+  const std::uint64_t n = 12;
+  const std::uint64_t x0 = 6;
+  const DenseParallelChain chain(voter, n, Opinion::kOne);
+  const double exact =
+      expected_convergence_rounds(chain)[x0 - chain.min_state()];
+  const auto cdf = convergence_cdf(chain, x0, 4000);
+  double mean = 0.0;
+  for (std::size_t t = 0; t < cdf.size(); ++t) mean += 1.0 - cdf[t];
+  EXPECT_NEAR(mean, exact, 0.05 * exact);
+}
+
+TEST(Propagation, CdfMatchesSimulatedFrequencies) {
+  const VoterDynamics voter;
+  const std::uint64_t n = 14;
+  const std::uint64_t x0 = 7;
+  const std::uint64_t t_check = 25;
+  const DenseParallelChain chain(voter, n, Opinion::kOne);
+  const double exact_p = convergence_cdf(chain, x0, t_check)[t_check];
+
+  const AggregateParallelEngine engine(voter);
+  StopRule rule;
+  rule.max_rounds = t_check;
+  int converged = 0;
+  const int kTrials = 6000;
+  for (int i = 0; i < kTrials; ++i) {
+    Rng rng(50000 + i);
+    converged +=
+        engine.run(Configuration{n, x0, Opinion::kOne}, rule, rng).converged();
+  }
+  const double freq = static_cast<double>(converged) / kTrials;
+  const double sigma = std::sqrt(exact_p * (1 - exact_p) / kTrials);
+  EXPECT_NEAR(freq, exact_p, 5.0 * sigma);
+}
+
+TEST(TotalVariation, BasicProperties) {
+  EXPECT_DOUBLE_EQ(total_variation({0.5, 0.5}, {0.5, 0.5}), 0.0);
+  EXPECT_DOUBLE_EQ(total_variation({1.0, 0.0}, {0.0, 1.0}), 1.0);
+  EXPECT_DOUBLE_EQ(total_variation({0.7, 0.3}, {0.5, 0.5}), 0.2);
+}
+
+TEST(AsciiPlot, RendersAndScales) {
+  std::vector<double> y;
+  for (int i = 0; i < 50; ++i) y.push_back(std::sin(i * 0.2));
+  const std::string plot = ascii_plot(y);
+  EXPECT_NE(plot.find('*'), std::string::npos);
+  EXPECT_NE(plot.find('|'), std::string::npos);
+  // Contains roughly height+2 lines.
+  const auto lines = std::count(plot.begin(), plot.end(), '\n');
+  EXPECT_GE(lines, 16);
+}
+
+TEST(AsciiPlot, HandlesDegenerateInput) {
+  EXPECT_NE(ascii_plot(std::vector<double>{}).find("too short"),
+            std::string::npos);
+  EXPECT_NE(ascii_plot(std::vector<double>{1.0}).find("too short"),
+            std::string::npos);
+  // Flat series must not divide by zero.
+  const std::string flat = ascii_plot(std::vector<double>(10, 3.0));
+  EXPECT_NE(flat.find('*'), std::string::npos);
+}
+
+TEST(AsciiPlot, XyMismatchReported) {
+  const std::vector<double> x{1.0, 2.0};
+  const std::vector<double> y{1.0};
+  EXPECT_NE(ascii_plot_xy(x, y).find("mismatch"), std::string::npos);
+}
+
+TEST(AsciiPlot, LabelIncluded) {
+  PlotOptions options;
+  options.y_label = "X_t over time";
+  const std::string plot =
+      ascii_plot(std::vector<double>{0.0, 1.0, 2.0}, options);
+  EXPECT_NE(plot.find("X_t over time"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bitspread

@@ -1,0 +1,168 @@
+// Cross-module property tests over RANDOM protocols.
+//
+// Theorem 1 quantifies over every g-family, so the library's analysis and
+// engines must be correct for arbitrary tables, not just the named dynamics.
+// Each test here draws a fresh Prop-3-compliant random protocol per
+// parameterized seed and checks an invariant that ties at least two modules
+// together (bias vs polynomial, chain vs drift, engine vs expectation,
+// classification vs sign, mean-field vs roots, sequential vs birth-death).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/bias.h"
+#include "analysis/cases.h"
+#include "analysis/mean_field.h"
+#include "analysis/roots.h"
+#include "analysis/theorem6.h"
+#include "core/problem.h"
+#include "engine/aggregate.h"
+#include "engine/sequential.h"
+#include "markov/birth_death.h"
+#include "markov/dense_chain.h"
+#include "protocols/custom.h"
+#include "stats/summary.h"
+
+namespace bitspread {
+namespace {
+
+class RandomProtocolTest : public ::testing::TestWithParam<int> {
+ protected:
+  // A fresh compliant protocol with l in {2..6}, deterministic per seed.
+  CustomProtocol make_protocol() const {
+    Rng rng(0xab5eed + static_cast<std::uint64_t>(GetParam()) * 7919);
+    const auto ell = static_cast<std::uint32_t>(2 + rng.next_below(5));
+    return random_protocol(rng, ell);
+  }
+};
+
+TEST_P(RandomProtocolTest, BiasVanishesAtEndpointsAndMatchesPolynomial) {
+  const CustomProtocol protocol = make_protocol();
+  const std::uint64_t n = 5000;
+  const BiasFunction bias(protocol, n);
+  EXPECT_NEAR(bias(0.0), 0.0, 1e-12);
+  EXPECT_NEAR(bias(1.0), 0.0, 1e-12);
+  const Polynomial f = bias.to_polynomial();
+  for (int i = 0; i <= 40; ++i) {
+    const double p = i / 40.0;
+    EXPECT_NEAR(bias(p), f(p), 1e-9) << "p=" << p;
+  }
+  EXPECT_LE(f.degree(), static_cast<int>(protocol.ell()) + 1);
+}
+
+TEST_P(RandomProtocolTest, ClassificationIntervalHasConstantSign) {
+  const CustomProtocol protocol = make_protocol();
+  const std::uint64_t n = 5000;
+  const CaseAnalysis analysis = classify_bias(protocol, n);
+  if (analysis.bias_case == BiasCase::kZeroBias) GTEST_SKIP();
+  const BiasFunction bias(protocol, n);
+  const int expected_sign =
+      analysis.bias_case == BiasCase::kCase1 ? -1 : 1;
+  // Probe strictly inside [a1, a3].
+  for (int i = 1; i < 20; ++i) {
+    const double p =
+        analysis.a1 + (analysis.a3 - analysis.a1) * i / 20.0;
+    const double value = bias(p);
+    if (std::abs(value) < 1e-12) continue;  // Grazing a root numerically.
+    EXPECT_EQ(value > 0 ? 1 : -1, expected_sign)
+        << "p=" << p << " F=" << value;
+  }
+}
+
+TEST_P(RandomProtocolTest, Proposition5ExactOnDenseChain) {
+  const CustomProtocol protocol = make_protocol();
+  const std::uint64_t n = 30;
+  const BiasFunction bias(protocol, n);
+  for (const Opinion z : {Opinion::kZero, Opinion::kOne}) {
+    const DenseParallelChain chain(protocol, n, z);
+    for (std::uint64_t x = chain.min_state(); x <= chain.max_state(); ++x) {
+      const double predicted =
+          static_cast<double>(x) +
+          static_cast<double>(n) * bias(static_cast<double>(x) / n);
+      EXPECT_NEAR(chain.row_mean(x), predicted, 1.0 + 1e-9)
+          << "x=" << x << " z=" << to_int(z);
+    }
+  }
+}
+
+TEST_P(RandomProtocolTest, AggregateStepMeanMatchesExactExpectation) {
+  const CustomProtocol protocol = make_protocol();
+  const AggregateParallelEngine engine(protocol);
+  const std::uint64_t n = 4000;
+  Rng rng(17 + GetParam());
+  const Configuration start{n, 1 + rng.next_below(n - 1), Opinion::kOne};
+  const double exact = exact_next_mean(protocol, start);
+  RunningStats stats;
+  const int kTrials = 2500;
+  for (int i = 0; i < kTrials; ++i) {
+    stats.add(static_cast<double>(engine.step(start, rng).ones));
+  }
+  EXPECT_NEAR(stats.mean(), exact, 5.0 * stats.stderr_mean() + 1e-9);
+}
+
+TEST_P(RandomProtocolTest, MeanFieldFixedPointsAreBiasRoots) {
+  const CustomProtocol protocol = make_protocol();
+  const std::uint64_t n = 5000;
+  const MeanFieldMap map(protocol, n);
+  const BiasFunction bias(protocol, n);
+  for (const FixedPoint& fp : map.fixed_points()) {
+    EXPECT_NEAR(bias(fp.p), 0.0, 1e-6) << "p*=" << fp.p;
+    EXPECT_NEAR(map.step(fp.p), fp.p, 1e-6);
+  }
+}
+
+TEST_P(RandomProtocolTest, Theorem6DriftCheckAcceptsItsOwnClassification) {
+  const CustomProtocol protocol = make_protocol();
+  const std::uint64_t n = 1 << 14;
+  const CaseAnalysis analysis = classify_bias(protocol, n);
+  const Theorem6Report report = check_theorem6(protocol, n, analysis, 0.5);
+  EXPECT_TRUE(report.drift_ok)
+      << to_string(analysis.bias_case) << " " << report.describe();
+}
+
+TEST_P(RandomProtocolTest, SequentialStepMatchesBirthDeathProbabilities) {
+  const CustomProtocol protocol = make_protocol();
+  const std::uint64_t n = 200;
+  Rng pick(23 + GetParam());
+  const std::uint64_t x0 = 1 + pick.next_below(n - 1);
+  const BirthDeathChain chain(protocol, n, Opinion::kOne);
+  const double up = chain.up(x0);
+  const double down = chain.down(x0);
+
+  const SequentialEngine engine(protocol);
+  const Configuration start{n, x0, Opinion::kOne};
+  Rng rng(29 + GetParam());
+  int ups = 0, downs = 0;
+  const int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i) {
+    const Configuration next = engine.step(start, rng);
+    ups += next.ones == x0 + 1;
+    downs += next.ones + 1 == x0;
+  }
+  const double sigma_up = std::sqrt(up * (1 - up) / kTrials);
+  const double sigma_down = std::sqrt(down * (1 - down) / kTrials);
+  EXPECT_NEAR(static_cast<double>(ups) / kTrials, up,
+              5.0 * sigma_up + 1e-9);
+  EXPECT_NEAR(static_cast<double>(downs) / kTrials, down,
+              5.0 * sigma_down + 1e-9);
+}
+
+TEST_P(RandomProtocolTest, DenseChainRowsAreDistributions) {
+  const CustomProtocol protocol = make_protocol();
+  const std::uint64_t n = 25;
+  const DenseParallelChain chain(protocol, n, Opinion::kZero);
+  for (std::uint64_t x = chain.min_state(); x <= chain.max_state(); ++x) {
+    const auto row = chain.transition_row(x);
+    double total = 0.0;
+    for (const double p : row) {
+      EXPECT_GE(p, -1e-15);
+      total += p;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomProtocolTest, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace bitspread

@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <tuple>
+#include <vector>
+
+#include "random/binomial.h"
+#include "random/rng.h"
+#include "stats/ks.h"
+#include "stats/summary.h"
+
+namespace bitspread {
+namespace {
+
+TEST(BinomialPmf, SumsToOne) {
+  for (const std::uint64_t n : {1u, 2u, 5u, 17u, 100u, 1000u}) {
+    for (const double p : {0.01, 0.2, 0.5, 0.77, 0.99}) {
+      const auto pmf = binomial_pmf(n, p);
+      const double total = std::accumulate(pmf.begin(), pmf.end(), 0.0);
+      EXPECT_NEAR(total, 1.0, 1e-9) << "n=" << n << " p=" << p;
+    }
+  }
+}
+
+TEST(BinomialPmf, DegenerateP) {
+  const auto zeros = binomial_pmf(10, 0.0);
+  EXPECT_DOUBLE_EQ(zeros[0], 1.0);
+  const auto ones = binomial_pmf(10, 1.0);
+  EXPECT_DOUBLE_EQ(ones[10], 1.0);
+}
+
+TEST(BinomialPmf, MatchesDirectFormulaSmallN) {
+  const std::uint64_t n = 6;
+  const double p = 0.3;
+  const auto pmf = binomial_pmf(n, p);
+  const double choose[] = {1, 6, 15, 20, 15, 6, 1};
+  for (std::uint64_t k = 0; k <= n; ++k) {
+    const double expected = choose[k] * std::pow(p, static_cast<double>(k)) *
+                            std::pow(1 - p, static_cast<double>(n - k));
+    EXPECT_NEAR(pmf[k], expected, 1e-12);
+  }
+}
+
+TEST(BinomialPmf, MeanAndVariance) {
+  const std::uint64_t n = 200;
+  const double p = 0.37;
+  const auto pmf = binomial_pmf(n, p);
+  double mean = 0.0, second = 0.0;
+  for (std::uint64_t k = 0; k <= n; ++k) {
+    mean += pmf[k] * static_cast<double>(k);
+    second += pmf[k] * static_cast<double>(k) * static_cast<double>(k);
+  }
+  EXPECT_NEAR(mean, n * p, 1e-8);
+  EXPECT_NEAR(second - mean * mean, n * p * (1 - p), 1e-7);
+}
+
+TEST(BinomialCdf, MonotoneAndBounded) {
+  const std::uint64_t n = 50;
+  const double p = 0.4;
+  double prev = 0.0;
+  for (std::uint64_t k = 0; k <= n; ++k) {
+    const double c = binomial_cdf(n, p, k);
+    EXPECT_GE(c, prev - 1e-12);
+    EXPECT_LE(c, 1.0 + 1e-12);
+    prev = c;
+  }
+  EXPECT_DOUBLE_EQ(binomial_cdf(n, p, n), 1.0);
+}
+
+TEST(BinomialCdf, MedianOfSymmetric) {
+  // Bin(9, 0.5): P(K <= 4) = 0.5 exactly by symmetry.
+  EXPECT_NEAR(binomial_cdf(9, 0.5, 4), 0.5, 1e-12);
+}
+
+TEST(BinomialSampler, EdgeCases) {
+  Rng rng(1);
+  EXPECT_EQ(binomial(rng, 0, 0.5), 0u);
+  EXPECT_EQ(binomial(rng, 100, 0.0), 0u);
+  EXPECT_EQ(binomial(rng, 100, 1.0), 100u);
+  EXPECT_EQ(binomial(rng, 100, -0.5), 0u);
+  EXPECT_EQ(binomial(rng, 100, 1.5), 100u);
+}
+
+TEST(BinomialSampler, AlwaysWithinSupport) {
+  Rng rng(2);
+  for (int i = 0; i < 20000; ++i) {
+    EXPECT_LE(binomial(rng, 37, 0.41), 37u);
+  }
+}
+
+// Property sweep: sample mean and variance across all regimes (inversion,
+// rejection, symmetric complement, large n).
+using BinomialParams = std::tuple<std::uint64_t, double>;
+
+class BinomialMomentsTest : public ::testing::TestWithParam<BinomialParams> {};
+
+TEST_P(BinomialMomentsTest, MeanAndVarianceMatch) {
+  const auto [n, p] = GetParam();
+  Rng rng(0xb10 + n);
+  RunningStats stats;
+  const int kDraws = 40000;
+  for (int i = 0; i < kDraws; ++i) {
+    stats.add(static_cast<double>(binomial(rng, n, p)));
+  }
+  const double mean = static_cast<double>(n) * p;
+  const double var = mean * (1.0 - p);
+  const double mean_tol = 5.0 * std::sqrt(var / kDraws) + 1e-9;
+  EXPECT_NEAR(stats.mean(), mean, mean_tol) << "n=" << n << " p=" << p;
+  // Variance concentrates slower; allow 10% relative slack.
+  if (var > 0.5) {
+    EXPECT_NEAR(stats.variance(), var, 0.1 * var) << "n=" << n << " p=" << p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Regimes, BinomialMomentsTest,
+    ::testing::Values(
+        BinomialParams{1, 0.5}, BinomialParams{2, 0.1},
+        BinomialParams{10, 0.05},                 // BINV, tiny mean
+        BinomialParams{10, 0.5},                  // BINV boundary
+        BinomialParams{100, 0.02},                // BINV via small np
+        BinomialParams{100, 0.3},                 // BTRS
+        BinomialParams{100, 0.97},                // complement + BINV
+        BinomialParams{1000, 0.5},                // BTRS, large
+        BinomialParams{1000, 0.9},                // complement + BTRS
+        BinomialParams{1000000, 0.25},            // BTRS, very large n
+        BinomialParams{1000000, 0.000001},        // BINV, np = 1
+        BinomialParams{1000000000, 0.5}));        // n = 1e9
+
+// Exactness: chi-square of sampled frequencies against the true pmf, in both
+// the inversion and rejection regimes.
+class BinomialChiSquareTest : public ::testing::TestWithParam<BinomialParams> {
+};
+
+TEST_P(BinomialChiSquareTest, FrequenciesMatchPmf) {
+  const auto [n, p] = GetParam();
+  Rng rng(0xc41 + n * 31);
+  const int kDraws = 60000;
+  std::vector<std::uint64_t> counts(n + 1, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[binomial(rng, n, p)];
+  const auto pmf = binomial_pmf(n, p);
+  int dof = 0;
+  const double stat = chi_square_statistic(counts, pmf, kDraws, &dof);
+  const double p_value = chi_square_p_value(stat, dof);
+  EXPECT_GT(p_value, 1e-4) << "n=" << n << " p=" << p << " stat=" << stat
+                           << " dof=" << dof;
+}
+
+INSTANTIATE_TEST_SUITE_P(Regimes, BinomialChiSquareTest,
+                         ::testing::Values(BinomialParams{8, 0.3},    // BINV
+                                           BinomialParams{12, 0.5},   // BINV
+                                           BinomialParams{60, 0.4},   // BTRS
+                                           BinomialParams{60, 0.85},  // compl.
+                                           BinomialParams{200, 0.2},  // BTRS
+                                           BinomialParams{40, 0.5}));
+
+TEST(BinomialSampler, RegimesAgreeInDistribution) {
+  // Force both internal regimes at the same (n, p) and compare samples.
+  const std::uint64_t n = 64;
+  const double p = 0.25;  // n*p = 16 >= threshold: btrs eligible; binv valid.
+  Rng rng_a(71);
+  Rng rng_b(72);
+  const int kDraws = 30000;
+  std::vector<double> a(kDraws), b(kDraws);
+  for (int i = 0; i < kDraws; ++i) {
+    a[i] = static_cast<double>(binomial_detail::binv(rng_a, n, p));
+    b[i] = static_cast<double>(binomial_detail::btrs(rng_b, n, p));
+  }
+  const double d = ks_statistic(a, b);
+  EXPECT_GT(ks_p_value(d, a.size(), b.size()), 1e-4) << "KS=" << d;
+}
+
+TEST(BinomialSampler, IsDeterministicGivenSeed) {
+  Rng a(99);
+  Rng b(99);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(binomial(a, 1000, 0.3), binomial(b, 1000, 0.3));
+  }
+}
+
+}  // namespace
+}  // namespace bitspread

@@ -1,0 +1,154 @@
+// Tests for hypergeometric sampling, the alias method, and seed sequences.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "random/alias.h"
+#include "random/hypergeometric.h"
+#include "random/seeding.h"
+#include "stats/ks.h"
+#include "stats/summary.h"
+
+namespace bitspread {
+namespace {
+
+TEST(HypergeometricPmf, SumsToOne) {
+  for (const auto& [total, successes, draws] :
+       std::vector<std::array<std::uint64_t, 3>>{
+           {10, 3, 4}, {100, 50, 10}, {7, 7, 3}, {20, 1, 20}, {50, 25, 1}}) {
+    const auto pmf = hypergeometric_pmf(total, successes, draws);
+    EXPECT_NEAR(std::accumulate(pmf.begin(), pmf.end(), 0.0), 1.0, 1e-9)
+        << total << "/" << successes << "/" << draws;
+  }
+}
+
+TEST(HypergeometricPmf, MatchesHandComputedCase) {
+  // N=5, K=2, n=2: P(0)=C(3,2)/C(5,2)=3/10, P(1)=6/10, P(2)=1/10.
+  const auto pmf = hypergeometric_pmf(5, 2, 2);
+  EXPECT_NEAR(pmf[0], 0.3, 1e-12);
+  EXPECT_NEAR(pmf[1], 0.6, 1e-12);
+  EXPECT_NEAR(pmf[2], 0.1, 1e-12);
+}
+
+TEST(Hypergeometric, EdgeCases) {
+  Rng rng(1);
+  EXPECT_EQ(hypergeometric(rng, 10, 0, 5), 0u);
+  EXPECT_EQ(hypergeometric(rng, 10, 10, 5), 5u);
+  EXPECT_EQ(hypergeometric(rng, 10, 4, 0), 0u);
+  EXPECT_EQ(hypergeometric(rng, 10, 4, 10), 4u);
+}
+
+TEST(Hypergeometric, MeanMatches) {
+  Rng rng(2);
+  const std::uint64_t total = 1000, successes = 300, draws = 50;
+  RunningStats stats;
+  const int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) {
+    stats.add(static_cast<double>(
+        hypergeometric(rng, total, successes, draws)));
+  }
+  const double mean =
+      static_cast<double>(draws) * successes / static_cast<double>(total);
+  EXPECT_NEAR(stats.mean(), mean, 0.1);
+}
+
+TEST(Hypergeometric, SupportRespectsBounds) {
+  Rng rng(3);
+  // N=10, K=8, n=5: k must be in [3, 5].
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t k = hypergeometric(rng, 10, 8, 5);
+    EXPECT_GE(k, 3u);
+    EXPECT_LE(k, 5u);
+  }
+}
+
+TEST(AliasTable, NormalizesWeights) {
+  const std::vector<double> weights{2.0, 6.0, 2.0};
+  const AliasTable table(weights);
+  EXPECT_NEAR(table.probability(0), 0.2, 1e-12);
+  EXPECT_NEAR(table.probability(1), 0.6, 1e-12);
+  EXPECT_NEAR(table.probability(2), 0.2, 1e-12);
+}
+
+TEST(AliasTable, SamplesMatchWeights) {
+  const std::vector<double> weights{1.0, 0.0, 3.0, 6.0};
+  const AliasTable table(weights);
+  Rng rng(4);
+  std::vector<int> counts(weights.size(), 0);
+  const int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) ++counts[table.sample(rng)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(counts[0] / static_cast<double>(kDraws), 0.1, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(kDraws), 0.3, 0.01);
+  EXPECT_NEAR(counts[3] / static_cast<double>(kDraws), 0.6, 0.01);
+}
+
+TEST(AliasTable, SingleOutcome) {
+  const std::vector<double> weights{5.0};
+  const AliasTable table(weights);
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(table.sample(rng), 0u);
+}
+
+TEST(AliasTable, UniformWeights) {
+  const std::vector<double> weights(8, 1.0);
+  const AliasTable table(weights);
+  Rng rng(6);
+  std::vector<int> counts(8, 0);
+  const int kDraws = 80000;
+  for (int i = 0; i < kDraws; ++i) ++counts[table.sample(rng)];
+  for (const int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), kDraws / 8.0, 600.0);
+  }
+}
+
+TEST(SeedSequence, DeriveIsDeterministic) {
+  const SeedSequence seeds(123);
+  EXPECT_EQ(seeds.derive(1, 2, 3), seeds.derive(1, 2, 3));
+  EXPECT_EQ(seeds.derive("label", 7), seeds.derive("label", 7));
+}
+
+TEST(SeedSequence, CoordinatesMatter) {
+  const SeedSequence seeds(123);
+  std::set<std::uint64_t> derived;
+  for (std::uint64_t a = 0; a < 10; ++a) {
+    for (std::uint64_t b = 0; b < 10; ++b) {
+      derived.insert(seeds.derive(a, b));
+    }
+  }
+  EXPECT_EQ(derived.size(), 100u);
+}
+
+TEST(SeedSequence, MasterSeedMatters) {
+  const SeedSequence a(1);
+  const SeedSequence b(2);
+  EXPECT_NE(a.derive(0), b.derive(0));
+}
+
+TEST(SeedSequence, LabelsAreDistinct) {
+  const SeedSequence seeds(9);
+  EXPECT_NE(seeds.derive("voter"), seeds.derive("minority"));
+}
+
+TEST(SeedSequence, StreamsAreStatisticallyIndependent) {
+  const SeedSequence seeds(77);
+  Rng a = seeds.stream(0);
+  Rng b = seeds.stream(1);
+  const int kDraws = 5000;
+  std::vector<double> xs(kDraws), ys(kDraws);
+  double dot = 0.0;
+  for (int i = 0; i < kDraws; ++i) {
+    xs[i] = a.next_double() - 0.5;
+    ys[i] = b.next_double() - 0.5;
+    dot += xs[i] * ys[i];
+  }
+  // Correlation ~ N(0, 1/sqrt(n)) under independence.
+  const double corr = dot / kDraws * 12.0;  // Var(U-0.5) = 1/12.
+  EXPECT_LT(std::abs(corr), 5.0 / std::sqrt(kDraws));
+}
+
+}  // namespace
+}  // namespace bitspread

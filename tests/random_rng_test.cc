@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "random/rng.h"
+
+namespace bitspread {
+namespace {
+
+TEST(SplitMix64, IsDeterministic) {
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, KnownVector) {
+  // Reference values from the public-domain splitmix64.c with seed 0.
+  SplitMix64 gen(0);
+  EXPECT_EQ(gen.next(), 0xe220a8397b1dcdafULL);
+  EXPECT_EQ(gen.next(), 0x6e789e6aa1b965f4ULL);
+  EXPECT_EQ(gen.next(), 0x06c45d188009454fULL);
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Xoshiro, IsDeterministic) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro, SeedsProduceDistinctStreams) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LE(equal, 1);
+}
+
+TEST(Xoshiro, NextDoubleInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Xoshiro, NextDoubleMeanIsHalf) {
+  Rng rng(4);
+  double sum = 0.0;
+  const int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) sum += rng.next_double();
+  EXPECT_NEAR(sum / kDraws, 0.5, 0.01);
+}
+
+TEST(Xoshiro, NextBelowRespectsBound) {
+  Rng rng(5);
+  for (const std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+    for (int i = 0; i < 2000; ++i) {
+      EXPECT_LT(rng.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(Xoshiro, NextBelowOneIsAlwaysZero) {
+  Rng rng(6);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Xoshiro, NextBelowIsApproximatelyUniform) {
+  Rng rng(8);
+  constexpr std::uint64_t kBound = 10;
+  constexpr int kDraws = 100000;
+  std::vector<int> counts(kBound, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.next_below(kBound)];
+  for (const int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), kDraws / 10.0, 500.0);
+  }
+}
+
+TEST(Xoshiro, BernoulliEdgeCases) {
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Xoshiro, BernoulliFrequency) {
+  Rng rng(10);
+  const double p = 0.3;
+  int hits = 0;
+  const int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) hits += rng.bernoulli(p);
+  EXPECT_NEAR(static_cast<double>(hits) / kDraws, p, 0.01);
+}
+
+TEST(Xoshiro, NextInRange) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.next_in(-2.0, 3.0);
+    EXPECT_GE(x, -2.0);
+    EXPECT_LT(x, 3.0);
+  }
+}
+
+TEST(Xoshiro, JumpDecorrelatesStreams) {
+  Rng a(12);
+  Rng b(12);
+  b.jump();
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LE(equal, 1);
+}
+
+TEST(Xoshiro, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Rng>);
+  EXPECT_EQ(Rng::min(), 0u);
+  EXPECT_EQ(Rng::max(), ~0ULL);
+}
+
+TEST(Xoshiro, BitsAreBalanced) {
+  Rng rng(13);
+  std::array<int, 64> bit_counts{};
+  const int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) {
+    const std::uint64_t x = rng();
+    for (int b = 0; b < 64; ++b) bit_counts[b] += (x >> b) & 1;
+  }
+  for (const int c : bit_counts) {
+    EXPECT_NEAR(static_cast<double>(c), kDraws / 2.0, 4.5 * std::sqrt(kDraws / 4.0));
+  }
+}
+
+}  // namespace
+}  // namespace bitspread

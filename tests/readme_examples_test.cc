@@ -1,0 +1,58 @@
+// Compile-and-run checks for the code shown in README.md — documentation
+// that stops compiling fails CI here.
+#include <gtest/gtest.h>
+
+#include "core/init.h"
+#include "analysis/bias.h"
+#include "analysis/cases.h"
+#include "analysis/theorem6.h"
+#include "engine/aggregate.h"
+#include "protocols/minority.h"
+
+namespace bitspread {
+namespace {
+
+// The "defining your own protocol" snippet, verbatim (modulo this comment).
+class Cautious final : public MemorylessProtocol {
+ public:
+  Cautious() : MemorylessProtocol(SampleSizePolicy::constant(4)) {}
+  double g(Opinion own, std::uint32_t k, std::uint32_t ell,
+           std::uint64_t n) const noexcept override {
+    (void)n;
+    return k == ell ? 1.0 : (k > ell / 2 && own == Opinion::kOne ? 0.9 : 0.0);
+  }
+  std::string name() const override { return "cautious"; }
+};
+
+TEST(ReadmeExamples, QuickstartSnippetRuns) {
+  MinorityDynamics protocol(SampleSizePolicy::sqrt_n_log_n());
+  AggregateParallelEngine engine(protocol);
+
+  Rng rng(2024);
+  StopRule rule;
+  rule.max_rounds = 10'000;
+  RunResult r =
+      engine.run(init_all_wrong(1'000'000, Opinion::kOne), rule, rng);
+  EXPECT_TRUE(r.converged());
+  EXPECT_LT(r.rounds, 100u);
+}
+
+TEST(ReadmeExamples, CustomProtocolSnippetAnalyzes) {
+  const Cautious protocol;
+  const std::uint64_t n = 1 << 14;
+  const BiasFunction bias(protocol, n);
+  EXPECT_LE(bias.to_polynomial().degree(), 5);
+  EXPECT_FALSE(bias.roots().empty());
+  const CaseAnalysis c = classify_bias(protocol, n);
+  const Theorem6Report t = check_theorem6(protocol, n, c, 0.4);
+  EXPECT_GT(t.predicted_floor, 1.0);
+}
+
+TEST(ReadmeExamples, CautiousIsProp3CompliantByConstruction) {
+  const Cautious protocol;
+  EXPECT_TRUE(protocol.maintains_consensus(1000));
+  EXPECT_FALSE(protocol.is_oblivious(1000));
+}
+
+}  // namespace
+}  // namespace bitspread

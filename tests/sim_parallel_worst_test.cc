@@ -1,0 +1,91 @@
+// The parallel replication harness and the exact worst-initial-state search.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "core/init.h"
+#include "engine/aggregate.h"
+#include "markov/absorption.h"
+#include "markov/worst_case.h"
+#include "protocols/minority.h"
+#include "protocols/voter.h"
+#include "sim/parallel.h"
+
+namespace bitspread {
+namespace {
+
+TEST(ParallelFor, VisitsEveryIndexExactlyOnce) {
+  std::vector<std::atomic<int>> visits(500);
+  parallel_for(500, [&](int i) { visits[static_cast<std::size_t>(i)]++; }, 4);
+  for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(ParallelFor, ZeroAndNegativeCountsAreNoops) {
+  int calls = 0;
+  parallel_for(0, [&](int) { ++calls; });
+  parallel_for(-3, [&](int) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelFor, SingleThreadFallback) {
+  std::vector<int> order;
+  parallel_for(5, [&](int i) { order.push_back(i); }, 1);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelMeasure, IdenticalToSerialMeasurement) {
+  // Per-replicate seed streams make the measurement schedule-independent:
+  // the parallel harness must reproduce the serial one bit-for-bit.
+  const VoterDynamics voter;
+  const AggregateParallelEngine engine(voter);
+  const SeedSequence seeds(99);
+  StopRule rule;
+  rule.max_rounds = 100000;
+  const Configuration init = init_half(64, Opinion::kOne);
+  const auto runner = [&](Rng& rng) { return engine.run(init, rule, rng); };
+
+  const ConvergenceMeasurement serial =
+      measure_convergence(runner, seeds, 7, 40);
+  const ConvergenceMeasurement parallel =
+      measure_convergence_parallel(runner, seeds, 7, 40, 4);
+
+  EXPECT_EQ(serial.converged, parallel.converged);
+  EXPECT_EQ(serial.censored, parallel.censored);
+  EXPECT_EQ(serial.round_samples, parallel.round_samples);
+  EXPECT_DOUBLE_EQ(serial.rounds.mean(), parallel.rounds.mean());
+  EXPECT_DOUBLE_EQ(serial.rounds_lower_bound.mean(),
+                   parallel.rounds_lower_bound.mean());
+}
+
+TEST(WorstInitialState, MinorityLandscapeIsFlatTrapDominated) {
+  // For minority(l=3) with z = 1 every transient start funnels into the
+  // stable mixed state, so expected times are nearly identical everywhere:
+  // the worst start beats the mid start by well under 1% — the escape from
+  // the trap dominates, not the approach. (Contrast Voter below.)
+  const MinorityDynamics minority(3);
+  const DenseParallelChain chain(minority, 24, Opinion::kOne);
+  const WorstInitialState worst = worst_initial_state(chain);
+  const auto times = expected_convergence_rounds(chain);
+  const double mid = times[12 - chain.min_state()];
+  EXPECT_GT(worst.expected_rounds, 0.0);
+  EXPECT_LT(worst.expected_rounds / mid, 1.01);
+}
+
+TEST(WorstInitialState, VoterWorstStartIsAllWrong) {
+  // Voter has no trap: the farther from consensus, the longer — the worst
+  // start is the all-wrong configuration x = 1.
+  const VoterDynamics voter;
+  const DenseParallelChain chain(voter, 20, Opinion::kOne);
+  const WorstInitialState worst = worst_initial_state(chain);
+  EXPECT_EQ(worst.state, 1u);
+}
+
+TEST(WorstInitialState, ConsensusIsNeverWorst) {
+  const MinorityDynamics minority(3);
+  const DenseParallelChain chain(minority, 16, Opinion::kZero);
+  const WorstInitialState worst = worst_initial_state(chain);
+  EXPECT_NE(worst.state, chain.correct_consensus_state());
+}
+
+}  // namespace
+}  // namespace bitspread
