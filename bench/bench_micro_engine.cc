@@ -12,6 +12,7 @@
 #include "engine/agent.h"
 #include "engine/aggregate.h"
 #include "engine/sequential.h"
+#include "engine/sharded.h"
 #include "protocols/minority.h"
 #include "protocols/three_majority.h"
 #include "protocols/voter.h"
@@ -80,6 +81,73 @@ void BM_AgentStepMinority3(benchmark::State& state) {
                           static_cast<std::int64_t>(n));
 }
 BENCHMARK(BM_AgentStepMinority3)->Arg(1 << 10)->Arg(1 << 14);
+
+// Sharded engine, serial schedule: same workload as BM_AgentStepMinority3 so
+// the packed-plane + g-table speedup is read off directly.
+void BM_ShardedStepMinority3(benchmark::State& state) {
+  const MinorityDynamics minority(3);
+  const ShardedAgentEngine engine(minority, {.threads = 1});
+  const std::uint64_t n = static_cast<std::uint64_t>(state.range(0));
+  const SeedSequence seeds(4);
+  auto population = engine.make_population(init_half(n, Opinion::kOne));
+  std::uint64_t round = 0;
+  for (auto _ : state) {
+    engine.step(population, round++, seeds);
+    benchmark::DoNotOptimize(population.count_ones());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ShardedStepMinority3)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 20);
+
+// Sharded engine with a worker pool: bit-identical to the serial schedule by
+// construction, so this row measures pure scheduling overhead/speedup.
+void BM_ShardedStepMinority3MT(benchmark::State& state) {
+  const MinorityDynamics minority(3);
+  const ShardedAgentEngine engine(
+      minority, {.threads = static_cast<unsigned>(state.range(1))});
+  const std::uint64_t n = static_cast<std::uint64_t>(state.range(0));
+  const SeedSequence seeds(4);
+  auto population = engine.make_population(init_half(n, Opinion::kOne));
+  std::uint64_t round = 0;
+  for (auto _ : state) {
+    engine.step(population, round++, seeds);
+    benchmark::DoNotOptimize(population.count_ones());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+  state.counters["threads"] = static_cast<double>(state.range(1));
+}
+BENCHMARK(BM_ShardedStepMinority3MT)
+    ->Args({1 << 20, 0})   // 0 = hardware concurrency
+    ->Args({1 << 20, 2})
+    ->Args({1 << 20, 4})
+    ->UseRealTime();  // Work happens on pool workers; wall time is the truth.
+
+// Without-replacement sampling past the old l <= 64 cap: Floyd's O(l)
+// subset draws on the packed plane.
+void BM_ShardedStepWithoutReplacement(benchmark::State& state) {
+  const MinorityDynamics minority(
+      static_cast<std::uint32_t>(state.range(1)));
+  const ShardedAgentEngine engine(
+      minority, {.threads = 1,
+                 .sampling = ShardedAgentEngine::Sampling::kWithoutReplacement});
+  const std::uint64_t n = static_cast<std::uint64_t>(state.range(0));
+  const SeedSequence seeds(5);
+  auto population = engine.make_population(init_half(n, Opinion::kOne));
+  std::uint64_t round = 0;
+  for (auto _ : state) {
+    engine.step(population, round++, seeds);
+    benchmark::DoNotOptimize(population.count_ones());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+  state.counters["l"] = static_cast<double>(state.range(1));
+}
+BENCHMARK(BM_ShardedStepWithoutReplacement)
+    ->Args({1 << 14, 3})
+    ->Args({1 << 14, 101})
+    ->Args({1 << 14, 1001});
 
 void BM_SequentialActivation(benchmark::State& state) {
   const MinorityDynamics minority(3);

@@ -1,0 +1,32 @@
+// Linked into every bench binary: benchmarks recorded from non-Release
+// builds are misleading (results/ is the repo's perf record), so a debug
+// build announces itself before any table is printed — and refuses to run
+// when BITSPREAD_BENCH_STRICT=1 is set (e.g. by CI perf jobs).
+//
+// NDEBUG is the ground truth the compiler saw for THIS binary, which is
+// exactly what matters; the google-benchmark library prints its own warning
+// for its half of the equation.
+#include <cstdio>
+#include <cstdlib>
+
+namespace {
+
+[[gnu::constructor]] void warn_if_debug_build() {
+#ifndef NDEBUG
+  std::fprintf(stderr,
+               "*** bitspread bench: this binary was compiled WITHOUT "
+               "NDEBUG (non-Release build). ***\n"
+               "*** Timings will be wrong; do not record them under "
+               "results/. Use the `bench` preset: ***\n"
+               "***   cmake --preset bench && cmake --build --preset bench "
+               "***\n");
+  const char* strict = std::getenv("BITSPREAD_BENCH_STRICT");
+  if (strict != nullptr && strict[0] != '\0' && strict[0] != '0') {
+    std::fprintf(stderr,
+                 "*** BITSPREAD_BENCH_STRICT is set: refusing to run. ***\n");
+    std::exit(2);
+  }
+#endif
+}
+
+}  // namespace

@@ -1,0 +1,174 @@
+// perf_smoke — the machine-readable perf-trajectory probe (registered as a
+// ctest, see bench/CMakeLists.txt).
+//
+// Runs the agent-level engines end-to-end on one fixed workload and writes
+// BENCH_engine.json with items/sec counters, so successive PRs can diff the
+// repo's throughput the same way EXPERIMENTS.md diffs its science. Kept
+// deliberately small (~seconds in --quick mode): it is a smoke probe, not a
+// statistics-grade benchmark — bench_micro_engine is the latter.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/init.h"
+#include "core/stateful.h"
+#include "engine/agent.h"
+#include "engine/aggregate.h"
+#include "engine/sharded.h"
+#include "protocols/minority.h"
+
+namespace bitspread {
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+struct Measurement {
+  std::string name;
+  unsigned threads = 1;
+  double seconds = 0.0;
+  double items_per_second = 0.0;
+};
+
+// Steps `engine` for `rounds` rounds and reports non-source updates/sec.
+template <typename StepFn>
+Measurement measure(const std::string& name, unsigned threads,
+                    std::uint64_t rounds, std::uint64_t items_per_round,
+                    StepFn&& step) {
+  step(0);  // Warm-up round: sizes every reusable buffer.
+  const auto start = std::chrono::steady_clock::now();
+  for (std::uint64_t r = 0; r < rounds; ++r) step(r + 1);
+  Measurement m;
+  m.name = name;
+  m.threads = threads;
+  m.seconds = seconds_since(start);
+  m.items_per_second =
+      m.seconds > 0.0
+          ? static_cast<double>(rounds * items_per_round) / m.seconds
+          : 0.0;
+  return m;
+}
+
+}  // namespace
+}  // namespace bitspread
+
+int main(int argc, char** argv) {
+  using namespace bitspread;
+
+  bool quick = std::getenv("BITSPREAD_QUICK") != nullptr;
+  std::string out_path = "BENCH_engine.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") quick = true;
+    if (arg.rfind("--out=", 0) == 0) out_path = arg.substr(6);
+  }
+
+  const std::uint64_t n = quick ? (1u << 14) : (1u << 17);
+  const std::uint64_t rounds = quick ? 96 : 256;
+  const MinorityDynamics minority(3);
+  const std::uint32_t ell = minority.sample_size(n);
+  const std::uint64_t updates_per_round = n - 1;  // One source never updates.
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  const Configuration init = init_half(n, Opinion::kOne);
+
+  std::vector<Measurement> results;
+
+  {
+    const MemorylessAsStateful adapter(minority);
+    const AgentParallelEngine engine(adapter);
+    auto population = engine.make_population(init);
+    Rng rng(1);
+    results.push_back(measure("agent_serial_step", 1, rounds,
+                              updates_per_round,
+                              [&](std::uint64_t) { engine.step(population, rng); }));
+  }
+  const SeedSequence seeds(2);
+  for (const unsigned threads : {1u, hw}) {
+    const ShardedAgentEngine engine(minority, {.threads = threads});
+    auto population = engine.make_population(init);
+    const std::string name =
+        threads == 1 ? "sharded_step_threads1" : "sharded_step_threads_hw";
+    results.push_back(measure(name, threads, rounds, updates_per_round,
+                              [&](std::uint64_t round) {
+                                engine.step(population, round, seeds);
+                              }));
+    if (hw == 1) break;  // Both configs identical on a single-core host.
+  }
+  {
+    // Aggregate-engine reference: the same dynamics at O(l) per round.
+    const AggregateParallelEngine engine(minority);
+    Configuration config = init;
+    Rng rng(3);
+    const std::uint64_t agg_rounds = quick ? 20000 : 100000;
+    results.push_back(measure("aggregate_step", 1, agg_rounds, 1,
+                              [&](std::uint64_t) {
+                                config = engine.step(config, rng);
+                                if (config.is_consensus()) config = init;
+                              }));
+  }
+
+  const double serial = results[0].items_per_second;
+  const double sharded1 = results[1].items_per_second;
+  const double sharded_hw = results[results.size() - 2].items_per_second;
+#ifdef NDEBUG
+  const char* build_type = "Release";
+#else
+  const char* build_type = "Debug";
+#endif
+
+  std::ofstream out(out_path);
+  out.precision(6);
+  out << "{\n"
+      << "  \"schema\": \"bitspread-perf-smoke/1\",\n"
+      << "  \"build_type\": \"" << build_type << "\",\n"
+      << "  \"quick\": " << (quick ? "true" : "false") << ",\n"
+      << "  \"hardware_concurrency\": " << hw << ",\n"
+      << "  \"workload\": {\"protocol\": \"minority\", \"n\": " << n
+      << ", \"ell\": " << ell << ", \"rounds\": " << rounds << "},\n"
+      << "  \"benchmarks\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const Measurement& m = results[i];
+    out << "    {\"name\": \"" << m.name << "\", \"threads\": " << m.threads
+        << ", \"seconds\": " << m.seconds
+        << ", \"items_per_second\": " << m.items_per_second << "}"
+        << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n"
+      << "  \"derived\": {\n"
+      << "    \"sharded_1t_speedup_vs_agent_serial\": "
+      << (serial > 0 ? sharded1 / serial : 0.0) << ",\n"
+      << "    \"sharded_hw_speedup_vs_agent_serial\": "
+      << (serial > 0 ? sharded_hw / serial : 0.0) << "\n"
+      << "  }\n"
+      << "}\n";
+  out.close();
+  if (!out) {
+    std::cerr << "error: could not write " << out_path << "\n";
+    return 1;
+  }
+
+  std::cout << "perf_smoke (" << build_type << ", n=" << n << ", l=" << ell
+            << ")\n";
+  for (const Measurement& m : results) {
+    std::printf("  %-26s %2u thread(s)  %10.3f M items/s\n", m.name.c_str(),
+                m.threads, m.items_per_second / 1e6);
+  }
+  std::printf("  sharded/serial speedup: %.2fx (1 thread), %.2fx (%u threads)\n",
+              serial > 0 ? sharded1 / serial : 0.0,
+              serial > 0 ? sharded_hw / serial : 0.0, hw);
+  std::cout << "wrote " << out_path << "\n";
+#ifndef NDEBUG
+  std::cout << "WARNING: Debug build — numbers are not comparable with the "
+               "recorded perf trajectory.\n";
+#endif
+  return 0;
+}

@@ -69,6 +69,10 @@ class MemorylessAsStateful final : public StatefulProtocol {
   }
   std::string name() const override { return protocol_->name(); }
 
+  // The wrapped protocol; lets engines recover the memory-less fast path
+  // (per-round g-tables) when handed the adapter.
+  const MemorylessProtocol& base() const noexcept { return *protocol_; }
+
  private:
   const MemorylessProtocol* protocol_;
 };

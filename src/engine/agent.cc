@@ -35,8 +35,8 @@ AgentParallelEngine::Population AgentParallelEngine::make_population(
 }
 
 std::uint32_t AgentParallelEngine::observe_ones(
-    const std::vector<Opinion>& opinions, std::uint32_t ell,
-    Rng& rng) const noexcept {
+    const std::vector<Opinion>& opinions, std::uint32_t ell, Rng& rng,
+    FloydSampler& sampler) const noexcept {
   const std::uint64_t n = opinions.size();
   std::uint32_t ones_seen = 0;
   if (sampling_ == Sampling::kWithReplacement) {
@@ -45,26 +45,11 @@ std::uint32_t AgentParallelEngine::observe_ones(
     }
     return ones_seen;
   }
-  // Without replacement via rejection; l << n in all supported uses.
+  // Without replacement: a uniform l-subset via Floyd's algorithm (any l <= n).
   assert(ell <= n);
-  std::uint64_t chosen[64];
-  assert(ell <= 64 && "without-replacement sampling supports l <= 64");
-  for (std::uint32_t s = 0; s < ell; ++s) {
-    std::uint64_t candidate;
-    bool fresh;
-    do {
-      candidate = rng.next_below(n);
-      fresh = true;
-      for (std::uint32_t t = 0; t < s; ++t) {
-        if (chosen[t] == candidate) {
-          fresh = false;
-          break;
-        }
-      }
-    } while (!fresh);
-    chosen[s] = candidate;
-    ones_seen += to_int(opinions[candidate]);
-  }
+  sampler.sample(n, ell, rng, [&](std::uint64_t index) noexcept {
+    ones_seen += to_int(opinions[index]);
+  });
   return ones_seen;
 }
 
@@ -72,14 +57,16 @@ void AgentParallelEngine::step(Population& population, Rng& rng) const {
   const std::uint64_t n = population.views.size();
   const std::uint32_t ell = protocol_->sample_size(n);
 
-  // Snapshot the displayed opinions: all samples observe round-t opinions.
-  std::vector<Opinion> opinions(n);
+  // Snapshot the displayed opinions into the population-owned buffer: all
+  // samples observe round-t opinions, and repeated steps reuse the storage.
+  population.snapshot.resize(n);
   for (std::uint64_t i = 0; i < n; ++i) {
-    opinions[i] = population.views[i].opinion;
+    population.snapshot[i] = population.views[i].opinion;
   }
 
   for (std::uint64_t i = population.sources; i < n; ++i) {
-    const std::uint32_t ones_seen = observe_ones(opinions, ell, rng);
+    const std::uint32_t ones_seen =
+        observe_ones(population.snapshot, ell, rng, population.sampler);
     population.views[i] =
         protocol_->update(population.views[i], ones_seen, ell, n, rng);
   }

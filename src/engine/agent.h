@@ -15,6 +15,7 @@
 #include "engine/sequential.h"
 #include "engine/stopping.h"
 #include "engine/trajectory.h"
+#include "random/floyd.h"
 #include "random/rng.h"
 
 namespace bitspread {
@@ -23,7 +24,7 @@ class AgentParallelEngine {
  public:
   enum class Sampling {
     kWithReplacement,    // The paper's model: l u.a.r. draws from all agents.
-    kWithoutReplacement  // Distinct-agent samples (rejection resampling).
+    kWithoutReplacement  // Distinct-agent samples (Floyd's algorithm).
   };
 
   explicit AgentParallelEngine(
@@ -39,6 +40,12 @@ class AgentParallelEngine {
 
     std::uint64_t count_ones() const noexcept;
     Configuration config() const noexcept;
+
+    // Reusable per-step scratch, owned here so repeated stepping allocates
+    // nothing: the round-t opinion snapshot and the without-replacement
+    // sampling table. Never read between steps.
+    std::vector<Opinion> snapshot;
+    FloydSampler sampler;
   };
 
   // Lays out a population matching `config`: sources first (holding z), then
@@ -63,7 +70,8 @@ class AgentParallelEngine {
 
  private:
   std::uint32_t observe_ones(const std::vector<Opinion>& opinions,
-                             std::uint32_t ell, Rng& rng) const noexcept;
+                             std::uint32_t ell, Rng& rng,
+                             FloydSampler& sampler) const noexcept;
 
   const StatefulProtocol* protocol_;
   Sampling sampling_;

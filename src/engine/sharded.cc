@@ -1,0 +1,264 @@
+#include "engine/sharded.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <utility>
+
+#include "sim/parallel.h"
+
+namespace bitspread {
+namespace {
+
+// Stream-phase tag separating this engine's derived seeds from every other
+// consumer of the same SeedSequence.
+constexpr std::uint64_t kStreamPhase = 0x73686172;  // "shar"
+
+// Sets bits [begin, end) in a zeroed plane.
+void set_bit_range(std::vector<std::uint64_t>& plane, std::uint64_t begin,
+                   std::uint64_t end) noexcept {
+  for (std::uint64_t i = begin; i < end && (i & 63) != 0; ++i) {
+    plane[i >> 6] |= std::uint64_t{1} << (i & 63);
+  }
+  std::uint64_t i = begin + ((64 - (begin & 63)) & 63);
+  for (; i + 64 <= end; i += 64) plane[i >> 6] = ~std::uint64_t{0};
+  for (; i < end; ++i) plane[i >> 6] |= std::uint64_t{1} << (i & 63);
+}
+
+inline std::uint32_t probe_ones(const std::uint64_t* plane, std::uint64_t n,
+                                std::uint32_t ell, Rng& rng) noexcept {
+  std::uint32_t ones = 0;
+  for (std::uint32_t s = 0; s < ell; ++s) {
+    const std::uint64_t i = rng.next_below(n);
+    ones += static_cast<std::uint32_t>((plane[i >> 6] >> (i & 63)) & 1);
+  }
+  return ones;
+}
+
+inline std::uint32_t probe_ones_distinct(const std::uint64_t* plane,
+                                         std::uint64_t n, std::uint32_t ell,
+                                         Rng& rng,
+                                         FloydSampler& sampler) noexcept {
+  std::uint32_t ones = 0;
+  sampler.sample(n, ell, rng, [&](std::uint64_t i) noexcept {
+    ones += static_cast<std::uint32_t>((plane[i >> 6] >> (i & 63)) & 1);
+  });
+  return ones;
+}
+
+}  // namespace
+
+ShardedAgentEngine::ShardedAgentEngine(const StatefulProtocol& protocol,
+                                       Options options) noexcept
+    : protocol_(&protocol), options_(options) {
+  if (const auto* adapter =
+          dynamic_cast<const MemorylessAsStateful*>(&protocol)) {
+    memoryless_ = &adapter->base();
+    protocol_ = nullptr;
+  }
+}
+
+void ShardedAgentEngine::Population::set_opinion(std::uint64_t i,
+                                                 Opinion opinion) noexcept {
+  std::uint64_t& word = current_[i >> 6];
+  const std::uint64_t mask = std::uint64_t{1} << (i & 63);
+  const bool now = opinion == Opinion::kOne;
+  if (((word & mask) != 0) == now) return;
+  word ^= mask;
+  ones_ += now ? 1 : std::uint64_t{0} - 1;
+}
+
+void ShardedAgentEngine::Population::set_state(std::uint64_t i,
+                                               std::uint32_t state) {
+  if (states_.empty()) states_.resize(n_, 0);
+  states_[i] = state;
+}
+
+ShardedAgentEngine::Population ShardedAgentEngine::make_population(
+    const Configuration& config) const {
+  assert(config.valid());
+  Population population;
+  population.n_ = config.n;
+  population.sources_ = config.sources;
+  population.correct_ = config.correct;
+  population.ones_ = config.ones;
+  const std::uint64_t words = (config.n + 63) / 64;
+  population.current_.assign(words, 0);
+  population.next_.assign(words, 0);
+  // Layout identical to AgentParallelEngine: sources first, then non-source
+  // ones, then non-source zeros — so the ones form one contiguous range.
+  if (config.correct == Opinion::kOne) {
+    set_bit_range(population.current_, 0, config.ones);
+  } else {
+    set_bit_range(population.current_, config.sources,
+                  config.sources + config.ones);
+  }
+  if (protocol_ != nullptr) {
+    population.states_.resize(config.n);
+    for (std::uint64_t i = 0; i < config.n; ++i) {
+      population.states_[i] =
+          protocol_->initial_view(population.opinion(i)).state;
+    }
+  }
+  return population;
+}
+
+void ShardedAgentEngine::process_block(Population& population,
+                                       std::uint64_t block, std::uint32_t ell,
+                                       Rng& rng,
+                                       FloydSampler& sampler) const {
+  const std::uint64_t n = population.n_;
+  const std::uint64_t sources = population.sources_;
+  const std::uint64_t words = population.current_.size();
+  const std::uint64_t* current = population.current_.data();
+  std::uint64_t* next = population.next_.data();
+  const bool distinct = options_.sampling == Sampling::kWithoutReplacement;
+  const double* gtable = memoryless_ != nullptr ? population.gtable_.data()
+                                                : nullptr;
+
+  const std::uint64_t word_begin = block * kBlockWords;
+  const std::uint64_t word_end = std::min(words, word_begin + kBlockWords);
+  std::uint64_t block_ones = 0;
+  for (std::uint64_t w = word_begin; w < word_end; ++w) {
+    const std::uint64_t base = w * 64;
+    if (base + 64 <= sources) {
+      // A whole word of sources: carried over verbatim.
+      next[w] = current[w];
+      block_ones += static_cast<std::uint64_t>(std::popcount(current[w]));
+      continue;
+    }
+    const unsigned bits =
+        n - base < 64 ? static_cast<unsigned>(n - base) : 64u;
+    std::uint64_t out = 0;
+    for (unsigned bit = 0; bit < bits; ++bit) {
+      const std::uint64_t i = base + bit;
+      const std::uint64_t own = (current[w] >> bit) & 1;
+      std::uint64_t value;
+      if (i < sources) {
+        value = own;  // Sources never update.
+      } else {
+        const std::uint32_t ones_seen =
+            distinct ? probe_ones_distinct(current, n, ell, rng, sampler)
+                     : probe_ones(current, n, ell, rng);
+        if (gtable != nullptr) {
+          value = rng.bernoulli(gtable[own * (ell + 1) + ones_seen]) ? 1 : 0;
+        } else {
+          StatefulProtocol::AgentView view{
+              own != 0 ? Opinion::kOne : Opinion::kZero,
+              population.states_[i]};
+          view = protocol_->update(view, ones_seen, ell, n, rng);
+          population.states_[i] = view.state;
+          value = to_int(view.opinion);
+        }
+      }
+      out |= value << bit;
+    }
+    next[w] = out;
+    block_ones += static_cast<std::uint64_t>(std::popcount(out));
+  }
+  population.block_ones_[block] = block_ones;
+}
+
+void ShardedAgentEngine::step(Population& population, std::uint64_t round,
+                              const SeedSequence& seeds) const {
+  const std::uint64_t n = population.n_;
+  const std::uint32_t ell = sample_size(n);
+  const std::uint64_t words = population.current_.size();
+  const std::uint64_t blocks = (words + kBlockWords - 1) / kBlockWords;
+
+  if (memoryless_ != nullptr) {
+    // Tabulate g_n^[b](k): the entire behavioral freedom of a memory-less
+    // protocol, so the hot loop needs no virtual dispatch.
+    population.gtable_.resize(2 * (static_cast<std::size_t>(ell) + 1));
+    for (std::uint32_t own = 0; own < 2; ++own) {
+      const Opinion opinion = own != 0 ? Opinion::kOne : Opinion::kZero;
+      for (std::uint32_t k = 0; k <= ell; ++k) {
+        population.gtable_[own * (ell + 1) + k] =
+            memoryless_->g(opinion, k, ell, n);
+      }
+    }
+  }
+  population.block_ones_.resize(blocks);
+
+  std::uint64_t chunks =
+      options_.shards == 0 ? blocks
+                           : std::min<std::uint64_t>(options_.shards, blocks);
+  chunks = std::max<std::uint64_t>(chunks, 1);
+  population.samplers_.resize(chunks);
+
+  struct RoundContext {
+    const ShardedAgentEngine* engine;
+    Population* population;
+    const SeedSequence* seeds;
+    std::uint64_t round;
+    std::uint64_t blocks;
+    std::uint64_t chunks;
+    std::uint32_t ell;
+  };
+  RoundContext context{this,  &population, &seeds, round,
+                       blocks, chunks,     ell};
+  // One capture pointer keeps the closure inside std::function's inline
+  // storage: steady-state rounds allocate nothing.
+  const std::function<void(int)> chunk_fn = [&context](int chunk) {
+    const std::uint64_t begin =
+        context.blocks * static_cast<std::uint64_t>(chunk) / context.chunks;
+    const std::uint64_t end =
+        context.blocks * (static_cast<std::uint64_t>(chunk) + 1) /
+        context.chunks;
+    FloydSampler& sampler =
+        context.population->samplers_[static_cast<std::size_t>(chunk)];
+    for (std::uint64_t block = begin; block < end; ++block) {
+      Rng rng(context.seeds->derive(context.round, block, kStreamPhase));
+      context.engine->process_block(*context.population, block, context.ell,
+                                    rng, sampler);
+    }
+  };
+  WorkerPool::shared().run(static_cast<int>(chunks), chunk_fn,
+                           options_.threads);
+
+  std::swap(population.current_, population.next_);
+  std::uint64_t ones = 0;
+  for (const std::uint64_t block_count : population.block_ones_) {
+    ones += block_count;
+  }
+  population.ones_ = ones;
+}
+
+RunResult ShardedAgentEngine::run(const Configuration& config,
+                                  const StopRule& rule, std::uint64_t seed,
+                                  Trajectory* trajectory) const {
+  Population population = make_population(config);
+  return run_population(population, rule, seed, trajectory);
+}
+
+RunResult ShardedAgentEngine::run_population(Population& population,
+                                             const StopRule& rule,
+                                             std::uint64_t seed,
+                                             Trajectory* trajectory) const {
+  const SeedSequence seeds(seed);
+  RunResult result;
+  Configuration config = population.config();
+  if (trajectory != nullptr) trajectory->record(0, config.ones);
+  for (std::uint64_t round = 0;; ++round) {
+    if (auto reason = evaluate_stop(rule, config)) {
+      result.reason = *reason;
+      result.rounds = round;
+      break;
+    }
+    if (round >= rule.max_rounds) {
+      result.reason = StopReason::kRoundLimit;
+      result.rounds = round;
+      break;
+    }
+    step(population, round, seeds);
+    config = population.config();
+    if (trajectory != nullptr) trajectory->record(round + 1, config.ones);
+  }
+  if (trajectory != nullptr) {
+    trajectory->force_record(result.rounds, config.ones);
+  }
+  result.final_config = config;
+  return result;
+}
+
+}  // namespace bitspread

@@ -1,0 +1,165 @@
+// The sharded agent-level engine: deterministic multithreaded rounds over a
+// bit-packed, double-buffered opinion plane.
+//
+// AgentParallelEngine (engine/agent.h) is the reference per-agent simulator:
+// single-threaded, one byte per opinion, a fresh snapshot per round. This
+// engine is its scale-out rebuild for the workloads the aggregate reduction
+// cannot serve — stateful protocols, adversarial internal states, and
+// cross-validation at large n — built around three ideas:
+//
+//  1. *Deterministic sharding.* Agents are partitioned into fixed 4096-agent
+//     blocks, and every (round, block) pair owns a SeedSequence-derived RNG
+//     stream. Worker threads and scheduling chunks ("shards") only decide
+//     WHO processes a block, never WHICH randomness it sees, so a run is
+//     bit-identical for every thread count and every shard count — the
+//     guarantee sim/parallel.h proves across replicates, pushed down into a
+//     single run (tested in tests/engine_sharded_test.cc).
+//  2. *Packed double buffering.* Displayed opinions live in two 1-bit-per-
+//     agent planes (read round t, write round t+1, swap); the l random
+//     probes per update touch 1/8th the memory of a byte snapshot and no
+//     per-round allocation ever happens. Per-agent memory states, which no
+//     other agent can observe, stay in place in a separate array.
+//  3. *A memory-less fast path.* For a MemorylessProtocol the next opinion
+//     is Bernoulli(g_n^[b](k)), so the engine tabulates g once per round
+//     and updates agents with one table lookup + one uniform draw — no
+//     virtual dispatch inside the hot loop.
+//
+// Rounds are fanned out through the shared WorkerPool (sim/parallel.h), so
+// per-round dispatch costs no thread creation.
+#ifndef BITSPREAD_ENGINE_SHARDED_H_
+#define BITSPREAD_ENGINE_SHARDED_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/configuration.h"
+#include "core/protocol.h"
+#include "core/stateful.h"
+#include "engine/agent.h"
+#include "engine/stopping.h"
+#include "engine/trajectory.h"
+#include "random/floyd.h"
+#include "random/seeding.h"
+
+namespace bitspread {
+
+struct ShardedEngineOptions {
+  // Worker threads per round (0 = hardware concurrency). Never affects
+  // results.
+  unsigned threads = 0;
+  // Scheduling chunks the blocks are grouped into per round (0 = one
+  // chunk per block). Never affects results.
+  std::uint32_t shards = 0;
+  AgentParallelEngine::Sampling sampling =
+      AgentParallelEngine::Sampling::kWithReplacement;
+};
+
+class ShardedAgentEngine {
+ public:
+  using Sampling = AgentParallelEngine::Sampling;
+  using Options = ShardedEngineOptions;
+
+  // The fixed randomness/ownership unit: 64 words of 64 agents. Block
+  // boundaries are word-aligned so concurrent writers never share a word.
+  static constexpr std::uint64_t kBlockWords = 64;
+  static constexpr std::uint64_t kBlockAgents = kBlockWords * 64;
+
+  // Memory-less protocols take the g-table fast path.
+  explicit ShardedAgentEngine(const MemorylessProtocol& protocol,
+                              Options options = {}) noexcept
+      : memoryless_(&protocol), options_(options) {}
+
+  // Stateful protocols take the generic virtual-update path. A
+  // MemorylessAsStateful adapter is unwrapped back onto the fast path.
+  explicit ShardedAgentEngine(const StatefulProtocol& protocol,
+                              Options options = {}) noexcept;
+
+  // The packed population. Index i < source_count() is a source agent;
+  // layout matches AgentParallelEngine::make_population (sources, then
+  // non-source ones, then non-source zeros).
+  class Population {
+   public:
+    std::uint64_t size() const noexcept { return n_; }
+    std::uint64_t source_count() const noexcept { return sources_; }
+    Opinion correct() const noexcept { return correct_; }
+    std::uint64_t count_ones() const noexcept { return ones_; }
+    Configuration config() const noexcept {
+      return Configuration{n_, ones_, correct_, sources_};
+    }
+
+    Opinion opinion(std::uint64_t i) const noexcept {
+      return ((current_[i >> 6] >> (i & 63)) & 1) != 0 ? Opinion::kOne
+                                                       : Opinion::kZero;
+    }
+    // Per-agent memory state (0 for memory-less populations).
+    std::uint32_t state(std::uint64_t i) const noexcept {
+      return states_.empty() ? 0 : states_[i];
+    }
+
+    // Mutators for adversarial initial conditions (self-stabilization
+    // quantifies over every internal state).
+    void set_opinion(std::uint64_t i, Opinion opinion) noexcept;
+    void set_state(std::uint64_t i, std::uint32_t state);
+
+   private:
+    friend class ShardedAgentEngine;
+
+    std::uint64_t n_ = 0;
+    std::uint64_t sources_ = 1;
+    Opinion correct_ = Opinion::kOne;
+    std::uint64_t ones_ = 0;
+
+    // Double-buffered opinion planes, 1 bit per agent; bits >= n_ in the
+    // last word stay zero. `current_` is round t, `next_` is written
+    // during step() and swapped in.
+    std::vector<std::uint64_t> current_;
+    std::vector<std::uint64_t> next_;
+    // Per-agent memory, updated in place by the owning block (empty on the
+    // memory-less fast path).
+    std::vector<std::uint32_t> states_;
+
+    // Reusable round scratch (resized once, then allocation-free).
+    std::vector<std::uint64_t> block_ones_;
+    std::vector<double> gtable_;
+    std::vector<FloydSampler> samplers_;
+  };
+
+  Population make_population(const Configuration& config) const;
+
+  // One synchronous round. `round` and `seeds` key the per-block streams:
+  // stepping the same population with the same (round, seeds) replays
+  // bit-for-bit, independent of threads/shards.
+  void step(Population& population, std::uint64_t round,
+            const SeedSequence& seeds) const;
+
+  // Runs from `config` under `rule`. The master `seed` fully determines the
+  // outcome; thread/shard counts never do.
+  RunResult run(const Configuration& config, const StopRule& rule,
+                std::uint64_t seed, Trajectory* trajectory = nullptr) const;
+
+  // Same, from an explicit (possibly adversarial) population, advanced in
+  // place.
+  RunResult run_population(Population& population, const StopRule& rule,
+                           std::uint64_t seed,
+                           Trajectory* trajectory = nullptr) const;
+
+  std::uint32_t sample_size(std::uint64_t n) const noexcept {
+    return memoryless_ != nullptr ? memoryless_->sample_size(n)
+                                  : protocol_->sample_size(n);
+  }
+  const Options& options() const noexcept { return options_; }
+  bool memoryless_fast_path() const noexcept { return memoryless_ != nullptr; }
+
+ private:
+  void process_block(Population& population, std::uint64_t block,
+                     std::uint32_t ell, Rng& rng,
+                     FloydSampler& sampler) const;
+
+  const MemorylessProtocol* memoryless_ = nullptr;  // Fast path when set.
+  const StatefulProtocol* protocol_ = nullptr;      // Generic path otherwise.
+  Options options_;
+};
+
+}  // namespace bitspread
+
+#endif  // BITSPREAD_ENGINE_SHARDED_H_

@@ -1,0 +1,19 @@
+#include "random/floyd.h"
+
+#include <algorithm>
+
+namespace bitspread {
+
+void FloydSampler::reset(std::uint64_t k) {
+  unsigned bits = 4;
+  while ((std::uint64_t{1} << bits) < 2 * k) ++bits;
+  const std::uint64_t size = std::uint64_t{1} << bits;
+  if (table_bits_ == bits && slots_.size() == size) {
+    std::fill(slots_.begin(), slots_.end(), kEmpty);
+    return;
+  }
+  table_bits_ = bits;
+  slots_.assign(size, kEmpty);
+}
+
+}  // namespace bitspread

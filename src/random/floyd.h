@@ -1,0 +1,77 @@
+// Floyd's algorithm for uniform random k-subsets of {0, ..., n-1}.
+//
+// Replaces rejection resampling in the engines' without-replacement
+// ("distinct samples") mode: Floyd's method draws exactly k uniforms and
+// does O(k) expected work regardless of how close k is to n, where the
+// rejection loop is O(k^2) comparisons and degenerates as k -> n. The
+// produced set is exactly uniform over all C(n, k) subsets (Floyd 1987,
+// via Bentley's "Programming Pearls" column), so the two methods are
+// distribution-identical (tested in random_misc_test.cc).
+//
+// Membership queries go through a small open-addressing table that is
+// owned by the sampler and reused across calls, so steady-state sampling
+// allocates nothing.
+#ifndef BITSPREAD_RANDOM_FLOYD_H_
+#define BITSPREAD_RANDOM_FLOYD_H_
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "random/rng.h"
+
+namespace bitspread {
+
+class FloydSampler {
+ public:
+  // Invokes visit(index) exactly once for each of k distinct indices drawn
+  // uniformly from [0, n). Requires k <= n and n < 2^64 - 1. Visit order is
+  // Floyd's insertion order, not sorted order (irrelevant to every caller:
+  // the engines only count opinions over the set).
+  template <typename Visit>
+  void sample(std::uint64_t n, std::uint64_t k, Rng& rng, Visit&& visit) {
+    assert(k <= n);
+    if (k == 0) return;
+    reset(k);
+    for (std::uint64_t j = n - k; j < n; ++j) {
+      const std::uint64_t candidate = rng.next_below(j + 1);
+      if (insert(candidate)) {
+        visit(candidate);
+      } else {
+        // `candidate` was already chosen; j itself cannot be (only values
+        // < j have been inserted), so taking j keeps the subset uniform.
+        insert(j);
+        visit(j);
+      }
+    }
+  }
+
+ private:
+  static constexpr std::uint64_t kEmpty = ~std::uint64_t{0};
+
+  // Sizes and clears the table for a k-element sample (load factor <= 1/2).
+  void reset(std::uint64_t k);
+
+  // Adds `value`; returns false (and leaves the table unchanged) when it is
+  // already present.
+  bool insert(std::uint64_t value) noexcept {
+    // Fibonacci hashing: top bits of the product are well mixed, so probe
+    // chains stay short at the <= 1/2 load factor reset() guarantees.
+    std::uint64_t slot =
+        (value * 0x9e3779b97f4a7c15ULL) >> (64 - table_bits_);
+    const std::uint64_t mask = (std::uint64_t{1} << table_bits_) - 1;
+    while (slots_[slot] != kEmpty) {
+      if (slots_[slot] == value) return false;
+      slot = (slot + 1) & mask;
+    }
+    slots_[slot] = value;
+    return true;
+  }
+
+  std::vector<std::uint64_t> slots_;
+  unsigned table_bits_ = 0;
+};
+
+}  // namespace bitspread
+
+#endif  // BITSPREAD_RANDOM_FLOYD_H_

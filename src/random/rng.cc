@@ -7,22 +7,6 @@ Xoshiro256StarStar::Xoshiro256StarStar(std::uint64_t seed) noexcept : state_{} {
   for (auto& word : state_) word = mixer.next();
 }
 
-std::uint64_t Xoshiro256StarStar::next_below(std::uint64_t bound) noexcept {
-  // Lemire's nearly-divisionless unbiased bounded generation.
-  std::uint64_t x = (*this)();
-  __uint128_t m = static_cast<__uint128_t>(x) * bound;
-  auto low = static_cast<std::uint64_t>(m);
-  if (low < bound) {
-    const std::uint64_t threshold = (0 - bound) % bound;
-    while (low < threshold) {
-      x = (*this)();
-      m = static_cast<__uint128_t>(x) * bound;
-      low = static_cast<std::uint64_t>(m);
-    }
-  }
-  return static_cast<std::uint64_t>(m >> 64);
-}
-
 void Xoshiro256StarStar::jump() noexcept {
   static constexpr std::uint64_t kJump[] = {
       0x180ec6d33cfd0abaULL, 0xd5a61266f0c9392cULL, 0xa9582618e03fc9aaULL,

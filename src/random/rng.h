@@ -65,9 +65,23 @@ class Xoshiro256StarStar {
     return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
   }
 
-  // Uniform integer in [0, bound) without modulo bias (Lemire's method).
-  // bound must be positive.
-  std::uint64_t next_below(std::uint64_t bound) noexcept;
+  // Uniform integer in [0, bound) without modulo bias (Lemire's nearly
+  // divisionless method). bound must be positive. Defined inline: this is
+  // the innermost call of every agent-level engine round.
+  std::uint64_t next_below(std::uint64_t bound) noexcept {
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto low = static_cast<std::uint64_t>(m);
+    if (low < bound) [[unlikely]] {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (low < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * bound;
+        low = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
 
   // Bernoulli(p) draw. p outside [0,1] is clamped.
   bool bernoulli(double p) noexcept { return next_double() < p; }

@@ -1,36 +1,99 @@
 #include "sim/parallel.h"
 
 #include <algorithm>
-#include <atomic>
-#include <thread>
-#include <vector>
 
 namespace bitspread {
+namespace {
 
-void parallel_for(int count, const std::function<void(int)>& fn,
-                  unsigned max_threads) {
+// Set while a thread is executing pool work; nested run() calls from such a
+// thread fall back to inline serial execution instead of deadlocking on the
+// pool they are already occupying.
+thread_local bool t_inside_pool_worker = false;
+
+}  // namespace
+
+WorkerPool& WorkerPool::shared() {
+  static WorkerPool pool;
+  return pool;
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+unsigned WorkerPool::worker_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<unsigned>(workers_.size());
+}
+
+void WorkerPool::ensure_workers(unsigned target) {
+  std::lock_guard<std::mutex> lock(mu_);
+  while (workers_.size() < target) {
+    const unsigned slot = static_cast<unsigned>(workers_.size());
+    workers_.emplace_back(
+        [this, slot, spawn_gen = generation_] { worker_main(slot, spawn_gen); });
+  }
+}
+
+void WorkerPool::worker_main(unsigned slot, std::uint64_t spawn_generation) {
+  std::uint64_t seen = spawn_generation;
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    work_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+    if (stop_) return;
+    seen = generation_;
+    if (slot >= active_) continue;  // Not participating this generation.
+    const std::function<void(int)>* fn = fn_;
+    const int count = count_;
+    lock.unlock();
+    t_inside_pool_worker = true;
+    while (true) {
+      const int i = next_.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) break;
+      (*fn)(i);
+    }
+    t_inside_pool_worker = false;
+    lock.lock();
+    if (--pending_ == 0) done_cv_.notify_all();
+  }
+}
+
+void WorkerPool::run(int count, const std::function<void(int)>& fn,
+                     unsigned threads) {
   if (count <= 0) return;
-  unsigned threads = max_threads == 0 ? std::thread::hardware_concurrency()
-                                      : max_threads;
-  threads = std::max(1u, std::min<unsigned>(threads,
-                                            static_cast<unsigned>(count)));
-  if (threads == 1) {
+  unsigned target =
+      threads == 0 ? std::thread::hardware_concurrency() : threads;
+  target = std::max(1u, std::min({target, kMaxWorkers,
+                                  static_cast<unsigned>(count)}));
+  if (target == 1 || t_inside_pool_worker) {
     for (int i = 0; i < count; ++i) fn(i);
     return;
   }
-  std::atomic<int> next{0};
-  std::vector<std::thread> workers;
-  workers.reserve(threads);
-  for (unsigned t = 0; t < threads; ++t) {
-    workers.emplace_back([&] {
-      while (true) {
-        const int i = next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= count) return;
-        fn(i);
-      }
-    });
+  std::lock_guard<std::mutex> run_lock(run_mu_);
+  ensure_workers(target);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fn_ = &fn;
+    count_ = count;
+    next_.store(0, std::memory_order_relaxed);
+    active_ = target;
+    pending_ = target;
+    ++generation_;
   }
-  for (auto& worker : workers) worker.join();
+  work_cv_.notify_all();
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return pending_ == 0; });
+  fn_ = nullptr;
+}
+
+void parallel_for(int count, const std::function<void(int)>& fn,
+                  unsigned max_threads) {
+  WorkerPool::shared().run(count, fn, max_threads);
 }
 
 ConvergenceMeasurement measure_convergence_parallel(

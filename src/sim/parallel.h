@@ -1,21 +1,82 @@
-// Thread-parallel replication.
+// Thread-parallel replication and the shared worker pool.
 //
 // Because every replicate draws its randomness from its own derived stream
 // (SeedSequence), results are IDENTICAL whether replicates run serially or
 // across threads, in any interleaving — so parallelism is a pure wall-clock
-// optimization with no reproducibility cost (tested).
+// optimization with no reproducibility cost (tested). The sharded agent
+// engine (engine/sharded.h) pushes the same guarantee down into a single
+// run, and shares the pool below so per-round dispatch does not pay thread
+// creation.
 #ifndef BITSPREAD_SIM_PARALLEL_H_
 #define BITSPREAD_SIM_PARALLEL_H_
 
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
 #include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
 
 #include "sim/experiment.h"
 
 namespace bitspread {
 
+// A persistent pool of worker threads with generation-based dispatch.
+// Threads are created once (lazily, growing on demand up to kMaxWorkers)
+// and parked between runs, so fine-grained work — e.g. one simulation round
+// — can be fanned out every few microseconds without spawn/join cost.
+//
+// Scheduling never influences results anywhere in the library (work items
+// own derived RNG streams), so the pool is a pure wall-clock device.
+class WorkerPool {
+ public:
+  // Process-wide pool used by parallel_for and the sharded engine.
+  static WorkerPool& shared();
+
+  ~WorkerPool();
+
+  // Runs fn(i) for i in [0, count), blocking until all items finish.
+  // `threads` caps the number of participating workers (0 = hardware
+  // concurrency); oversubscription beyond the hardware is honored up to
+  // kMaxWorkers, which lets determinism tests exercise real interleaving
+  // even on small machines. Calls from inside a pool worker run inline and
+  // serially (no deadlock on nesting). fn must be safe to call concurrently
+  // for distinct i.
+  void run(int count, const std::function<void(int)>& fn,
+           unsigned threads = 0);
+
+  // Workers currently parked in the pool (grows on demand; for tests).
+  unsigned worker_count() const;
+
+  // Upper bound on pool size; requests beyond it are clamped.
+  static constexpr unsigned kMaxWorkers = 64;
+
+ private:
+  WorkerPool() = default;
+
+  void ensure_workers(unsigned target);
+  void worker_main(unsigned slot, std::uint64_t spawn_generation);
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::mutex run_mu_;  // Serializes concurrent run() callers.
+  std::vector<std::thread> workers_;
+
+  // Per-generation payload (guarded by mu_ except the atomic cursor).
+  const std::function<void(int)>* fn_ = nullptr;
+  std::atomic<int> next_{0};
+  int count_ = 0;
+  unsigned active_ = 0;   // Workers participating in this generation.
+  unsigned pending_ = 0;  // Participants that have not finished yet.
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+};
+
 // Runs fn(i) for i in [0, count) across up to max_threads threads
-// (0 = hardware concurrency). fn must be safe to call concurrently for
-// distinct i.
+// (0 = hardware concurrency) on the shared pool. fn must be safe to call
+// concurrently for distinct i.
 void parallel_for(int count, const std::function<void(int)>& fn,
                   unsigned max_threads = 0);
 

@@ -9,6 +9,7 @@
 #include "core/stateful.h"
 #include "engine/agent.h"
 #include "engine/aggregate.h"
+#include "engine/sharded.h"
 #include "markov/absorption.h"
 #include "markov/dense_chain.h"
 #include "protocols/minority.h"
@@ -100,6 +101,77 @@ TEST(CrossValidation, ConvergenceTimeLawsAgreeAcrossEngines) {
   const double d = ks_statistic(agg_times, agent_times);
   EXPECT_GT(ks_p_value(d, agg_times.size(), agent_times.size()), 1e-3)
       << "KS=" << d;
+}
+
+// One-step distribution of the SHARDED agent engine against the exact chain
+// row: the packed-plane + g-table fast path samples the same law.
+TEST(CrossValidation, ShardedStepMatchesExactChainRow) {
+  const MinorityDynamics minority(3);
+  const std::uint64_t n = 30;
+  const std::uint64_t x0 = 12;
+  const DenseParallelChain chain(minority, n, Opinion::kOne);
+  const std::vector<double> expected = chain.transition_row(x0);
+
+  const ShardedAgentEngine engine(minority, {.threads = 2});
+  const int kTrials = 40000;
+  std::vector<std::uint64_t> counts(chain.state_count(), 0);
+  for (int i = 0; i < kTrials; ++i) {
+    auto population =
+        engine.make_population(Configuration{n, x0, Opinion::kOne});
+    engine.step(population, 0, SeedSequence(7000 + i));
+    ++counts[population.count_ones() - chain.min_state()];
+  }
+  int dof = 0;
+  const double stat = chi_square_statistic(counts, expected, kTrials, &dof);
+  EXPECT_GT(chi_square_p_value(stat, dof), 1e-4)
+      << "stat=" << stat << " dof=" << dof;
+}
+
+// Convergence-time laws agree between the sharded engine and the aggregate
+// engine (the memory-less reduction it cross-validates at scale).
+TEST(CrossValidation, ShardedAndAggregateConvergenceLawsAgree) {
+  const VoterDynamics voter;
+  const std::uint64_t n = 30;
+  StopRule rule;
+  rule.max_rounds = 1000000;
+
+  const AggregateParallelEngine aggregate(voter);
+  const ShardedAgentEngine sharded(voter, {.threads = 2});
+
+  const int kTrials = 400;
+  std::vector<double> agg_times, sharded_times;
+  for (int i = 0; i < kTrials; ++i) {
+    Rng rng_a(60000 + i);
+    const RunResult a =
+        aggregate.run(Configuration{n, 10, Opinion::kOne}, rule, rng_a);
+    const RunResult b =
+        sharded.run(Configuration{n, 10, Opinion::kOne}, rule,
+                    70000 + static_cast<std::uint64_t>(i));
+    ASSERT_TRUE(a.converged());
+    ASSERT_TRUE(b.converged());
+    agg_times.push_back(static_cast<double>(a.rounds));
+    sharded_times.push_back(static_cast<double>(b.rounds));
+  }
+  const double d = ks_statistic(agg_times, sharded_times);
+  EXPECT_GT(ks_p_value(d, agg_times.size(), sharded_times.size()), 1e-3)
+      << "KS=" << d;
+}
+
+// Without-replacement boundary: l = n = 100 draws see the whole population
+// — beyond the old rejection sampler's l <= 64 cap, and the exact point
+// where rejection degenerated. Floyd's method handles it in O(l).
+TEST(CrossValidation, WithoutReplacementFullSampleBoundary) {
+  const MinorityDynamics minority(100);
+  const MemorylessAsStateful adapter(minority);
+  const AgentParallelEngine engine(
+      adapter, AgentParallelEngine::Sampling::kWithoutReplacement);
+  Rng rng(9);
+  const std::uint64_t n = 100;
+  auto population =
+      engine.make_population(Configuration{n, 40, Opinion::kOne});
+  engine.step(population, rng);
+  EXPECT_EQ(population.views.size(), n);
+  EXPECT_TRUE(population.config().valid());
 }
 
 // Mean convergence time of the aggregate engine against the exact expected

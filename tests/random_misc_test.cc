@@ -2,11 +2,14 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <map>
 #include <numeric>
 #include <set>
+#include <utility>
 #include <vector>
 
 #include "random/alias.h"
+#include "random/floyd.h"
 #include "random/hypergeometric.h"
 #include "random/seeding.h"
 #include "stats/ks.h"
@@ -148,6 +151,77 @@ TEST(SeedSequence, StreamsAreStatisticallyIndependent) {
   // Correlation ~ N(0, 1/sqrt(n)) under independence.
   const double corr = dot / kDraws * 12.0;  // Var(U-0.5) = 1/12.
   EXPECT_LT(std::abs(corr), 5.0 / std::sqrt(kDraws));
+}
+
+TEST(FloydSampler, ProducesDistinctIndicesInRange) {
+  FloydSampler sampler;
+  Rng rng(11);
+  for (const auto& [n, k] : std::vector<std::pair<std::uint64_t, std::uint64_t>>{
+           {10, 10}, {1000, 100}, {65, 65}, {1 << 20, 500}, {3, 1}}) {
+    std::set<std::uint64_t> chosen;
+    sampler.sample(n, k, rng, [&](std::uint64_t i) {
+      EXPECT_LT(i, n);
+      chosen.insert(i);
+    });
+    EXPECT_EQ(chosen.size(), k) << "n=" << n << " k=" << k;
+  }
+}
+
+TEST(FloydSampler, ZeroDrawsIsNoop) {
+  FloydSampler sampler;
+  Rng rng(12);
+  int visits = 0;
+  sampler.sample(100, 0, rng, [&](std::uint64_t) { ++visits; });
+  EXPECT_EQ(visits, 0);
+}
+
+TEST(FloydSampler, SubsetsAreUniform) {
+  // n=6, k=3: all C(6,3)=20 subsets equally likely (the defining property
+  // of Floyd's algorithm, and what makes it a drop-in replacement for
+  // rejection resampling).
+  FloydSampler sampler;
+  Rng rng(13);
+  std::map<std::uint32_t, std::uint64_t> subset_counts;
+  const int kTrials = 40000;
+  for (int t = 0; t < kTrials; ++t) {
+    std::uint32_t mask = 0;
+    sampler.sample(6, 3, rng, [&](std::uint64_t i) { mask |= 1u << i; });
+    ++subset_counts[mask];
+  }
+  ASSERT_EQ(subset_counts.size(), 20u);
+  std::vector<std::uint64_t> counts;
+  for (const auto& [mask, count] : subset_counts) counts.push_back(count);
+  const std::vector<double> uniform(20, 1.0 / 20.0);
+  int dof = 0;
+  const double stat = chi_square_statistic(counts, uniform, kTrials, &dof);
+  EXPECT_GT(chi_square_p_value(stat, dof), 1e-4) << "stat=" << stat;
+}
+
+TEST(FloydSampler, OnesCountIsHypergeometric) {
+  // Counting ones over a Floyd sample from a planted 0/1 population must be
+  // Hypergeometric(total, successes, draws) — the law the engines'
+  // without-replacement mode promises. draws=96 also exercises the regime
+  // beyond the old rejection sampler's hard l <= 64 cap.
+  const std::uint64_t total = 300, successes = 120, draws = 96;
+  std::vector<bool> population(total, false);
+  for (std::uint64_t i = 0; i < successes; ++i) population[i] = true;
+
+  FloydSampler sampler;
+  Rng rng(14);
+  const int kTrials = 30000;
+  std::vector<std::uint64_t> counts(draws + 1, 0);
+  for (int t = 0; t < kTrials; ++t) {
+    std::uint32_t ones = 0;
+    sampler.sample(total, draws, rng,
+                   [&](std::uint64_t i) { ones += population[i] ? 1 : 0; });
+    ++counts[ones];
+  }
+  const std::vector<double> expected =
+      hypergeometric_pmf(total, successes, draws);
+  int dof = 0;
+  const double stat = chi_square_statistic(counts, expected, kTrials, &dof);
+  EXPECT_GT(chi_square_p_value(stat, dof), 1e-4)
+      << "stat=" << stat << " dof=" << dof;
 }
 
 }  // namespace
