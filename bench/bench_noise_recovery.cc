@@ -1,0 +1,248 @@
+// bench_noise_recovery — the robustness analogue of perf_smoke (registered as
+// a ctest, see bench/CMakeLists.txt).
+//
+// Sweeps the fault grid (observation noise epsilon x zealot fraction z) for
+// Voter and Minority(sqrt(n log n)) over n in {2^10..2^16}, with one source
+// flip mid-run, and writes BENCH_robustness.json: initial convergence time,
+// per-flip recovery time, and converged/censored/degraded counts per cell.
+// Uses the exact aggregate faulty engine, so a cell's cost is rounds, not
+// agents. The expected science (EXPERIMENTS.md E21): Voter's zero bias makes
+// it collapse under any persistent adversary — noisy and zealot cells censor
+// or degrade — while Minority's drift recovers from flips in polylog rounds
+// until epsilon overwhelms the sqrt(n log n) sample.
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/init.h"
+#include "engine/aggregate.h"
+#include "faults/environment.h"
+#include "protocols/minority.h"
+#include "protocols/voter.h"
+
+namespace bitspread {
+namespace {
+
+constexpr double kQuorum = 0.9;
+
+struct Cell {
+  std::string protocol;
+  std::uint64_t n = 0;
+  double epsilon = 0.0;
+  double zealots = 0.0;
+  std::uint64_t flip_round = 0;
+  std::uint64_t max_rounds = 0;
+  int replicates = 0;
+
+  int converged = 0;
+  int censored = 0;
+  int degraded = 0;
+  // Segment 0 (initial convergence from the all-wrong start) and segment 1
+  // (re-convergence after the flip), counting only recovered segments.
+  int initial_recovered = 0;
+  double initial_mean_rounds = 0.0;
+  int post_flip_recovered = 0;
+  double post_flip_mean_rounds = 0.0;
+  double seconds = 0.0;
+};
+
+// Round cap per protocol: Voter needs Theta(n log n) rounds fault-free, the
+// sqrt-sample Minority polylog. The caps leave a ~4x margin over the typical
+// fault-free time so a censored cell is a verdict, not an artifact.
+std::uint64_t voter_cap(std::uint64_t n) {
+  const double cap = 4.0 * static_cast<double>(n) * std::log(static_cast<double>(n));
+  return std::max<std::uint64_t>(20'000, static_cast<std::uint64_t>(cap));
+}
+
+Cell run_cell(const MemorylessProtocol& protocol, const std::string& name,
+              std::uint64_t n, double epsilon, double zealots,
+              std::uint64_t max_rounds, int replicates, std::uint64_t seed0) {
+  Cell cell;
+  cell.protocol = name;
+  cell.n = n;
+  cell.epsilon = epsilon;
+  cell.zealots = zealots;
+  cell.flip_round = max_rounds / 2;
+  cell.max_rounds = max_rounds;
+  cell.replicates = replicates;
+
+  EnvironmentModel model;
+  model.observation_noise = epsilon;
+  model.zealot_fraction = zealots;
+  model.source_flip_rounds = {cell.flip_round};
+  model.convergence_quorum = kQuorum;
+
+  StopRule rule;
+  rule.max_rounds = max_rounds;
+
+  const AggregateParallelEngine engine(protocol);
+  double initial_sum = 0.0, post_flip_sum = 0.0;
+  const auto start = std::chrono::steady_clock::now();
+  for (int rep = 0; rep < replicates; ++rep) {
+    Rng rng(seed0 + static_cast<std::uint64_t>(rep));
+    const RunResult result =
+        engine.run(init_all_wrong(n, Opinion::kOne), rule, model, rng);
+    cell.converged += result.converged();
+    cell.censored += result.censored();
+    cell.degraded += result.degraded();
+    if (!result.recoveries.empty() && result.recoveries[0].recovered) {
+      ++cell.initial_recovered;
+      initial_sum += static_cast<double>(result.recoveries[0].recovery_rounds());
+    }
+    if (result.recoveries.size() > 1 && result.recoveries[1].recovered) {
+      ++cell.post_flip_recovered;
+      post_flip_sum +=
+          static_cast<double>(result.recoveries[1].recovery_rounds());
+    }
+  }
+  cell.seconds = std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+  if (cell.initial_recovered > 0)
+    cell.initial_mean_rounds = initial_sum / cell.initial_recovered;
+  if (cell.post_flip_recovered > 0)
+    cell.post_flip_mean_rounds = post_flip_sum / cell.post_flip_recovered;
+  return cell;
+}
+
+}  // namespace
+}  // namespace bitspread
+
+int main(int argc, char** argv) {
+  using namespace bitspread;
+
+  bool quick = std::getenv("BITSPREAD_QUICK") != nullptr;
+  std::string out_path = "BENCH_robustness.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") quick = true;
+    if (arg.rfind("--out=", 0) == 0) out_path = arg.substr(6);
+  }
+
+  const std::vector<std::uint64_t> sizes =
+      quick ? std::vector<std::uint64_t>{1u << 10, 1u << 12}
+            : std::vector<std::uint64_t>{1u << 10, 1u << 12, 1u << 14,
+                                         1u << 16};
+  const std::vector<double> eps_grid =
+      quick ? std::vector<double>{0.0, 0.05}
+            : std::vector<double>{0.0, 0.02, 0.05};
+  const std::vector<double> zealot_grid =
+      quick ? std::vector<double>{0.0, 0.1}
+            : std::vector<double>{0.0, 0.05, 0.1};
+  const int replicates = quick ? 2 : 5;
+
+  const VoterDynamics voter;
+  const MinorityDynamics minority(SampleSizePolicy::sqrt_n_log_n());
+  struct Entry {
+    const MemorylessProtocol* protocol;
+    const char* name;
+  };
+  const std::vector<Entry> protocols = {{&voter, "voter"},
+                                        {&minority, "minority_sqrt"}};
+
+  std::vector<Cell> cells;
+  std::uint64_t cell_index = 0;
+  for (const Entry& entry : protocols) {
+    for (const std::uint64_t n : sizes) {
+      const std::uint64_t cap =
+          std::strcmp(entry.name, "voter") == 0 ? voter_cap(n) : 2000;
+      for (const double eps : eps_grid) {
+        for (const double z : zealot_grid) {
+          cells.push_back(run_cell(*entry.protocol, entry.name, n, eps, z,
+                                   cap, replicates,
+                                   /*seed0=*/777'000 + 1000 * cell_index));
+          ++cell_index;
+        }
+      }
+    }
+  }
+
+#ifdef NDEBUG
+  const char* build_type = "Release";
+#else
+  const char* build_type = "Debug";
+#endif
+
+  std::ofstream out(out_path);
+  out.precision(6);
+  out << "{\n"
+      << "  \"schema\": \"bitspread-noise-recovery/1\",\n"
+      << "  \"build_type\": \"" << build_type << "\",\n"
+      << "  \"quick\": " << (quick ? "true" : "false") << ",\n"
+      << "  \"quorum\": " << kQuorum << ",\n"
+      << "  \"replicates\": " << replicates << ",\n"
+      << "  \"cells\": [\n";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const Cell& c = cells[i];
+    out << "    {\"protocol\": \"" << c.protocol << "\", \"n\": " << c.n
+        << ", \"epsilon\": " << c.epsilon << ", \"zealots\": " << c.zealots
+        << ", \"flip_round\": " << c.flip_round
+        << ", \"max_rounds\": " << c.max_rounds
+        << ", \"converged\": " << c.converged
+        << ", \"censored\": " << c.censored
+        << ", \"degraded\": " << c.degraded
+        << ", \"initial_recovered\": " << c.initial_recovered
+        << ", \"initial_mean_rounds\": " << c.initial_mean_rounds
+        << ", \"post_flip_recovered\": " << c.post_flip_recovered
+        << ", \"post_flip_mean_rounds\": " << c.post_flip_mean_rounds
+        << ", \"seconds\": " << c.seconds << "}"
+        << (i + 1 < cells.size() ? "," : "") << "\n";
+  }
+  int voter_clean = 0, voter_faulty = 0, minority_clean = 0,
+      minority_faulty = 0;
+  int voter_clean_total = 0, voter_faulty_total = 0, minority_clean_total = 0,
+      minority_faulty_total = 0;
+  for (const Cell& c : cells) {
+    const bool faulty = c.epsilon > 0.0 || c.zealots > 0.0;
+    const bool is_voter = c.protocol == "voter";
+    (is_voter ? (faulty ? voter_faulty : voter_clean)
+              : (faulty ? minority_faulty : minority_clean)) += c.converged;
+    (is_voter ? (faulty ? voter_faulty_total : voter_clean_total)
+              : (faulty ? minority_faulty_total : minority_clean_total)) +=
+        c.replicates;
+  }
+  auto rate = [](int ok, int total) {
+    return total > 0 ? static_cast<double>(ok) / total : 0.0;
+  };
+  out << "  ],\n"
+      << "  \"derived\": {\n"
+      << "    \"voter_clean_convergence_rate\": "
+      << rate(voter_clean, voter_clean_total) << ",\n"
+      << "    \"voter_faulty_convergence_rate\": "
+      << rate(voter_faulty, voter_faulty_total) << ",\n"
+      << "    \"minority_clean_convergence_rate\": "
+      << rate(minority_clean, minority_clean_total) << ",\n"
+      << "    \"minority_faulty_convergence_rate\": "
+      << rate(minority_faulty, minority_faulty_total) << "\n"
+      << "  }\n"
+      << "}\n";
+  out.close();
+  if (!out) {
+    std::cerr << "error: could not write " << out_path << "\n";
+    return 1;
+  }
+
+  std::cout << "bench_noise_recovery (" << build_type
+            << ", quorum=" << kQuorum << ", flip at cap/2)\n";
+  std::printf("  %-14s %7s %5s %5s | %4s %4s %4s | %12s %12s\n", "protocol",
+              "n", "eps", "z", "conv", "cens", "degr", "init rounds",
+              "recov rounds");
+  for (const Cell& c : cells) {
+    std::printf("  %-14s %7llu %5.2f %5.2f | %4d %4d %4d | %12.1f %12.1f\n",
+                c.protocol.c_str(),
+                static_cast<unsigned long long>(c.n), c.epsilon, c.zealots,
+                c.converged, c.censored, c.degraded, c.initial_mean_rounds,
+                c.post_flip_mean_rounds);
+  }
+  std::cout << "wrote " << out_path << "\n";
+#ifndef NDEBUG
+  std::cout << "WARNING: Debug build — numbers are not comparable with the "
+               "recorded perf trajectory.\n";
+#endif
+  return 0;
+}

@@ -22,6 +22,7 @@
 #include "protocols/majority.h"
 #include "protocols/minority.h"
 #include "protocols/voter.h"
+#include "sim/cli.h"
 #include "sim/experiment.h"
 #include "sim/table.h"
 
@@ -52,6 +53,7 @@ int main() {
       {"all-wrong", 0.0}, {"balanced", 0.5}, {"wrong-majority", 0.25}};
 
   Table table({"protocol", "start", "z", "solved", "mean rounds", "note"});
+  OutcomeLedger ledger;
   std::uint64_t cell = 0;
   for (const auto& [protocol, cap] : protocols) {
     const AggregateParallelEngine engine(*protocol);
@@ -69,6 +71,7 @@ int main() {
         };
         const ConvergenceMeasurement m =
             measure_convergence(runner, seeds, cell++, kReplicates);
+        ledger.add(m);
         const char* note =
             m.converged == kReplicates
                 ? ""
@@ -88,10 +91,12 @@ int main() {
               "others 20k)\n\n",
               static_cast<unsigned long long>(kAgents));
   table.print(std::cout);
+  std::cout << '\n';
+  ledger.report(std::cout);
   std::printf(
       "\nReading guide: voter always solves the problem but slowly "
       "(~n log n);\nminority with l = sqrt(n ln n) is fast from every "
       "start; minority with\nconstant l = 3 stalls (Theorem 1); majority "
       "stalls against a wrong majority\nbecause it ignores the source.\n");
-  return 0;
+  return ledger.exit_status();
 }

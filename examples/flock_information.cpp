@@ -22,6 +22,7 @@
 #include "protocols/majority.h"
 #include "protocols/minority.h"
 #include "protocols/voter.h"
+#include "sim/cli.h"
 #include "sim/table.h"
 
 int main() {
@@ -49,6 +50,7 @@ int main() {
 
   Table table({"rule", "flock size", "informed fraction reached",
                "consensus?", "mean-field fixed points"});
+  OutcomeLedger ledger;
   for (const MemorylessProtocol* rule : rules) {
     for (const std::uint64_t flock : {200ULL, 2000ULL, 20000ULL}) {
       const AggregateParallelEngine engine(*rule);
@@ -57,6 +59,7 @@ int main() {
       stop.max_rounds = kRounds;
       const RunResult result =
           engine.run(init_all_wrong(flock, Opinion::kOne), stop, rng);
+      ledger.add_run(result);
 
       std::string fps;
       const MeanFieldMap map(*rule, flock);
@@ -71,6 +74,8 @@ int main() {
     }
   }
   table.print(std::cout);
+  std::cout << '\n';
+  ledger.report(std::cout);
   std::printf(
       "\n(s) = stable, (u) = unstable, (m) = marginal fixed point of the "
       "mean-field map.\nThe informed bird's heading does not take over any "
@@ -79,5 +84,5 @@ int main() {
       "rule. Fast spreading requires either growing samples\n"
       "(sqrt(n log n) — implausible for birds) or a little memory "
       "(trend-following,\nsee bench_memory_extension).\n");
-  return 0;
+  return ledger.exit_status();
 }

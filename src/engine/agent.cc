@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "faults/session.h"
+
 namespace bitspread {
 
 std::uint64_t AgentParallelEngine::Population::count_ones() const noexcept {
@@ -53,6 +55,27 @@ std::uint32_t AgentParallelEngine::observe_ones(
   return ones_seen;
 }
 
+std::uint32_t AgentParallelEngine::observe_ones_noisy(
+    const std::vector<Opinion>& opinions, std::uint32_t ell, double epsilon,
+    Rng& rng, FloydSampler& sampler) const noexcept {
+  if (epsilon <= 0.0) return observe_ones(opinions, ell, rng, sampler);
+  const std::uint64_t n = opinions.size();
+  std::uint32_t ones_seen = 0;
+  if (sampling_ == Sampling::kWithReplacement) {
+    for (std::uint32_t s = 0; s < ell; ++s) {
+      const unsigned bit = to_int(opinions[rng.next_below(n)]);
+      ones_seen += rng.bernoulli(epsilon) ? bit ^ 1U : bit;
+    }
+    return ones_seen;
+  }
+  assert(ell <= n);
+  sampler.sample(n, ell, rng, [&](std::uint64_t index) noexcept {
+    const unsigned bit = to_int(opinions[index]);
+    ones_seen += rng.bernoulli(epsilon) ? bit ^ 1U : bit;
+  });
+  return ones_seen;
+}
+
 void AgentParallelEngine::step(Population& population, Rng& rng) const {
   const std::uint64_t n = population.views.size();
   const std::uint32_t ell = protocol_->sample_size(n);
@@ -76,6 +99,94 @@ RunResult AgentParallelEngine::run(Configuration config, const StopRule& rule,
                                    Rng& rng, Trajectory* trajectory) const {
   Population population = make_population(config);
   return run_population(population, rule, rng, trajectory);
+}
+
+void AgentParallelEngine::step_faulty(Population& population,
+                                      const FaultSession& session,
+                                      Rng& rng) const {
+  const EnvironmentModel& model = session.model();
+  const std::uint64_t n = population.views.size();
+  const std::uint32_t ell = protocol_->sample_size(n);
+
+  population.snapshot.resize(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    population.snapshot[i] = population.views[i].opinion;
+  }
+
+  for (std::uint64_t i = population.sources; i < n; ++i) {
+    if (session.is_zealot(i)) continue;
+    const std::uint32_t ones_seen =
+        observe_ones_noisy(population.snapshot, ell, model.observation_noise,
+                           rng, population.sampler);
+    population.views[i] =
+        protocol_->update(population.views[i], ones_seen, ell, n, rng);
+    if (model.spontaneous_rate > 0.0 && rng.bernoulli(model.spontaneous_rate)) {
+      // The spontaneous channel overrides the displayed opinion only; the
+      // internal state survives (a "glitch", not a reset).
+      population.views[i].opinion = rng.bernoulli(model.spontaneous_bias)
+                                        ? Opinion::kOne
+                                        : Opinion::kZero;
+    }
+  }
+}
+
+RunResult AgentParallelEngine::run(Configuration config, const StopRule& rule,
+                                   const EnvironmentModel& faults, Rng& rng,
+                                   Trajectory* trajectory) const {
+  assert(config.valid());
+  FaultSession session(faults, config);
+  const EnvironmentModel& model = session.model();
+  config = session.plant(config);
+  Population population = make_population(config);
+
+  RunResult result;
+  Configuration current = population.config();
+  if (trajectory != nullptr) trajectory->record(0, current.ones);
+  session.observe(0, current);
+  for (std::uint64_t round = 0;; ++round) {
+    if (session.flip_due(round)) {
+      session.apply_flip(round, current);
+      // Mirror the flip onto the explicit state: sources display the new
+      // correct opinion (fresh initial views), everyone else is untouched.
+      population.correct = current.correct;
+      for (std::uint64_t i = 0; i < population.sources; ++i) {
+        population.views[i] = protocol_->initial_view(current.correct);
+      }
+      assert(population.config().ones == current.ones);
+    }
+    if (auto reason = session.evaluate(rule, current)) {
+      result.reason = *reason;
+      result.rounds = round;
+      break;
+    }
+    if (round >= rule.max_rounds) {
+      result.reason = session.censored_reason();
+      result.rounds = round;
+      break;
+    }
+    step_faulty(population, session, rng);
+    if (model.churn_rate > 0.0) {
+      // Each free agent crashes independently; its replacement boots in the
+      // protocol's initial view for the currently wrong opinion.
+      const Opinion wrong = opposite(population.correct);
+      for (std::uint64_t i = population.sources; i < population.views.size();
+           ++i) {
+        if (session.is_zealot(i)) continue;
+        if (rng.bernoulli(model.churn_rate)) {
+          population.views[i] = protocol_->initial_view(wrong);
+        }
+      }
+    }
+    current = population.config();
+    session.observe(round + 1, current);
+    if (trajectory != nullptr) trajectory->record(round + 1, current.ones);
+  }
+  if (trajectory != nullptr) {
+    trajectory->force_record(result.rounds, current.ones);
+  }
+  result.final_config = current;
+  result.recoveries = session.take_recoveries();
+  return result;
 }
 
 RunResult AgentParallelEngine::run_population(Population& population,

@@ -20,6 +20,8 @@
 
 namespace bitspread {
 
+class FaultSession;
+
 class AgentParallelEngine {
  public:
   enum class Sampling {
@@ -66,12 +68,30 @@ class AgentParallelEngine {
   RunResult run_population(Population& population, const StopRule& rule,
                            Rng& rng, Trajectory* trajectory = nullptr) const;
 
+  // Faulty run under an EnvironmentModel, fully operational: every observed
+  // bit passes through a BSC(epsilon), zealot slots never update, the
+  // spontaneous channel overrides the post-update opinion with probability
+  // eta (internal state is kept), churned agents restart in the protocol's
+  // initial view for the currently wrong opinion, and source flips reset the
+  // source views mid-run. Distribution-identical to the aggregate faulty run
+  // for memory-less protocols.
+  RunResult run(Configuration config, const StopRule& rule,
+                const EnvironmentModel& faults, Rng& rng,
+                Trajectory* trajectory = nullptr) const;
+
   const StatefulProtocol& protocol() const noexcept { return *protocol_; }
 
  private:
   std::uint32_t observe_ones(const std::vector<Opinion>& opinions,
                              std::uint32_t ell, Rng& rng,
                              FloydSampler& sampler) const noexcept;
+  // As observe_ones, but each observed bit flips with probability epsilon.
+  std::uint32_t observe_ones_noisy(const std::vector<Opinion>& opinions,
+                                   std::uint32_t ell, double epsilon, Rng& rng,
+                                   FloydSampler& sampler) const noexcept;
+  // One faulty synchronous round (noise + zealots + spontaneous channel).
+  void step_faulty(Population& population, const FaultSession& session,
+                   Rng& rng) const;
 
   const StatefulProtocol* protocol_;
   Sampling sampling_;

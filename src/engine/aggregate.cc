@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "faults/noisy_protocol.h"
+#include "faults/session.h"
 #include "random/binomial.h"
 
 namespace bitspread {
@@ -43,6 +45,53 @@ RunResult AggregateParallelEngine::run(Configuration config,
   }
   if (trajectory != nullptr) trajectory->force_record(result.rounds, config.ones);
   result.final_config = config;
+  return result;
+}
+
+RunResult AggregateParallelEngine::run(Configuration config,
+                                       const StopRule& rule,
+                                       const EnvironmentModel& faults,
+                                       Rng& rng,
+                                       Trajectory* trajectory) const {
+  assert(config.valid());
+  FaultSession session(faults, config);
+  const NoisyObservationProtocol noisy(*protocol_, session.model());
+  config = session.plant(config);
+
+  RunResult result;
+  if (trajectory != nullptr) trajectory->record(0, config.ones);
+  session.observe(0, config);
+  for (std::uint64_t round = 0;; ++round) {
+    if (session.flip_due(round)) session.apply_flip(round, config);
+    if (auto reason = session.evaluate(rule, config)) {
+      result.reason = *reason;
+      result.rounds = round;
+      break;
+    }
+    if (round >= rule.max_rounds) {
+      result.reason = session.censored_reason();
+      result.rounds = round;
+      break;
+    }
+    // One exact faulty round: free agents update through the noisy
+    // closed-form adoption probabilities, then churn replaces crashed ones.
+    const double p = config.fraction_ones();
+    const double p1 = noisy.aggregate_adoption(Opinion::kOne, p, config.n);
+    const double p0 = noisy.aggregate_adoption(Opinion::kZero, p, config.n);
+    const std::uint64_t next_free_ones =
+        binomial(rng, session.free_ones(config), p1) +
+        binomial(rng, session.free_zeros(config), p0);
+    config.ones =
+        config.source_ones() + session.zealot_ones() + next_free_ones;
+    config = session.churn(config, rng);
+    session.observe(round + 1, config);
+    if (trajectory != nullptr) trajectory->record(round + 1, config.ones);
+  }
+  if (trajectory != nullptr) {
+    trajectory->force_record(result.rounds, config.ones);
+  }
+  result.final_config = config;
+  result.recoveries = session.take_recoveries();
   return result;
 }
 

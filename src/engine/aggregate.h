@@ -16,6 +16,7 @@
 #include "core/protocol.h"
 #include "engine/stopping.h"
 #include "engine/trajectory.h"
+#include "faults/environment.h"
 #include "random/rng.h"
 
 namespace bitspread {
@@ -32,6 +33,17 @@ class AggregateParallelEngine {
   // recorded (round 0 and the final round always; intermediate rounds per the
   // trajectory's stride).
   RunResult run(Configuration config, const StopRule& rule, Rng& rng,
+                Trajectory* trajectory = nullptr) const;
+
+  // Faulty run under an EnvironmentModel, still exact: observation and
+  // spontaneous noise enter through the closed-form adoption probability
+  // (NoisyObservationProtocol), zealots are pinned counts excluded from the
+  // binomial updates, churn is two extra binomial draws per round, and
+  // source flips re-target the stop rule mid-run. Per-flip recovery times
+  // land in RunResult::recoveries; a run that never re-converges after its
+  // last flip is reported as StopReason::kDegraded.
+  RunResult run(Configuration config, const StopRule& rule,
+                const EnvironmentModel& faults, Rng& rng,
                 Trajectory* trajectory = nullptr) const;
 
   const MemorylessProtocol& protocol() const noexcept { return *protocol_; }

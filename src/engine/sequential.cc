@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "faults/session.h"
 #include "random/binomial.h"
 
 namespace bitspread {
@@ -58,6 +59,77 @@ SequentialRunResult SequentialEngine::run(Configuration config,
   }
   result.activations = activation;
   result.final_config = config;
+  if (trajectory != nullptr) {
+    trajectory->force_record((activation + n - 1) / n, config.ones);
+  }
+  return result;
+}
+
+SequentialRunResult SequentialEngine::run(Configuration config,
+                                          const StopRule& rule,
+                                          const EnvironmentModel& faults,
+                                          Rng& rng,
+                                          Trajectory* trajectory) const {
+  assert(config.valid());
+  FaultSession session(faults, config);
+  config = session.plant(config);
+  const EnvironmentModel& model = session.model();
+
+  SequentialRunResult result;
+  const std::uint64_t n = config.n;
+  const std::uint64_t non_source = n - config.sources;
+  const std::uint64_t max_activations = rule.max_rounds * n;
+  const std::uint32_t ell = protocol_->sample_size(n);
+  assert(non_source > 0);
+
+  if (trajectory != nullptr) trajectory->record(0, config.ones);
+  session.observe(0, config);
+  std::uint64_t activation = 0;
+  while (true) {
+    const std::uint64_t round = activation / n;
+    if (activation % n == 0 && session.flip_due(round)) {
+      session.apply_flip(round, config);
+    }
+    if (auto reason = session.evaluate(rule, config)) {
+      result.reason = *reason;
+      break;
+    }
+    if (activation >= max_activations) {
+      result.reason = session.censored_reason();
+      break;
+    }
+
+    // One activation. The activated agent is uniform over the non-source
+    // slots; the last `zealots` of them are frozen, the free agents hold
+    // one iff their index falls below the free ones-count.
+    const std::uint64_t index = rng.next_below(non_source);
+    const std::uint64_t free = session.free_agents();
+    if (index < free) {
+      const bool holds_one = index < session.free_ones(config);
+      const Opinion own = holds_one ? Opinion::kOne : Opinion::kZero;
+      // BSC noise on l observed bits == sampling Bin(l, noisy_fraction(p)).
+      const auto ones_seen = static_cast<std::uint32_t>(binomial(
+          rng, ell, model.noisy_fraction(config.fraction_ones())));
+      const double adopt_one =
+          (1.0 - model.spontaneous_rate) *
+              protocol_->g(own, ones_seen, ell, n) +
+          model.spontaneous_rate * model.spontaneous_bias;
+      const Opinion next =
+          rng.bernoulli(adopt_one) ? Opinion::kOne : Opinion::kZero;
+      if (own != next) config.ones += next == Opinion::kOne ? 1 : -1;
+    }
+    ++activation;
+    if (activation % n == 0) {
+      config = session.churn(config, rng);
+      session.observe(activation / n, config);
+      if (trajectory != nullptr) {
+        trajectory->record(activation / n, config.ones);
+      }
+    }
+  }
+  result.activations = activation;
+  result.final_config = config;
+  result.recoveries = session.take_recoveries();
   if (trajectory != nullptr) {
     trajectory->force_record((activation + n - 1) / n, config.ones);
   }

@@ -16,11 +16,13 @@
 #define BITSPREAD_ENGINE_SEQUENTIAL_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "core/configuration.h"
 #include "core/protocol.h"
 #include "engine/stopping.h"
 #include "engine/trajectory.h"
+#include "faults/environment.h"
 #include "random/rng.h"
 
 namespace bitspread {
@@ -30,6 +32,10 @@ struct SequentialRunResult {
   std::uint64_t activations = 0;
   Configuration final_config;
 
+  // Faulty runs only: per-epoch recovery segments in PARALLEL-round units
+  // (segment 0 = initial epoch, then one per source flip).
+  std::vector<RecoverySegment> recoveries;
+
   double parallel_rounds() const noexcept {
     return static_cast<double>(activations) /
            static_cast<double>(final_config.n);
@@ -37,7 +43,11 @@ struct SequentialRunResult {
   bool converged() const noexcept {
     return reason == StopReason::kCorrectConsensus;
   }
-  bool censored() const noexcept { return reason == StopReason::kRoundLimit; }
+  bool censored() const noexcept {
+    return reason == StopReason::kRoundLimit ||
+           reason == StopReason::kDegraded;
+  }
+  bool degraded() const noexcept { return reason == StopReason::kDegraded; }
 };
 
 class SequentialEngine {
@@ -53,6 +63,16 @@ class SequentialEngine {
   // each) so rules are interchangeable across engines. The trajectory, if
   // given, is recorded once per parallel round.
   SequentialRunResult run(Configuration config, const StopRule& rule, Rng& rng,
+                          Trajectory* trajectory = nullptr) const;
+
+  // Faulty run under an EnvironmentModel. Noise stays exact: the activated
+  // agent's sample is Binomial(l, noisy_fraction(X/n)) and the spontaneous
+  // channel folds into the adoption probability. A zealot activation is a
+  // no-op (time still advances); source flips and churn apply at parallel-
+  // round boundaries (every n activations), matching the parallel engines'
+  // per-round semantics.
+  SequentialRunResult run(Configuration config, const StopRule& rule,
+                          const EnvironmentModel& faults, Rng& rng,
                           Trajectory* trajectory = nullptr) const;
 
   const MemorylessProtocol& protocol() const noexcept { return *protocol_; }

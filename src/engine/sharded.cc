@@ -5,6 +5,7 @@
 #include <cassert>
 #include <utility>
 
+#include "faults/session.h"
 #include "sim/parallel.h"
 
 namespace bitspread {
@@ -13,6 +14,9 @@ namespace {
 // Stream-phase tag separating this engine's derived seeds from every other
 // consumer of the same SeedSequence.
 constexpr std::uint64_t kStreamPhase = 0x73686172;  // "shar"
+// Distinct phase for faulty rounds: a faulty run is a different experiment
+// and must not alias the fault-free stream for the same (round, block).
+constexpr std::uint64_t kFaultPhase = 0x6661756c;  // "faul"
 
 // Sets bits [begin, end) in a zeroed plane.
 void set_bit_range(std::vector<std::uint64_t>& plane, std::uint64_t begin,
@@ -42,6 +46,32 @@ inline std::uint32_t probe_ones_distinct(const std::uint64_t* plane,
   std::uint32_t ones = 0;
   sampler.sample(n, ell, rng, [&](std::uint64_t i) noexcept {
     ones += static_cast<std::uint32_t>((plane[i >> 6] >> (i & 63)) & 1);
+  });
+  return ones;
+}
+
+// BSC variants: each probed bit flips with probability epsilon.
+inline std::uint32_t probe_ones_noisy(const std::uint64_t* plane,
+                                      std::uint64_t n, std::uint32_t ell,
+                                      double epsilon, Rng& rng) noexcept {
+  std::uint32_t ones = 0;
+  for (std::uint32_t s = 0; s < ell; ++s) {
+    const std::uint64_t i = rng.next_below(n);
+    const auto bit = static_cast<std::uint32_t>((plane[i >> 6] >> (i & 63)) & 1);
+    ones += rng.bernoulli(epsilon) ? bit ^ 1U : bit;
+  }
+  return ones;
+}
+
+inline std::uint32_t probe_ones_distinct_noisy(const std::uint64_t* plane,
+                                               std::uint64_t n,
+                                               std::uint32_t ell,
+                                               double epsilon, Rng& rng,
+                                               FloydSampler& sampler) noexcept {
+  std::uint32_t ones = 0;
+  sampler.sample(n, ell, rng, [&](std::uint64_t i) noexcept {
+    const auto bit = static_cast<std::uint32_t>((plane[i >> 6] >> (i & 63)) & 1);
+    ones += rng.bernoulli(epsilon) ? bit ^ 1U : bit;
   });
   return ones;
 }
@@ -159,6 +189,84 @@ void ShardedAgentEngine::process_block(Population& population,
   population.block_ones_[block] = block_ones;
 }
 
+void ShardedAgentEngine::process_block_faulty(Population& population,
+                                              std::uint64_t block,
+                                              std::uint32_t ell,
+                                              const FaultSession& session,
+                                              Rng& rng,
+                                              FloydSampler& sampler) const {
+  const EnvironmentModel& model = session.model();
+  const double epsilon = model.observation_noise;
+  const double eta = model.spontaneous_rate;
+  const double delta = model.churn_rate;
+  const Opinion wrong = opposite(population.correct_);
+  const auto wrong_bit = static_cast<std::uint64_t>(to_int(wrong));
+
+  const std::uint64_t n = population.n_;
+  const std::uint64_t sources = population.sources_;
+  const std::uint64_t words = population.current_.size();
+  const std::uint64_t* current = population.current_.data();
+  std::uint64_t* next = population.next_.data();
+  const bool distinct = options_.sampling == Sampling::kWithoutReplacement;
+  const double* gtable =
+      memoryless_ != nullptr ? population.gtable_.data() : nullptr;
+
+  const std::uint64_t word_begin = block * kBlockWords;
+  const std::uint64_t word_end = std::min(words, word_begin + kBlockWords);
+  std::uint64_t block_ones = 0;
+  for (std::uint64_t w = word_begin; w < word_end; ++w) {
+    const std::uint64_t base = w * 64;
+    const unsigned bits =
+        n - base < 64 ? static_cast<unsigned>(n - base) : 64u;
+    std::uint64_t out = 0;
+    for (unsigned bit = 0; bit < bits; ++bit) {
+      const std::uint64_t i = base + bit;
+      const std::uint64_t own = (current[w] >> bit) & 1;
+      std::uint64_t value;
+      if (i < sources || session.is_zealot(i)) {
+        value = own;  // Sources and zealots never update (and draw nothing).
+      } else {
+        const std::uint32_t ones_seen =
+            epsilon > 0.0
+                ? (distinct ? probe_ones_distinct_noisy(current, n, ell,
+                                                        epsilon, rng, sampler)
+                            : probe_ones_noisy(current, n, ell, epsilon, rng))
+                : (distinct ? probe_ones_distinct(current, n, ell, rng,
+                                                  sampler)
+                            : probe_ones(current, n, ell, rng));
+        if (gtable != nullptr) {
+          // The spontaneous channel is already folded into the table.
+          value = rng.bernoulli(gtable[own * (ell + 1) + ones_seen]) ? 1 : 0;
+        } else {
+          StatefulProtocol::AgentView view{
+              own != 0 ? Opinion::kOne : Opinion::kZero,
+              population.states_[i]};
+          view = protocol_->update(view, ones_seen, ell, n, rng);
+          if (eta > 0.0 && rng.bernoulli(eta)) {
+            view.opinion = rng.bernoulli(model.spontaneous_bias)
+                               ? Opinion::kOne
+                               : Opinion::kZero;
+          }
+          population.states_[i] = view.state;
+          value = to_int(view.opinion);
+        }
+        if (delta > 0.0 && rng.bernoulli(delta)) {
+          // Crash + adversarial replacement: the newcomer holds (and, on the
+          // stateful path, boots in the initial view for) the wrong opinion.
+          value = wrong_bit;
+          if (protocol_ != nullptr) {
+            population.states_[i] = protocol_->initial_view(wrong).state;
+          }
+        }
+      }
+      out |= value << bit;
+    }
+    next[w] = out;
+    block_ones += static_cast<std::uint64_t>(std::popcount(out));
+  }
+  population.block_ones_[block] = block_ones;
+}
+
 void ShardedAgentEngine::step(Population& population, std::uint64_t round,
                               const SeedSequence& seeds) const {
   const std::uint64_t n = population.n_;
@@ -224,11 +332,134 @@ void ShardedAgentEngine::step(Population& population, std::uint64_t round,
   population.ones_ = ones;
 }
 
+void ShardedAgentEngine::step(Population& population, std::uint64_t round,
+                              const SeedSequence& seeds,
+                              const FaultSession& session) const {
+  const EnvironmentModel& model = session.model();
+  const std::uint64_t n = population.n_;
+  const std::uint32_t ell = sample_size(n);
+  const std::uint64_t words = population.current_.size();
+  const std::uint64_t blocks = (words + kBlockWords - 1) / kBlockWords;
+
+  if (memoryless_ != nullptr) {
+    // Tabulate the faulty adoption probability: the spontaneous channel
+    // folds straight into the table, (1 - eta) g + eta * bias, so the hot
+    // loop still costs one lookup + one draw. Observation noise does NOT
+    // fold here — it is applied operationally, bit by bit, in the probes.
+    population.gtable_.resize(2 * (static_cast<std::size_t>(ell) + 1));
+    const double eta = model.spontaneous_rate;
+    for (std::uint32_t own = 0; own < 2; ++own) {
+      const Opinion opinion = own != 0 ? Opinion::kOne : Opinion::kZero;
+      for (std::uint32_t k = 0; k <= ell; ++k) {
+        population.gtable_[own * (ell + 1) + k] =
+            (1.0 - eta) * memoryless_->g(opinion, k, ell, n) +
+            eta * model.spontaneous_bias;
+      }
+    }
+  }
+  population.block_ones_.resize(blocks);
+
+  std::uint64_t chunks =
+      options_.shards == 0 ? blocks
+                           : std::min<std::uint64_t>(options_.shards, blocks);
+  chunks = std::max<std::uint64_t>(chunks, 1);
+  population.samplers_.resize(chunks);
+
+  struct FaultyRoundContext {
+    const ShardedAgentEngine* engine;
+    Population* population;
+    const SeedSequence* seeds;
+    const FaultSession* session;
+    std::uint64_t round;
+    std::uint64_t blocks;
+    std::uint64_t chunks;
+    std::uint32_t ell;
+  };
+  FaultyRoundContext context{this,  &population, &seeds, &session,
+                             round, blocks,      chunks, ell};
+  const std::function<void(int)> chunk_fn = [&context](int chunk) {
+    const std::uint64_t begin =
+        context.blocks * static_cast<std::uint64_t>(chunk) / context.chunks;
+    const std::uint64_t end =
+        context.blocks * (static_cast<std::uint64_t>(chunk) + 1) /
+        context.chunks;
+    FloydSampler& sampler =
+        context.population->samplers_[static_cast<std::size_t>(chunk)];
+    for (std::uint64_t block = begin; block < end; ++block) {
+      Rng rng(context.seeds->derive(context.round, block, kFaultPhase));
+      context.engine->process_block_faulty(*context.population, block,
+                                           context.ell, *context.session, rng,
+                                           sampler);
+    }
+  };
+  WorkerPool::shared().run(static_cast<int>(chunks), chunk_fn,
+                           options_.threads);
+
+  std::swap(population.current_, population.next_);
+  std::uint64_t ones = 0;
+  for (const std::uint64_t block_count : population.block_ones_) {
+    ones += block_count;
+  }
+  population.ones_ = ones;
+}
+
 RunResult ShardedAgentEngine::run(const Configuration& config,
                                   const StopRule& rule, std::uint64_t seed,
                                   Trajectory* trajectory) const {
   Population population = make_population(config);
   return run_population(population, rule, seed, trajectory);
+}
+
+RunResult ShardedAgentEngine::run(const Configuration& config,
+                                  const StopRule& rule,
+                                  const EnvironmentModel& faults,
+                                  std::uint64_t seed,
+                                  Trajectory* trajectory) const {
+  assert(config.valid());
+  FaultSession session(faults, config);
+  Population population = make_population(session.plant(config));
+  const SeedSequence seeds(seed);
+
+  RunResult result;
+  Configuration current = population.config();
+  if (trajectory != nullptr) trajectory->record(0, current.ones);
+  session.observe(0, current);
+  for (std::uint64_t round = 0;; ++round) {
+    if (session.flip_due(round)) {
+      session.apply_flip(round, current);
+      // Mirror the flip onto the packed planes: sources display the new
+      // correct opinion; on the stateful path they also reboot their view.
+      population.correct_ = current.correct;
+      for (std::uint64_t i = 0; i < population.sources_; ++i) {
+        population.set_opinion(i, current.correct);
+        if (protocol_ != nullptr) {
+          population.set_state(i,
+                               protocol_->initial_view(current.correct).state);
+        }
+      }
+      assert(population.count_ones() == current.ones);
+    }
+    if (auto reason = session.evaluate(rule, current)) {
+      result.reason = *reason;
+      result.rounds = round;
+      break;
+    }
+    if (round >= rule.max_rounds) {
+      result.reason = session.censored_reason();
+      result.rounds = round;
+      break;
+    }
+    step(population, round, seeds, session);
+    current = population.config();
+    session.observe(round + 1, current);
+    if (trajectory != nullptr) trajectory->record(round + 1, current.ones);
+  }
+  if (trajectory != nullptr) {
+    trajectory->force_record(result.rounds, current.ones);
+  }
+  result.final_config = current;
+  result.recoveries = session.take_recoveries();
+  return result;
 }
 
 RunResult ShardedAgentEngine::run_population(Population& population,

@@ -132,10 +132,26 @@ class ShardedAgentEngine {
   void step(Population& population, std::uint64_t round,
             const SeedSequence& seeds) const;
 
+  // One faulty synchronous round. Every fault draw (probe noise, spontaneous
+  // flips, churn) comes from the block's own (round, block)-derived stream —
+  // a distinct stream phase from the fault-free path — so the determinism
+  // guarantee is unchanged: bit-identical for every thread/shard count.
+  void step(Population& population, std::uint64_t round,
+            const SeedSequence& seeds, const FaultSession& session) const;
+
   // Runs from `config` under `rule`. The master `seed` fully determines the
   // outcome; thread/shard counts never do.
   RunResult run(const Configuration& config, const StopRule& rule,
                 std::uint64_t seed, Trajectory* trajectory = nullptr) const;
+
+  // Faulty run under an EnvironmentModel: operational bit-flip noise on
+  // every probe, frozen zealot slots, the spontaneous channel folded into
+  // the per-round g-table (fast path) or applied as a post-update override
+  // (stateful path), per-agent churn, and mid-run source flips. Still
+  // bit-identical across thread/shard counts.
+  RunResult run(const Configuration& config, const StopRule& rule,
+                const EnvironmentModel& faults, std::uint64_t seed,
+                Trajectory* trajectory = nullptr) const;
 
   // Same, from an explicit (possibly adversarial) population, advanced in
   // place.
@@ -154,6 +170,9 @@ class ShardedAgentEngine {
   void process_block(Population& population, std::uint64_t block,
                      std::uint32_t ell, Rng& rng,
                      FloydSampler& sampler) const;
+  void process_block_faulty(Population& population, std::uint64_t block,
+                            std::uint32_t ell, const FaultSession& session,
+                            Rng& rng, FloydSampler& sampler) const;
 
   const MemorylessProtocol* memoryless_ = nullptr;  // Fast path when set.
   const StatefulProtocol* protocol_ = nullptr;      // Generic path otherwise.

@@ -12,6 +12,8 @@ std::string to_string(StopReason reason) {
       return "round-limit";
     case StopReason::kIntervalExit:
       return "interval-exit";
+    case StopReason::kDegraded:
+      return "degraded";
   }
   return "unknown";
 }

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "core/configuration.h"
 
@@ -16,6 +17,11 @@ enum class StopReason {
                       // source, or for broken protocols).
   kRoundLimit,        // Hit the round cap: the measurement is right-censored.
   kIntervalExit,      // Left the watched interval (Theorem 6 crossing runs).
+  kDegraded,          // Faulty run: at least one source flip occurred and the
+                      // system never re-converged before the round cap. The
+                      // recovery segment for the last flip is right-censored;
+                      // RunResult keeps the flip round and final configuration
+                      // so degraded runs are reported, never silently capped.
 };
 
 std::string to_string(StopReason reason);
@@ -26,6 +32,8 @@ struct StopRule {
 
   // When set, stop as soon as ones < interval_lo or ones > interval_hi. Used
   // to measure interval *crossing* times (Theorem 6) instead of convergence.
+  // Hitting a boundary exactly does NOT stop: crossing runs must leave the
+  // interval strictly (tests/engine_stopping_test.cc).
   std::optional<std::uint64_t> interval_lo;
   std::optional<std::uint64_t> interval_hi;
 
@@ -35,16 +43,49 @@ struct StopRule {
   bool stop_on_any_consensus = true;
 };
 
+// One self-stabilization epoch of a faulty run: the stretch between a source
+// flip (or the initial configuration, flip_round = 0 for the first segment)
+// and the next re-convergence. An unrecovered final segment means the run
+// ended degraded or censored; `recovered_round` is then meaningless.
+struct RecoverySegment {
+  std::uint64_t flip_round = 0;       // Round the epoch opened (0 = initial).
+  std::uint64_t recovered_round = 0;  // Round the quorum was first met.
+  bool recovered = false;
+
+  // Rounds from flip to re-convergence (only meaningful when recovered).
+  std::uint64_t recovery_rounds() const noexcept {
+    return recovered_round - flip_round;
+  }
+
+  friend bool operator==(const RecoverySegment&,
+                         const RecoverySegment&) = default;
+};
+
 struct RunResult {
   StopReason reason = StopReason::kRoundLimit;
   std::uint64_t rounds = 0;  // Parallel rounds elapsed when stopped.
   Configuration final_config;
 
+  // Per-epoch recovery bookkeeping of faulty runs (empty for fault-free
+  // runs): segment 0 covers the initial configuration, then one segment per
+  // source flip, in flip order.
+  std::vector<RecoverySegment> recoveries;
+
   bool converged() const noexcept {
     return reason == StopReason::kCorrectConsensus;
   }
-  // True when the run hit the cap: `rounds` is then a lower bound.
-  bool censored() const noexcept { return reason == StopReason::kRoundLimit; }
+  // True when the run hit the cap: `rounds` is then a lower bound. A
+  // degraded run is censored too — its last recovery segment never closed.
+  bool censored() const noexcept {
+    return reason == StopReason::kRoundLimit ||
+           reason == StopReason::kDegraded;
+  }
+  bool degraded() const noexcept { return reason == StopReason::kDegraded; }
+
+  // Round of the last source flip (0 when the run never flipped).
+  std::uint64_t last_flip_round() const noexcept {
+    return recoveries.empty() ? 0 : recoveries.back().flip_round;
+  }
 };
 
 // Evaluates the rule against a configuration; nullopt means keep running.

@@ -1,0 +1,55 @@
+#include "faults/environment.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace bitspread {
+namespace {
+
+double clamp_unit(double value, double if_nan = 0.0) noexcept {
+  if (std::isnan(value)) return if_nan;
+  return std::clamp(value, 0.0, 1.0);
+}
+
+}  // namespace
+
+EnvironmentModel EnvironmentModel::normalized() const {
+  EnvironmentModel out = *this;
+  out.observation_noise = std::min(clamp_unit(observation_noise), 0.5);
+  out.spontaneous_rate = clamp_unit(spontaneous_rate);
+  out.spontaneous_bias = clamp_unit(spontaneous_bias, 0.5);
+  out.zealot_fraction = clamp_unit(zealot_fraction);
+  out.churn_rate = clamp_unit(churn_rate);
+  out.convergence_quorum = clamp_unit(convergence_quorum, 1.0);
+  if (out.convergence_quorum == 0.0) out.convergence_quorum = 1.0;
+  std::sort(out.source_flip_rounds.begin(), out.source_flip_rounds.end());
+  out.source_flip_rounds.erase(std::unique(out.source_flip_rounds.begin(),
+                                           out.source_flip_rounds.end()),
+                               out.source_flip_rounds.end());
+  return out;
+}
+
+bool EnvironmentModel::active() const noexcept {
+  return observation_noise > 0.0 || spontaneous_rate > 0.0 ||
+         zealot_fraction > 0.0 || churn_rate > 0.0 ||
+         !source_flip_rounds.empty() || convergence_quorum < 1.0;
+}
+
+std::uint64_t EnvironmentModel::zealot_count(
+    std::uint64_t n, std::uint64_t sources) const noexcept {
+  const std::uint64_t non_source = n > sources ? n - sources : 0;
+  const double count = zealot_fraction * static_cast<double>(non_source);
+  return std::min(non_source, static_cast<std::uint64_t>(count));
+}
+
+std::string EnvironmentModel::describe() const {
+  std::ostringstream out;
+  out << "env(eps=" << observation_noise << ", eta=" << spontaneous_rate
+      << ", z=" << zealot_fraction << ", delta=" << churn_rate << ", flips=["
+      << source_flip_rounds.size() << "], quorum=" << convergence_quorum
+      << ")";
+  return out.str();
+}
+
+}  // namespace bitspread

@@ -1,0 +1,55 @@
+#include "faults/noisy_protocol.h"
+
+#include <sstream>
+#include <vector>
+
+#include "random/binomial.h"
+
+namespace bitspread {
+
+NoisyObservationProtocol::NoisyObservationProtocol(
+    const MemorylessProtocol& base, const EnvironmentModel& model) noexcept
+    : MemorylessProtocol(base.policy()), base_(&base) {
+  const EnvironmentModel normal = model.normalized();
+  epsilon_ = normal.observation_noise;
+  eta_ = normal.spontaneous_rate;
+  bias_ = normal.spontaneous_bias;
+}
+
+double NoisyObservationProtocol::g(Opinion own, std::uint32_t ones_seen,
+                                   std::uint32_t ell,
+                                   std::uint64_t n) const noexcept {
+  double sample_term;
+  if (epsilon_ == 0.0) {
+    sample_term = base_->g(own, ones_seen, ell, n);
+  } else {
+    // Observed count = Bin(k, 1-e) + Bin(l-k, e): convolve the two pmfs and
+    // average g over the result.
+    const std::vector<double> kept = binomial_pmf(ones_seen, 1.0 - epsilon_);
+    const std::vector<double> flipped =
+        binomial_pmf(ell - ones_seen, epsilon_);
+    sample_term = 0.0;
+    for (std::uint32_t a = 0; a < kept.size(); ++a) {
+      for (std::uint32_t b = 0; b < flipped.size(); ++b) {
+        sample_term += kept[a] * flipped[b] * base_->g(own, a + b, ell, n);
+      }
+    }
+  }
+  return (1.0 - eta_) * sample_term + eta_ * bias_;
+}
+
+double NoisyObservationProtocol::aggregate_adoption(
+    Opinion own, double p, std::uint64_t n) const noexcept {
+  const double noisy = p + epsilon_ * (1.0 - 2.0 * p);
+  return (1.0 - eta_) * base_->aggregate_adoption(own, noisy, n) +
+         eta_ * bias_;
+}
+
+std::string NoisyObservationProtocol::name() const {
+  std::ostringstream out;
+  out << base_->name() << "+bsc(" << epsilon_ << ")";
+  if (eta_ > 0.0) out << "+spont(" << eta_ << "," << bias_ << ")";
+  return out.str();
+}
+
+}  // namespace bitspread

@@ -1,0 +1,52 @@
+// The exact protocol-level view of the noise channels in EnvironmentModel.
+//
+// Observation noise commutes with sampling: observing l agents through a
+// BSC(epsilon) is the same as sampling l i.i.d. Bernoulli(noisy_fraction(p))
+// bits. Conditioned on the TRUE ones count k among the l samples, the
+// observed count is K' = Bin(k, 1-e) + Bin(l-k, e), so the effective
+// memory-less protocol seen by the fault-free machinery is the mixture
+//
+//   g'(b, k) = (1-eta) * E[g(b, K') | k] + eta * bias,
+//
+// which is itself a valid memory-less protocol. Wrapping a protocol this way
+// gives the exact aggregate dynamics under noise (aggregate_adoption becomes
+// the closed form (1-eta) * P_b(noisy_fraction(p)) + eta * bias), and makes
+// the exact dense Markov chain (markov/dense_chain.h) available as ground
+// truth for the operational bit-flipping fault paths of the agent-level
+// engines (tests/faults_determinism_test.cc cross-validates the two).
+#ifndef BITSPREAD_FAULTS_NOISY_PROTOCOL_H_
+#define BITSPREAD_FAULTS_NOISY_PROTOCOL_H_
+
+#include "core/protocol.h"
+#include "faults/environment.h"
+
+namespace bitspread {
+
+class NoisyObservationProtocol final : public MemorylessProtocol {
+ public:
+  // Only the noise channels (observation_noise, spontaneous_rate/bias) of
+  // `model` are used; zealots, churn and source flips act at the population
+  // level and are handled by the engines. `base` must outlive this wrapper.
+  NoisyObservationProtocol(const MemorylessProtocol& base,
+                           const EnvironmentModel& model) noexcept;
+
+  double g(Opinion own, std::uint32_t ones_seen, std::uint32_t ell,
+           std::uint64_t n) const noexcept override;
+
+  double aggregate_adoption(Opinion own, double p,
+                            std::uint64_t n) const noexcept override;
+
+  std::string name() const override;
+
+  const MemorylessProtocol& base() const noexcept { return *base_; }
+
+ private:
+  const MemorylessProtocol* base_;
+  double epsilon_;
+  double eta_;
+  double bias_;
+};
+
+}  // namespace bitspread
+
+#endif  // BITSPREAD_FAULTS_NOISY_PROTOCOL_H_

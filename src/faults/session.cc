@@ -1,0 +1,143 @@
+#include "faults/session.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "random/binomial.h"
+
+namespace bitspread {
+
+FaultSession::FaultSession(const EnvironmentModel& model,
+                           const Configuration& initial)
+    : model_(model.normalized()),
+      n_(initial.n),
+      sources_(initial.sources),
+      zealot_opinion_(opposite(initial.correct)) {
+  zealots_ = model_.zealot_count(n_, sources_);
+  if (zealot_opinion_ == Opinion::kOne) {
+    // Layout puts non-source ones right after the sources.
+    zealot_begin_ = sources_;
+    zealot_end_ = sources_ + zealots_;
+  } else {
+    // Non-source zeros sit at the end of the layout.
+    zealot_begin_ = n_ - zealots_;
+    zealot_end_ = n_;
+  }
+  // The initial epoch: segment 0 opens at round 0.
+  recoveries_.push_back(RecoverySegment{0, 0, false});
+}
+
+Configuration FaultSession::plant(Configuration config) const noexcept {
+  assert(config.n == n_ && config.sources == sources_);
+  if (zealot_opinion_ == Opinion::kOne) {
+    // At least `zealots_` non-source ones (and no more than capacity).
+    const std::uint64_t lo = config.source_ones() + zealots_;
+    const std::uint64_t hi = config.source_ones() + (n_ - sources_);
+    config.ones = std::clamp(config.ones, lo, hi);
+  } else {
+    // At least `zealots_` non-source zeros.
+    const std::uint64_t lo = config.source_ones();
+    const std::uint64_t hi = config.source_ones() + free_agents();
+    config.ones = std::clamp(config.ones, lo, hi);
+  }
+  return config;
+}
+
+bool FaultSession::flip_due(std::uint64_t round) const noexcept {
+  return next_flip_ < model_.source_flip_rounds.size() &&
+         model_.source_flip_rounds[next_flip_] == round;
+}
+
+void FaultSession::apply_flip(std::uint64_t round, Configuration& config) {
+  assert(flip_due(round));
+  ++next_flip_;
+  config.correct = opposite(config.correct);
+  // Sources now display the new correct opinion.
+  if (config.correct == Opinion::kOne) {
+    config.ones += config.sources;
+  } else {
+    config.ones -= config.sources;
+  }
+  recoveries_.push_back(RecoverySegment{round, 0, false});
+  // A flip can land in a state that already satisfies the NEW quorum (e.g.
+  // zealots dragged the population to the opposite side, or an oscillating
+  // protocol sits in its low phase). Close the segment immediately — engines
+  // evaluate the stop rule right after the flip, and a converged run must
+  // never carry an open final segment (recovery_rounds = 0 is the honest
+  // measurement: re-convergence was free).
+  observe(round, config);
+}
+
+bool FaultSession::flips_pending() const noexcept {
+  return next_flip_ < model_.source_flip_rounds.size();
+}
+
+bool FaultSession::quorum_met(const Configuration& config) const noexcept {
+  const std::uint64_t eligible = n_ - zealots_;
+  const std::uint64_t holders_total =
+      config.correct == Opinion::kOne ? config.ones : config.n - config.ones;
+  const std::uint64_t zealot_holders =
+      zealot_opinion_ == config.correct ? zealots_ : 0;
+  const std::uint64_t holders = holders_total - zealot_holders;
+  const auto needed = static_cast<std::uint64_t>(
+      std::ceil(model_.convergence_quorum * static_cast<double>(eligible)));
+  return holders >= std::min(needed, eligible);
+}
+
+bool FaultSession::wrong_consensus(const Configuration& config) const noexcept {
+  const std::uint64_t holders_total =
+      config.correct == Opinion::kOne ? config.ones : config.n - config.ones;
+  const std::uint64_t zealot_holders =
+      zealot_opinion_ == config.correct ? zealots_ : 0;
+  return holders_total == zealot_holders;
+}
+
+void FaultSession::observe(std::uint64_t round, const Configuration& config) {
+  RecoverySegment& open = recoveries_.back();
+  if (!open.recovered && quorum_met(config)) {
+    open.recovered = true;
+    open.recovered_round = std::max(round, open.flip_round);
+  }
+}
+
+std::optional<StopReason> FaultSession::evaluate(
+    const StopRule& rule, const Configuration& config) const {
+  // Interval rules fire strictly outside the interval, faults or not.
+  if (rule.interval_lo && config.ones < *rule.interval_lo) {
+    return StopReason::kIntervalExit;
+  }
+  if (rule.interval_hi && config.ones > *rule.interval_hi) {
+    return StopReason::kIntervalExit;
+  }
+  // Never stop on consensus while flips are pending: a later flip changes
+  // the target, and the segments in between are what the run measures.
+  if (flips_pending()) return std::nullopt;
+  if (quorum_met(config)) return StopReason::kCorrectConsensus;
+  if (rule.stop_on_any_consensus && !model_.wrong_consensus_escapable() &&
+      wrong_consensus(config)) {
+    return StopReason::kWrongConsensus;
+  }
+  return std::nullopt;
+}
+
+StopReason FaultSession::censored_reason() const noexcept {
+  if (next_flip_ > 0 && !recoveries_.back().recovered) {
+    return StopReason::kDegraded;
+  }
+  return StopReason::kRoundLimit;
+}
+
+Configuration FaultSession::churn(Configuration config, Rng& rng) const {
+  if (model_.churn_rate <= 0.0) return config;
+  const Opinion wrong = opposite(config.correct);
+  if (wrong == Opinion::kZero) {
+    // Crashed one-holders are replaced by zero-holders.
+    config.ones -= binomial(rng, free_ones(config), model_.churn_rate);
+  } else {
+    config.ones += binomial(rng, free_zeros(config), model_.churn_rate);
+  }
+  return config;
+}
+
+}  // namespace bitspread

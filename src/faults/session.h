@@ -1,0 +1,129 @@
+// Per-run fault bookkeeping shared by every engine's faulty run loop.
+//
+// A FaultSession binds an EnvironmentModel to one concrete run: it freezes
+// the zealot geometry (how many, which opinion, which population slots),
+// walks the source-flip schedule, records per-epoch RecoverySegments, and
+// evaluates the fault-aware stop rule (quorum among non-zealots, degraded
+// classification at the round cap). Engines differ only in how they advance
+// the state; all fault *semantics* live here so the four engines cannot
+// drift apart.
+//
+// Zealot geometry. Zealots hold the opinion that is wrong at round 0 and
+// never update — through source flips too (stubbornness is to an opinion,
+// not to "being wrong"). In the canonical population layout
+// (sources | non-source ones | non-source zeros) the zealots are assigned
+// the slots that already hold their opinion: the first non-source one-slots
+// when the zealot opinion is 1, the last zero-slots otherwise; plant()
+// clamps the requested ones-count so those slots exist. Agent order never
+// matters (the model is anonymous), so the deterministic choice is w.l.o.g.
+#ifndef BITSPREAD_FAULTS_SESSION_H_
+#define BITSPREAD_FAULTS_SESSION_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/configuration.h"
+#include "engine/stopping.h"
+#include "faults/environment.h"
+#include "random/rng.h"
+
+namespace bitspread {
+
+class FaultSession {
+ public:
+  // `initial` fixes n, sources and the round-0 correct opinion (and hence
+  // the zealot opinion). The model is normalized on entry.
+  FaultSession(const EnvironmentModel& model, const Configuration& initial);
+
+  const EnvironmentModel& model() const noexcept { return model_; }
+  std::uint64_t zealots() const noexcept { return zealots_; }
+  Opinion zealot_opinion() const noexcept { return zealot_opinion_; }
+  // Zealots currently counted in Configuration::ones (all or none).
+  std::uint64_t zealot_ones() const noexcept {
+    return zealot_opinion_ == Opinion::kOne ? zealots_ : 0;
+  }
+
+  // Zealot slots [zealot_begin, zealot_end) in the canonical layout.
+  std::uint64_t zealot_begin() const noexcept { return zealot_begin_; }
+  std::uint64_t zealot_end() const noexcept { return zealot_end_; }
+  bool is_zealot(std::uint64_t index) const noexcept {
+    return index >= zealot_begin_ && index < zealot_end_;
+  }
+
+  // Clamps the requested ones-count so the zealot slots hold the zealot
+  // opinion; engines build their populations from the planted configuration.
+  Configuration plant(Configuration config) const noexcept;
+
+  // Free agents: non-source and non-zealot (the only ones that update).
+  std::uint64_t free_agents() const noexcept {
+    return n_ - sources_ - zealots_;
+  }
+  std::uint64_t free_ones(const Configuration& config) const noexcept {
+    return config.non_source_ones() - zealot_ones();
+  }
+  std::uint64_t free_zeros(const Configuration& config) const noexcept {
+    return free_agents() - free_ones(config);
+  }
+
+  // --- Source-flip schedule -------------------------------------------
+
+  // True if the correct opinion flips on entry to `round`.
+  bool flip_due(std::uint64_t round) const noexcept;
+  // Flips config.correct (sources display the new correct opinion, so
+  // `ones` moves by `sources`) and opens a new recovery segment; the segment
+  // closes immediately when the flipped state already meets the new quorum.
+  // Engines with explicit populations must mirror the source flip onto
+  // their state.
+  void apply_flip(std::uint64_t round, Configuration& config);
+  bool flips_pending() const noexcept;
+  std::uint64_t flips_applied() const noexcept { return next_flip_; }
+
+  // --- Recovery bookkeeping -------------------------------------------
+
+  // Record the state at the END of `round` (call once with the initial
+  // state at round 0); closes the open segment when the quorum is met.
+  void observe(std::uint64_t round, const Configuration& config);
+
+  // Quorum: at least ceil(quorum * (n - zealots)) non-zealot agents hold
+  // the current correct opinion.
+  bool quorum_met(const Configuration& config) const noexcept;
+  // Every non-zealot agent holds the wrong opinion (possible only without
+  // sources, as in the fault-free model).
+  bool wrong_consensus(const Configuration& config) const noexcept;
+
+  // Fault-aware stop evaluation; nullopt means keep running. Never stops on
+  // consensus while flips are pending (a later flip can change the target),
+  // and only stops on a wrong consensus when the model keeps it absorbing.
+  std::optional<StopReason> evaluate(const StopRule& rule,
+                                     const Configuration& config) const;
+  // Classification when the round cap is hit: kDegraded if a flip occurred
+  // and the system never re-converged, else plain kRoundLimit censoring.
+  StopReason censored_reason() const noexcept;
+
+  // Channel 5 at the counts level: each free agent crashes with probability
+  // churn_rate and is replaced holding the currently wrong opinion.
+  Configuration churn(Configuration config, Rng& rng) const;
+
+  const std::vector<RecoverySegment>& recoveries() const noexcept {
+    return recoveries_;
+  }
+  std::vector<RecoverySegment> take_recoveries() noexcept {
+    return std::move(recoveries_);
+  }
+
+ private:
+  EnvironmentModel model_;
+  std::uint64_t n_ = 0;
+  std::uint64_t sources_ = 0;
+  std::uint64_t zealots_ = 0;
+  Opinion zealot_opinion_ = Opinion::kZero;
+  std::uint64_t zealot_begin_ = 0;
+  std::uint64_t zealot_end_ = 0;
+  std::size_t next_flip_ = 0;
+  std::vector<RecoverySegment> recoveries_;
+};
+
+}  // namespace bitspread
+
+#endif  // BITSPREAD_FAULTS_SESSION_H_

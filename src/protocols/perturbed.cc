@@ -1,16 +1,28 @@
 #include "protocols/perturbed.h"
 
 #include <algorithm>
+#include <cmath>
 #include <sstream>
 
 namespace bitspread {
+namespace {
+
+// std::clamp propagates NaN (NaN comparisons are false, so the value passes
+// through untouched) and would poison every g-value downstream; a NaN rate
+// falls back to the given default instead.
+double clamp_probability(double value, double fallback) noexcept {
+  if (std::isnan(value)) return fallback;
+  return std::clamp(value, 0.0, 1.0);
+}
+
+}  // namespace
 
 PerturbedProtocol::PerturbedProtocol(const MemorylessProtocol& base,
                                      double epsilon, double flip_bias) noexcept
     : MemorylessProtocol(base.policy()),
       base_(&base),
-      epsilon_(std::clamp(epsilon, 0.0, 1.0)),
-      flip_bias_(std::clamp(flip_bias, 0.0, 1.0)) {}
+      epsilon_(clamp_probability(epsilon, 0.0)),
+      flip_bias_(clamp_probability(flip_bias, 0.5)) {}
 
 double PerturbedProtocol::g(Opinion own, std::uint32_t ones_seen,
                             std::uint32_t ell,

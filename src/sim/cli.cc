@@ -4,7 +4,9 @@
 #include <cstring>
 #include <iostream>
 
+#include "engine/stopping.h"
 #include "sim/csv.h"
+#include "sim/experiment.h"
 #include "sim/seeds.h"
 
 namespace bitspread {
@@ -49,6 +51,36 @@ void print_banner(const std::string& experiment_id, const std::string& title,
   std::cout << "=== " << experiment_id << ": " << title << " ===\n"
             << "seed=" << options.seed
             << (options.quick ? " (quick mode)" : "") << "\n\n";
+}
+
+void OutcomeLedger::add(const ConvergenceMeasurement& measurement) {
+  total_ += measurement.replicates;
+  converged_ += measurement.converged;
+  censored_ += measurement.censored;
+  degraded_ += measurement.degraded;
+  wrong_ += measurement.wrong_outcome;
+}
+
+void OutcomeLedger::add_run(const RunResult& result) {
+  ++total_;
+  if (result.converged()) {
+    ++converged_;
+  } else if (result.censored()) {
+    ++censored_;
+    if (result.degraded()) ++degraded_;
+  } else {
+    ++wrong_;
+  }
+}
+
+void OutcomeLedger::report(std::ostream& out) const {
+  out << "outcomes: " << converged_ << "/" << total_ << " converged";
+  if (censored_ > 0) {
+    out << ", " << censored_ << " censored (round cap)";
+    if (degraded_ > 0) out << " (" << degraded_ << " degraded)";
+  }
+  if (wrong_ > 0) out << ", " << wrong_ << " wrong outcome";
+  out << "\n";
 }
 
 }  // namespace bitspread

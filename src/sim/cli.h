@@ -9,12 +9,16 @@
 #define BITSPREAD_SIM_CLI_H_
 
 #include <cstdint>
+#include <iosfwd>
 #include <optional>
 #include <string>
 
 #include "sim/table.h"
 
 namespace bitspread {
+
+struct ConvergenceMeasurement;
+struct RunResult;
 
 struct BenchOptions {
   bool quick = false;
@@ -34,6 +38,37 @@ void emit_table(const Table& table, const BenchOptions& options);
 // Standard experiment banner.
 void print_banner(const std::string& experiment_id, const std::string& title,
                   const BenchOptions& options);
+
+// Accumulates run outcomes across an experiment so binaries report
+// right-censoring EXPLICITLY (a silently truncated mean understates the
+// truth) and can exit nonzero when nothing converged — which lets CI and
+// scripts catch a stalled configuration instead of reading a green exit
+// code off a table of censored rows.
+class OutcomeLedger {
+ public:
+  void add(const ConvergenceMeasurement& measurement);
+  void add_run(const RunResult& result);
+
+  int total() const noexcept { return total_; }
+  int converged() const noexcept { return converged_; }
+  int censored() const noexcept { return censored_; }
+  int degraded() const noexcept { return degraded_; }
+  int wrong() const noexcept { return wrong_; }
+
+  // One-line summary, e.g.
+  //   outcomes: 37/60 converged, 20 censored (3 degraded), 3 wrong outcome
+  void report(std::ostream& out) const;
+
+  // 0 if at least one run converged, 1 otherwise (EXIT_FAILURE semantics).
+  int exit_status() const noexcept { return converged_ > 0 ? 0 : 1; }
+
+ private:
+  int total_ = 0;
+  int converged_ = 0;
+  int censored_ = 0;
+  int degraded_ = 0;
+  int wrong_ = 0;
+};
 
 }  // namespace bitspread
 

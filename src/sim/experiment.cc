@@ -17,8 +17,10 @@ ConvergenceMeasurement measure(const std::function<RunResult(Rng&)>& single_run,
       ++out.converged;
       out.rounds.add(rounds);
       out.round_samples.push_back(rounds);
-    } else if (result.reason == StopReason::kRoundLimit) {
+    } else if (result.reason == StopReason::kRoundLimit ||
+               result.reason == StopReason::kDegraded) {
       ++out.censored;
+      if (result.reason == StopReason::kDegraded) ++out.degraded;
     } else {
       ++out.wrong_outcome;
     }

@@ -21,6 +21,8 @@ struct ConvergenceMeasurement {
   int replicates = 0;
   int converged = 0;
   int censored = 0;       // Hit the round cap: true time exceeds the cap.
+  int degraded = 0;       // Censored AND never re-converged after a source
+                          // flip (kDegraded; also counted in `censored`).
   int wrong_outcome = 0;  // Wrong consensus / interval exit (context-specific).
 
   // Rounds of CONVERGED runs only.

@@ -121,8 +121,10 @@ ConvergenceMeasurement measure_convergence_parallel(
       ++out.converged;
       out.rounds.add(rounds);
       out.round_samples.push_back(rounds);
-    } else if (result.reason == StopReason::kRoundLimit) {
+    } else if (result.reason == StopReason::kRoundLimit ||
+               result.reason == StopReason::kDegraded) {
       ++out.censored;
+      if (result.reason == StopReason::kDegraded) ++out.degraded;
     } else {
       ++out.wrong_outcome;
     }

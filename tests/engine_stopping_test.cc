@@ -1,0 +1,106 @@
+// StopRule semantics shared by every engine: interval rules fire strictly
+// OUTSIDE [lo, hi] (sitting on a boundary keeps running), consensus
+// detection, and the RunResult / RecoverySegment accessors around the
+// degraded classification.
+#include <gtest/gtest.h>
+
+#include "engine/stopping.h"
+
+namespace bitspread {
+namespace {
+
+Configuration mid_config(std::uint64_t ones) {
+  return Configuration{30, ones, Opinion::kOne, 1};
+}
+
+TEST(StopRule, IntervalBoundariesDoNotStop) {
+  StopRule rule;
+  rule.interval_lo = 10;
+  rule.interval_hi = 20;
+  // Exactly on a boundary: still inside, keep running.
+  EXPECT_EQ(evaluate_stop(rule, mid_config(10)), std::nullopt);
+  EXPECT_EQ(evaluate_stop(rule, mid_config(20)), std::nullopt);
+  EXPECT_EQ(evaluate_stop(rule, mid_config(15)), std::nullopt);
+}
+
+TEST(StopRule, StrictlyOutsideIntervalStops) {
+  StopRule rule;
+  rule.interval_lo = 10;
+  rule.interval_hi = 20;
+  EXPECT_EQ(evaluate_stop(rule, mid_config(9)), StopReason::kIntervalExit);
+  EXPECT_EQ(evaluate_stop(rule, mid_config(21)), StopReason::kIntervalExit);
+  EXPECT_EQ(evaluate_stop(rule, mid_config(2)), StopReason::kIntervalExit);
+}
+
+TEST(StopRule, OneSidedIntervals) {
+  StopRule lo_only;
+  lo_only.interval_lo = 5;
+  EXPECT_EQ(evaluate_stop(lo_only, mid_config(5)), std::nullopt);
+  EXPECT_EQ(evaluate_stop(lo_only, mid_config(4)),
+            StopReason::kIntervalExit);
+  EXPECT_EQ(evaluate_stop(lo_only, mid_config(29)), std::nullopt);
+
+  StopRule hi_only;
+  hi_only.interval_hi = 25;
+  EXPECT_EQ(evaluate_stop(hi_only, mid_config(25)), std::nullopt);
+  EXPECT_EQ(evaluate_stop(hi_only, mid_config(26)),
+            StopReason::kIntervalExit);
+}
+
+TEST(StopRule, ConsensusDetection) {
+  StopRule rule;
+  EXPECT_EQ(evaluate_stop(rule, mid_config(30)),
+            StopReason::kCorrectConsensus);
+  // Wrong consensus needs every agent on the wrong opinion — impossible
+  // with a source, so a sourceless configuration is used.
+  const Configuration wrong{30, 0, Opinion::kOne, 0};
+  EXPECT_EQ(evaluate_stop(rule, wrong), StopReason::kWrongConsensus);
+  StopRule tolerant;
+  tolerant.stop_on_any_consensus = false;
+  EXPECT_EQ(evaluate_stop(tolerant, wrong), std::nullopt);
+}
+
+TEST(StopRule, IntervalExitWinsOverConsensus) {
+  // The interval check runs first: a crossing run that lands on a consensus
+  // outside the watched interval reports the crossing.
+  StopRule rule;
+  rule.interval_lo = 5;
+  rule.interval_hi = 25;
+  EXPECT_EQ(evaluate_stop(rule, mid_config(30)), StopReason::kIntervalExit);
+}
+
+TEST(StopReasonStrings, AllReasonsNamed) {
+  EXPECT_EQ(to_string(StopReason::kCorrectConsensus), "correct-consensus");
+  EXPECT_EQ(to_string(StopReason::kWrongConsensus), "wrong-consensus");
+  EXPECT_EQ(to_string(StopReason::kRoundLimit), "round-limit");
+  EXPECT_EQ(to_string(StopReason::kIntervalExit), "interval-exit");
+  EXPECT_EQ(to_string(StopReason::kDegraded), "degraded");
+}
+
+TEST(RunResultAccessors, DegradedIsCensored) {
+  RunResult result;
+  result.reason = StopReason::kDegraded;
+  EXPECT_TRUE(result.censored());
+  EXPECT_TRUE(result.degraded());
+  EXPECT_FALSE(result.converged());
+
+  result.reason = StopReason::kRoundLimit;
+  EXPECT_TRUE(result.censored());
+  EXPECT_FALSE(result.degraded());
+
+  result.reason = StopReason::kCorrectConsensus;
+  EXPECT_FALSE(result.censored());
+  EXPECT_TRUE(result.converged());
+}
+
+TEST(RunResultAccessors, LastFlipRound) {
+  RunResult result;
+  EXPECT_EQ(result.last_flip_round(), 0u);
+  result.recoveries.push_back(RecoverySegment{0, 12, true});
+  result.recoveries.push_back(RecoverySegment{40, 55, true});
+  EXPECT_EQ(result.last_flip_round(), 40u);
+  EXPECT_EQ(result.recoveries[1].recovery_rounds(), 15u);
+}
+
+}  // namespace
+}  // namespace bitspread

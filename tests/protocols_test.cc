@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <memory>
 #include <vector>
 
@@ -158,6 +159,33 @@ TEST(Perturbed, ZeroEpsilonIsIdentity) {
                      minority.g(Opinion::kZero, k, 3, kN));
   }
   EXPECT_TRUE(clean.maintains_consensus(kN));
+}
+
+// Regression: out-of-range parameters must clamp to [0, 1] and — the bug —
+// NaN must not slip through std::clamp (NaN comparisons are false, so clamp
+// returns NaN unchanged) and poison every g-value.
+TEST(Perturbed, OutOfRangeAndNaNParametersAreSanitized) {
+  const VoterDynamics voter(2);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+
+  const PerturbedProtocol over(voter, 2.0, -1.0);  // eps -> 1, bias -> 0.
+  EXPECT_DOUBLE_EQ(over.g(Opinion::kZero, 2, 2, kN), 0.0);
+  const PerturbedProtocol under(voter, -0.5, 1.5);  // eps -> 0: identity.
+  EXPECT_DOUBLE_EQ(under.g(Opinion::kZero, 1, 2, kN),
+                   voter.g(Opinion::kZero, 1, 2, kN));
+
+  const PerturbedProtocol nan_eps(voter, nan, 0.7);  // NaN eps -> 0.
+  for (std::uint32_t k = 0; k <= 2; ++k) {
+    const double value = nan_eps.g(Opinion::kOne, k, 2, kN);
+    EXPECT_FALSE(std::isnan(value));
+    EXPECT_DOUBLE_EQ(value, voter.g(Opinion::kOne, k, 2, kN));
+  }
+  const PerturbedProtocol nan_bias(voter, 0.2, nan);  // NaN bias -> 0.5.
+  const double value = nan_bias.g(Opinion::kZero, 0, 2, kN);
+  EXPECT_FALSE(std::isnan(value));
+  EXPECT_DOUBLE_EQ(value, 0.2 * 0.5);
+  EXPECT_FALSE(std::isnan(nan_bias.aggregate_adoption(Opinion::kZero, 0.3,
+                                                      kN)));
 }
 
 // Property sweep: every closed-form aggregate_adoption override must agree
