@@ -23,6 +23,7 @@
 #include "sim/seeds.h"
 #include "sim/cli.h"
 #include "sim/table.h"
+#include "telemetry/reporter.h"
 
 namespace bitspread {
 namespace {
@@ -33,6 +34,13 @@ void run(const BenchOptions& options) {
   const std::vector<std::uint64_t> ns =
       options.quick ? std::vector<std::uint64_t>{40, 80}
                     : std::vector<std::uint64_t>{40, 80, 160, 320};
+
+  JsonReporter reporter("prop5_drift");
+  reporter.set_experiment("E10");
+  reporter.set_seed(options.seed);
+  reporter.set_quick(options.quick);
+  reporter.set_workload("n_max", JsonValue(ns.back()));
+  const std::uint64_t exact_start_ns = telemetry::clock_now_ns();
 
   const VoterDynamics voter;
   const MinorityDynamics minority3(3);
@@ -72,6 +80,13 @@ void run(const BenchOptions& options) {
   emit_table(table, options);
   std::printf("\nProposition 5 holds exactly in every cell: %s\n",
               all_ok ? "YES" : "NO (investigate!)");
+
+  reporter.add_phase(
+      "exact_chain",
+      static_cast<double>(telemetry::clock_now_ns() - exact_start_ns) * 1e-9);
+  reporter.set_extra("all_ok", JsonValue(all_ok));
+  reporter.add_table("drift_identity", table);
+  reporter.write_file(options.json_path.value_or("BENCH_prop5_drift.json"));
 }
 
 }  // namespace

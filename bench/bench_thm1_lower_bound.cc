@@ -36,6 +36,7 @@
 #include "sim/table.h"
 #include "stats/quantiles.h"
 #include "stats/regression.h"
+#include "telemetry/reporter.h"
 
 namespace bitspread {
 namespace {
@@ -55,6 +56,23 @@ void run(const BenchOptions& options) {
   const int reps = options.reps_or(options.quick ? 5 : 10);
   const auto grid = power_of_two_grid(10, max_exp);
   const SeedSequence seeds(options.seed);
+
+  JsonReporter reporter("thm1_lower_bound");
+  reporter.set_experiment("E2");
+  reporter.set_seed(options.seed);
+  reporter.set_quick(options.quick);
+  reporter.set_workload("epsilon", JsonValue(kEpsilon));
+  reporter.set_workload("cap_factor", JsonValue(kCapFactor));
+  reporter.set_workload("n_max", JsonValue(grid.back()));
+  reporter.set_workload("reps", JsonValue(std::int64_t{reps}));
+
+  // The ledger shares the reporter's registry so the outcome counters land
+  // in the JSON metrics block for free.
+  MetricsRegistry registry;
+  OutcomeLedger ledger(&registry);
+  telemetry::PhaseStats phase_stats;
+  telemetry::install_phase_sink(&phase_stats);
+  const std::uint64_t simulate_start_ns = telemetry::clock_now_ns();
 
   Rng proto_rng(seeds.derive("random-protocol"));
   const VoterDynamics voter;
@@ -101,6 +119,7 @@ void run(const BenchOptions& options) {
           analysis.bias_case == BiasCase::kZeroBias ? 8 * reps : reps;
       const ConvergenceMeasurement m =
           measure_crossing(runner, seeds, cell++, cell_reps);
+      ledger.add(m);
 
       const double min_cross =
           m.converged > 0 ? m.rounds.min()
@@ -130,10 +149,15 @@ void run(const BenchOptions& options) {
       }
     }
   }
+  const double simulate_seconds =
+      static_cast<double>(telemetry::clock_now_ns() - simulate_start_ns) *
+      1e-9;
+  telemetry::install_phase_sink(nullptr);
   emit_table(table, options);
 
   std::printf("\nall cells respect the n^{1-eps} floor: %s\n",
               all_respect_floor ? "YES" : "NO (investigate!)");
+  reporter.set_extra("all_respect_floor", JsonValue(all_respect_floor));
   if (voter_ns.size() >= 2) {
     const LinearFit fit = loglog_fit(voter_ns, voter_means);
     std::printf(
@@ -143,7 +167,19 @@ void run(const BenchOptions& options) {
         "protocols are censored at the %gn cap: their true\ncrossing times "
         "are exponentially long (drift pushes them back).\n",
         std::exp(fit.intercept), fit.slope, fit.r_squared, kCapFactor);
+    JsonValue voter_fit = JsonValue::object();
+    voter_fit.set("constant", JsonValue(std::exp(fit.intercept)));
+    voter_fit.set("exponent", JsonValue(fit.slope));
+    voter_fit.set("r_squared", JsonValue(fit.r_squared));
+    reporter.set_extra("voter_crossing_fit", std::move(voter_fit));
   }
+
+  reporter.add_phase("simulate", simulate_seconds);
+  reporter.add_phase_stats(phase_stats);
+  reporter.set_metrics(registry.snapshot());
+  reporter.add_table("interval_crossing", table);
+  reporter.write_file(
+      options.json_path.value_or("BENCH_thm1_lower_bound.json"));
 }
 
 }  // namespace

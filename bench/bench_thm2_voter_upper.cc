@@ -27,6 +27,7 @@
 #include "sim/table.h"
 #include "stats/quantiles.h"
 #include "stats/regression.h"
+#include "telemetry/reporter.h"
 
 namespace bitspread {
 namespace {
@@ -67,9 +68,23 @@ void run(const BenchOptions& options) {
   const VoterDynamics voter;
   const AggregateParallelEngine engine(voter);
 
+  JsonReporter reporter("thm2_voter_upper");
+  reporter.set_experiment("E1");
+  reporter.set_seed(options.seed);
+  reporter.set_quick(options.quick);
+  reporter.set_workload("protocol", JsonValue("voter"));
+  reporter.set_workload("n_max", JsonValue(grid.back()));
+  reporter.set_workload("reps", JsonValue(std::int64_t{reps}));
+
+  MetricsRegistry registry;
+  OutcomeLedger ledger(&registry);
+  telemetry::PhaseStats phase_stats;
+  telemetry::install_phase_sink(&phase_stats);
+
   Table table({"n", "reps", "mean T", "median", "p90", "T/(n ln n)",
                "dual mean", "dual/(n ln n)"});
   std::vector<double> ns, means;
+  double simulate_seconds = 0.0, dual_seconds = 0.0;
   std::uint64_t cell = 0;
   for (const std::uint64_t n : grid) {
     const double n_log_n =
@@ -78,15 +93,23 @@ void run(const BenchOptions& options) {
     rule.max_rounds = static_cast<std::uint64_t>(60.0 * n_log_n);
     const Configuration init = init_all_wrong(n, Opinion::kOne);
     const auto runner = [&](Rng& rng) { return engine.run(init, rule, rng); };
+    const std::uint64_t simulate_start_ns = telemetry::clock_now_ns();
     const ConvergenceMeasurement m =
         measure_convergence(runner, seeds, cell, reps);
+    simulate_seconds +=
+        static_cast<double>(telemetry::clock_now_ns() - simulate_start_ns) *
+        1e-9;
+    ledger.add(m);
 
     RunningStats dual;
+    const std::uint64_t dual_start_ns = telemetry::clock_now_ns();
     for (int rep = 0; rep < reps; ++rep) {
       Rng rng = seeds.stream(cell, rep, /*phase=*/1);
       dual.add(static_cast<double>(
           dual_coalescence_time(n, rng, rule.max_rounds)));
     }
+    dual_seconds +=
+        static_cast<double>(telemetry::clock_now_ns() - dual_start_ns) * 1e-9;
     ++cell;
 
     table.add_row({Table::fmt(n), std::to_string(m.converged),
@@ -99,6 +122,7 @@ void run(const BenchOptions& options) {
     ns.push_back(static_cast<double>(n));
     means.push_back(m.rounds.mean());
   }
+  telemetry::install_phase_sink(nullptr);
   emit_table(table, options);
 
   const LinearFit fit = loglog_fit(ns, means);
@@ -108,6 +132,19 @@ void run(const BenchOptions& options) {
       "normalized columns, which stay O(1) while n grows %ux.\n",
       std::exp(fit.intercept), fit.slope, fit.r_squared,
       static_cast<unsigned>(grid.back() / grid.front()));
+
+  JsonValue fit_json = JsonValue::object();
+  fit_json.set("constant", JsonValue(std::exp(fit.intercept)));
+  fit_json.set("exponent", JsonValue(fit.slope));
+  fit_json.set("r_squared", JsonValue(fit.r_squared));
+  reporter.set_extra("convergence_fit", std::move(fit_json));
+  reporter.add_phase("simulate", simulate_seconds);
+  reporter.add_phase("dual", dual_seconds);
+  reporter.add_phase_stats(phase_stats);
+  reporter.set_metrics(registry.snapshot());
+  reporter.add_table("voter_convergence", table);
+  reporter.write_file(
+      options.json_path.value_or("BENCH_thm2_voter_upper.json"));
 }
 
 }  // namespace

@@ -10,7 +10,6 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
-#include <fstream>
 #include <iostream>
 #include <string>
 #include <thread>
@@ -22,6 +21,8 @@
 #include "engine/aggregate.h"
 #include "engine/sharded.h"
 #include "protocols/minority.h"
+#include "sim/parallel.h"
+#include "telemetry/reporter.h"
 
 namespace bitspread {
 namespace {
@@ -125,36 +126,46 @@ int main(int argc, char** argv) {
   const char* build_type = "Debug";
 #endif
 
-  std::ofstream out(out_path);
-  out.precision(6);
-  out << "{\n"
-      << "  \"schema\": \"bitspread-perf-smoke/1\",\n"
-      << "  \"build_type\": \"" << build_type << "\",\n"
-      << "  \"quick\": " << (quick ? "true" : "false") << ",\n"
-      << "  \"hardware_concurrency\": " << hw << ",\n"
-      << "  \"workload\": {\"protocol\": \"minority\", \"n\": " << n
-      << ", \"ell\": " << ell << ", \"rounds\": " << rounds << "},\n"
-      << "  \"benchmarks\": [\n";
-  for (std::size_t i = 0; i < results.size(); ++i) {
-    const Measurement& m = results[i];
-    out << "    {\"name\": \"" << m.name << "\", \"threads\": " << m.threads
-        << ", \"seconds\": " << m.seconds
-        << ", \"items_per_second\": " << m.items_per_second << "}"
-        << (i + 1 < results.size() ? "," : "") << "\n";
+  JsonReporter reporter("engine");
+  reporter.set_seed(0);  // Fixed internal seeds (1, 2, 3); no --seed knob.
+  reporter.set_quick(quick);
+  reporter.set_workload("protocol", JsonValue("minority"));
+  reporter.set_workload("n", JsonValue(n));
+  reporter.set_workload("ell", JsonValue(ell));
+  reporter.set_workload("rounds", JsonValue(rounds));
+  JsonValue benchmarks = JsonValue::array();
+  for (const Measurement& m : results) {
+    JsonValue row = JsonValue::object();
+    row.set("name", JsonValue(m.name));
+    row.set("threads", JsonValue(m.threads));
+    row.set("seconds", JsonValue(m.seconds));
+    row.set("items_per_second", JsonValue(m.items_per_second));
+    benchmarks.push_back(std::move(row));
+    reporter.add_phase(m.name, m.seconds, rounds);
   }
-  out << "  ],\n"
-      << "  \"derived\": {\n"
-      << "    \"sharded_1t_speedup_vs_agent_serial\": "
-      << (serial > 0 ? sharded1 / serial : 0.0) << ",\n"
-      << "    \"sharded_hw_speedup_vs_agent_serial\": "
-      << (serial > 0 ? sharded_hw / serial : 0.0) << "\n"
-      << "  }\n"
-      << "}\n";
-  out.close();
-  if (!out) {
-    std::cerr << "error: could not write " << out_path << "\n";
-    return 1;
+  reporter.set_extra("benchmarks", std::move(benchmarks));
+  JsonValue derived = JsonValue::object();
+  derived.set("sharded_1t_speedup_vs_agent_serial",
+              JsonValue(serial > 0 ? sharded1 / serial : 0.0));
+  derived.set("sharded_hw_speedup_vs_agent_serial",
+              JsonValue(serial > 0 ? sharded_hw / serial : 0.0));
+  reporter.set_extra("derived", std::move(derived));
+  const WorkerPoolTelemetry pool = WorkerPool::shared().telemetry();
+  if (pool.recorded) {
+    JsonValue pool_json = JsonValue::object();
+    pool_json.set("generations", JsonValue(pool.generations));
+    pool_json.set("items", JsonValue(pool.items));
+    pool_json.set("dispatch_seconds",
+                  JsonValue(static_cast<double>(pool.dispatch_ns) * 1e-9));
+    pool_json.set("mean_wake_us",
+                  JsonValue(pool.generations > 0
+                                ? static_cast<double>(pool.wake_ns) * 1e-3 /
+                                      static_cast<double>(pool.generations)
+                                : 0.0));
+    pool_json.set("utilization", JsonValue(pool.utilization()));
+    reporter.set_extra("worker_pool", std::move(pool_json));
   }
+  if (!reporter.write_file(out_path)) return 1;
 
   std::cout << "perf_smoke (" << build_type << ", n=" << n << ", l=" << ell
             << ")\n";

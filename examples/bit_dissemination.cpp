@@ -11,7 +11,7 @@
 //   * Minority with constant l stalls (Theorem 1);
 //   * Majority is fast but WRONG from a wrong-majority start (§1).
 //
-//   $ ./bit_dissemination
+//   $ ./bit_dissemination [--trace] [--metrics-out <path>]
 #include <cstdio>
 #include <functional>
 #include <iostream>
@@ -26,9 +26,11 @@
 #include "sim/experiment.h"
 #include "sim/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bitspread;
 
+  const ExampleTelemetryScope telemetry_scope(
+      parse_example_options(argc, argv));
   constexpr std::uint64_t kAgents = 1 << 14;
   constexpr int kReplicates = 10;
   const SeedSequence seeds(7);

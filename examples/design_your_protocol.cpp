@@ -12,7 +12,7 @@
 //   5. simulate from exactly that adversarial configuration and watch the
 //      prediction hold.
 //
-//   $ ./design_your_protocol
+//   $ ./design_your_protocol [--trace] [--metrics-out <path>]
 #include <cstdio>
 
 #include "analysis/bias.h"
@@ -21,9 +21,13 @@
 #include "core/problem.h"
 #include "engine/aggregate.h"
 #include "protocols/custom.h"
+#include "sim/cli.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bitspread;
+
+  const ExampleTelemetryScope telemetry_scope(
+      parse_example_options(argc, argv));
 
   // A hand-crafted "cautious switcher" with l = 4: an agent holding 0 needs
   // to see at least three ones to adopt 1, while an agent holding 1 gives up

@@ -10,7 +10,7 @@
 // prints how far the information actually gets within a realistic number of
 // decision rounds.
 //
-//   $ ./flock_information
+//   $ ./flock_information [--trace] [--metrics-out <path>]
 #include <cstdio>
 #include <iostream>
 #include <vector>
@@ -25,9 +25,11 @@
 #include "sim/cli.h"
 #include "sim/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bitspread;
 
+  const ExampleTelemetryScope telemetry_scope(
+      parse_example_options(argc, argv));
   constexpr std::uint32_t kNeighbors = 7;
   constexpr std::uint64_t kRounds = 2000;  // Generous decision budget.
 

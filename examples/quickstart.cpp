@@ -6,16 +6,19 @@
 // group to the correct consensus in a few dozen synchronous rounds — the
 // regime of Becchetti et al. (SODA 2024) that motivates the paper's question.
 //
-//   $ ./quickstart
+//   $ ./quickstart [--trace] [--metrics-out <path>]
 #include <cstdio>
 
 #include "core/init.h"
 #include "engine/aggregate.h"
 #include "protocols/minority.h"
+#include "sim/cli.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bitspread;
 
+  const ExampleTelemetryScope telemetry_scope(
+      parse_example_options(argc, argv));
   constexpr std::uint64_t kAgents = 1'000'000;
 
   // The protocol: adopt the minority opinion of a random sample (ties are a

@@ -7,7 +7,8 @@
 // from the hardest start. (bench_minority_ell_sweep runs the full-scale
 // version across several n.)
 //
-//   $ ./sample_size_explorer [n_log2]       (default n = 2^14)
+//   $ ./sample_size_explorer [n_log2] [--trace] [--metrics-out <path>]
+//                                           (default n = 2^14)
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -18,13 +19,17 @@
 #include "stats/quantiles.h"
 #include "engine/aggregate.h"
 #include "protocols/minority.h"
+#include "sim/cli.h"
 #include "sim/experiment.h"
 #include "sim/table.h"
 
 int main(int argc, char** argv) {
   using namespace bitspread;
 
-  const int log2_n = argc > 1 ? std::atoi(argv[1]) : 14;
+  const ExampleTelemetryScope telemetry_scope(
+      parse_example_options(argc, argv));
+  const int log2_n =
+      argc > 1 && argv[1][0] != '-' ? std::atoi(argv[1]) : 14;
   const std::uint64_t n = std::uint64_t{1} << log2_n;
   constexpr int kReplicates = 10;
   const SeedSequence seeds(11);

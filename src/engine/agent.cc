@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "faults/session.h"
+#include "telemetry/telemetry.h"
 
 namespace bitspread {
 
@@ -87,6 +88,7 @@ void AgentParallelEngine::step(Population& population, Rng& rng) const {
     population.snapshot[i] = population.views[i].opinion;
   }
 
+  const telemetry::ScopedTimer draw_timer(telemetry::Phase::kSampleDraw);
   for (std::uint64_t i = population.sources; i < n; ++i) {
     const std::uint32_t ones_seen =
         observe_ones(population.snapshot, ell, rng, population.sampler);
@@ -113,6 +115,7 @@ void AgentParallelEngine::step_faulty(Population& population,
     population.snapshot[i] = population.views[i].opinion;
   }
 
+  const telemetry::ScopedTimer draw_timer(telemetry::Phase::kSampleDraw);
   for (std::uint64_t i = population.sources; i < n; ++i) {
     if (session.is_zealot(i)) continue;
     const std::uint32_t ones_seen =
@@ -140,11 +143,17 @@ RunResult AgentParallelEngine::run(Configuration config, const StopRule& rule,
   Population population = make_population(config);
 
   RunResult result;
+  std::uint64_t start_ns = 0;
+  std::uint64_t churned = 0;
+  if constexpr (telemetry::kCompiledIn) {
+    start_ns = telemetry::clock_now_ns();
+  }
   Configuration current = population.config();
   if (trajectory != nullptr) trajectory->record(0, current.ones);
   session.observe(0, current);
   for (std::uint64_t round = 0;; ++round) {
     if (session.flip_due(round)) {
+      const telemetry::ScopedTimer fault_timer(telemetry::Phase::kFaultApply);
       session.apply_flip(round, current);
       // Mirror the flip onto the explicit state: sources display the new
       // correct opinion (fresh initial views), everyone else is untouched.
@@ -154,26 +163,34 @@ RunResult AgentParallelEngine::run(Configuration config, const StopRule& rule,
       }
       assert(population.config().ones == current.ones);
     }
-    if (auto reason = session.evaluate(rule, current)) {
-      result.reason = *reason;
-      result.rounds = round;
-      break;
+    {
+      const telemetry::ScopedTimer stop_timer(telemetry::Phase::kStopCheck);
+      if (auto reason = session.evaluate(rule, current)) {
+        result.reason = *reason;
+        result.rounds = round;
+        break;
+      }
     }
     if (round >= rule.max_rounds) {
       result.reason = session.censored_reason();
       result.rounds = round;
       break;
     }
-    step_faulty(population, session, rng);
+    {
+      const telemetry::ScopedTimer step_timer(telemetry::Phase::kRoundStep);
+      step_faulty(population, session, rng);
+    }
     if (model.churn_rate > 0.0) {
       // Each free agent crashes independently; its replacement boots in the
       // protocol's initial view for the currently wrong opinion.
+      const telemetry::ScopedTimer fault_timer(telemetry::Phase::kFaultApply);
       const Opinion wrong = opposite(population.correct);
       for (std::uint64_t i = population.sources; i < population.views.size();
            ++i) {
         if (session.is_zealot(i)) continue;
         if (rng.bernoulli(model.churn_rate)) {
           population.views[i] = protocol_->initial_view(wrong);
+          if constexpr (telemetry::kCompiledIn) ++churned;
         }
       }
     }
@@ -186,6 +203,19 @@ RunResult AgentParallelEngine::run(Configuration config, const StopRule& rule,
   }
   result.final_config = current;
   result.recoveries = session.take_recoveries();
+  if constexpr (telemetry::kCompiledIn) {
+    result.telemetry.recorded = true;
+    result.telemetry.wall_seconds =
+        static_cast<double>(telemetry::clock_now_ns() - start_ns) * 1e-9;
+    result.telemetry.rounds = result.rounds;
+    result.telemetry.samples_drawn =
+        result.rounds * session.free_agents() *
+        protocol_->sample_size(current.n);
+    result.telemetry.fault_flips = session.flips_applied();
+    result.telemetry.fault_zealots = session.zealots();
+    result.telemetry.fault_churned = churned;
+    fold_recovery_telemetry(result.telemetry, result.recoveries);
+  }
   return result;
 }
 
@@ -193,20 +223,30 @@ RunResult AgentParallelEngine::run_population(Population& population,
                                               const StopRule& rule, Rng& rng,
                                               Trajectory* trajectory) const {
   RunResult result;
+  std::uint64_t start_ns = 0;
+  if constexpr (telemetry::kCompiledIn) {
+    start_ns = telemetry::clock_now_ns();
+  }
   Configuration config = population.config();
   if (trajectory != nullptr) trajectory->record(0, config.ones);
   for (std::uint64_t round = 0;; ++round) {
-    if (auto reason = evaluate_stop(rule, config)) {
-      result.reason = *reason;
-      result.rounds = round;
-      break;
+    {
+      const telemetry::ScopedTimer stop_timer(telemetry::Phase::kStopCheck);
+      if (auto reason = evaluate_stop(rule, config)) {
+        result.reason = *reason;
+        result.rounds = round;
+        break;
+      }
     }
     if (round >= rule.max_rounds) {
       result.reason = StopReason::kRoundLimit;
       result.rounds = round;
       break;
     }
-    step(population, rng);
+    {
+      const telemetry::ScopedTimer step_timer(telemetry::Phase::kRoundStep);
+      step(population, rng);
+    }
     config = population.config();
     if (trajectory != nullptr) trajectory->record(round + 1, config.ones);
   }
@@ -214,6 +254,15 @@ RunResult AgentParallelEngine::run_population(Population& population,
     trajectory->force_record(result.rounds, config.ones);
   }
   result.final_config = config;
+  if constexpr (telemetry::kCompiledIn) {
+    result.telemetry.recorded = true;
+    result.telemetry.wall_seconds =
+        static_cast<double>(telemetry::clock_now_ns() - start_ns) * 1e-9;
+    result.telemetry.rounds = result.rounds;
+    result.telemetry.samples_drawn =
+        result.rounds * (config.n - config.sources) *
+        protocol_->sample_size(config.n);
+  }
   return result;
 }
 
@@ -239,6 +288,10 @@ SequentialRunResult AgentSequentialEngine::run(Configuration config,
   const std::uint64_t n = config.n;
   const std::uint64_t max_activations = rule.max_rounds * n;
   SequentialRunResult result;
+  std::uint64_t start_ns = 0;
+  if constexpr (telemetry::kCompiledIn) {
+    start_ns = telemetry::clock_now_ns();
+  }
   // The displayed ones-count changes by at most one per activation; track it
   // incrementally instead of recounting.
   std::uint64_t ones = population.count_ones();
@@ -247,16 +300,22 @@ SequentialRunResult AgentSequentialEngine::run(Configuration config,
   if (trajectory != nullptr) trajectory->record(0, ones);
   std::uint64_t activation = 0;
   while (true) {
-    if (auto reason = evaluate_stop(rule, current)) {
-      result.reason = *reason;
-      break;
+    {
+      const telemetry::ScopedTimer stop_timer(telemetry::Phase::kStopCheck);
+      if (auto reason = evaluate_stop(rule, current)) {
+        result.reason = *reason;
+        break;
+      }
     }
     if (activation >= max_activations) {
       result.reason = StopReason::kRoundLimit;
       break;
     }
-    ones = static_cast<std::uint64_t>(static_cast<std::int64_t>(ones) +
-                                      activate(population, rng));
+    {
+      const telemetry::ScopedTimer step_timer(telemetry::Phase::kRoundStep);
+      ones = static_cast<std::uint64_t>(static_cast<std::int64_t>(ones) +
+                                        activate(population, rng));
+    }
     current.ones = ones;
     ++activation;
     if (trajectory != nullptr && activation % n == 0) {
@@ -267,6 +326,14 @@ SequentialRunResult AgentSequentialEngine::run(Configuration config,
   result.final_config = current;
   if (trajectory != nullptr) {
     trajectory->force_record((activation + n - 1) / n, ones);
+  }
+  if constexpr (telemetry::kCompiledIn) {
+    result.telemetry.recorded = true;
+    result.telemetry.wall_seconds =
+        static_cast<double>(telemetry::clock_now_ns() - start_ns) * 1e-9;
+    result.telemetry.rounds = activation / n;
+    result.telemetry.samples_drawn =
+        activation * protocol_->sample_size(n);
   }
   return result;
 }

@@ -5,6 +5,7 @@
 #include "faults/noisy_protocol.h"
 #include "faults/session.h"
 #include "random/binomial.h"
+#include "telemetry/telemetry.h"
 
 namespace bitspread {
 
@@ -16,6 +17,7 @@ Configuration AggregateParallelEngine::step(const Configuration& config,
       protocol_->aggregate_adoption(Opinion::kOne, p, config.n);
   const double p0 =
       protocol_->aggregate_adoption(Opinion::kZero, p, config.n);
+  const telemetry::ScopedTimer draw_timer(telemetry::Phase::kSampleDraw);
   const std::uint64_t stay_or_switch_to_one =
       binomial(rng, config.non_source_ones(), p1) +
       binomial(rng, config.non_source_zeros(), p0);
@@ -28,23 +30,44 @@ RunResult AggregateParallelEngine::run(Configuration config,
                                        const StopRule& rule, Rng& rng,
                                        Trajectory* trajectory) const {
   RunResult result;
+  std::uint64_t start_ns = 0;
+  if constexpr (telemetry::kCompiledIn) {
+    start_ns = telemetry::clock_now_ns();
+  }
   if (trajectory != nullptr) trajectory->record(0, config.ones);
   for (std::uint64_t round = 0;; ++round) {
-    if (auto reason = evaluate_stop(rule, config)) {
-      result.reason = *reason;
-      result.rounds = round;
-      break;
+    {
+      const telemetry::ScopedTimer stop_timer(telemetry::Phase::kStopCheck);
+      if (auto reason = evaluate_stop(rule, config)) {
+        result.reason = *reason;
+        result.rounds = round;
+        break;
+      }
     }
     if (round >= rule.max_rounds) {
       result.reason = StopReason::kRoundLimit;
       result.rounds = round;
       break;
     }
-    config = step(config, rng);
+    {
+      const telemetry::ScopedTimer step_timer(telemetry::Phase::kRoundStep);
+      config = step(config, rng);
+    }
     if (trajectory != nullptr) trajectory->record(round + 1, config.ones);
   }
   if (trajectory != nullptr) trajectory->force_record(result.rounds, config.ones);
   result.final_config = config;
+  if constexpr (telemetry::kCompiledIn) {
+    result.telemetry.recorded = true;
+    result.telemetry.wall_seconds =
+        static_cast<double>(telemetry::clock_now_ns() - start_ns) * 1e-9;
+    result.telemetry.rounds = result.rounds;
+    // The aggregate reduction draws (n - z) * l conceptual observation bits
+    // per round through two exact binomials.
+    result.telemetry.samples_drawn =
+        result.rounds * (config.n - config.sources) *
+        protocol_->sample_size(config.n);
+  }
   return result;
 }
 
@@ -59,14 +82,24 @@ RunResult AggregateParallelEngine::run(Configuration config,
   config = session.plant(config);
 
   RunResult result;
+  std::uint64_t start_ns = 0;
+  if constexpr (telemetry::kCompiledIn) {
+    start_ns = telemetry::clock_now_ns();
+  }
   if (trajectory != nullptr) trajectory->record(0, config.ones);
   session.observe(0, config);
   for (std::uint64_t round = 0;; ++round) {
-    if (session.flip_due(round)) session.apply_flip(round, config);
-    if (auto reason = session.evaluate(rule, config)) {
-      result.reason = *reason;
-      result.rounds = round;
-      break;
+    if (session.flip_due(round)) {
+      const telemetry::ScopedTimer fault_timer(telemetry::Phase::kFaultApply);
+      session.apply_flip(round, config);
+    }
+    {
+      const telemetry::ScopedTimer stop_timer(telemetry::Phase::kStopCheck);
+      if (auto reason = session.evaluate(rule, config)) {
+        result.reason = *reason;
+        result.rounds = round;
+        break;
+      }
     }
     if (round >= rule.max_rounds) {
       result.reason = session.censored_reason();
@@ -75,16 +108,22 @@ RunResult AggregateParallelEngine::run(Configuration config,
     }
     // One exact faulty round: free agents update through the noisy
     // closed-form adoption probabilities, then churn replaces crashed ones.
-    const double p = config.fraction_ones();
-    const double p1 = noisy.aggregate_adoption(Opinion::kOne, p, config.n);
-    const double p0 = noisy.aggregate_adoption(Opinion::kZero, p, config.n);
-    const std::uint64_t next_free_ones =
-        binomial(rng, session.free_ones(config), p1) +
-        binomial(rng, session.free_zeros(config), p0);
-    config.ones =
-        config.source_ones() + session.zealot_ones() + next_free_ones;
-    config = session.churn(config, rng);
-    session.observe(round + 1, config);
+    {
+      const telemetry::ScopedTimer step_timer(telemetry::Phase::kRoundStep);
+      const double p = config.fraction_ones();
+      const double p1 = noisy.aggregate_adoption(Opinion::kOne, p, config.n);
+      const double p0 = noisy.aggregate_adoption(Opinion::kZero, p, config.n);
+      const std::uint64_t next_free_ones =
+          binomial(rng, session.free_ones(config), p1) +
+          binomial(rng, session.free_zeros(config), p0);
+      config.ones =
+          config.source_ones() + session.zealot_ones() + next_free_ones;
+    }
+    {
+      const telemetry::ScopedTimer fault_timer(telemetry::Phase::kFaultApply);
+      config = session.churn(config, rng);
+      session.observe(round + 1, config);
+    }
     if (trajectory != nullptr) trajectory->record(round + 1, config.ones);
   }
   if (trajectory != nullptr) {
@@ -92,6 +131,18 @@ RunResult AggregateParallelEngine::run(Configuration config,
   }
   result.final_config = config;
   result.recoveries = session.take_recoveries();
+  if constexpr (telemetry::kCompiledIn) {
+    result.telemetry.recorded = true;
+    result.telemetry.wall_seconds =
+        static_cast<double>(telemetry::clock_now_ns() - start_ns) * 1e-9;
+    result.telemetry.rounds = result.rounds;
+    result.telemetry.samples_drawn = result.rounds * session.free_agents() *
+                                     protocol_->sample_size(config.n);
+    result.telemetry.fault_flips = session.flips_applied();
+    result.telemetry.fault_zealots = session.zealots();
+    result.telemetry.fault_churned = session.churned();
+    fold_recovery_telemetry(result.telemetry, result.recoveries);
+  }
   return result;
 }
 

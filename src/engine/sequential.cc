@@ -4,6 +4,7 @@
 
 #include "faults/session.h"
 #include "random/binomial.h"
+#include "telemetry/telemetry.h"
 
 namespace bitspread {
 
@@ -20,8 +21,12 @@ Configuration SequentialEngine::step(const Configuration& config,
 
   // Its sample: l u.a.r. draws (with replacement) from ALL agents.
   const std::uint32_t ell = protocol_->sample_size(config.n);
-  const auto ones_seen = static_cast<std::uint32_t>(
-      binomial(rng, ell, config.fraction_ones()));
+  std::uint32_t ones_seen;
+  {
+    const telemetry::ScopedTimer draw_timer(telemetry::Phase::kSampleDraw);
+    ones_seen = static_cast<std::uint32_t>(
+        binomial(rng, ell, config.fraction_ones()));
+  }
 
   const double adopt_one = protocol_->g(own, ones_seen, ell, config.n);
   const Opinion next =
@@ -38,20 +43,30 @@ SequentialRunResult SequentialEngine::run(Configuration config,
                                           const StopRule& rule, Rng& rng,
                                           Trajectory* trajectory) const {
   SequentialRunResult result;
+  std::uint64_t start_ns = 0;
+  if constexpr (telemetry::kCompiledIn) {
+    start_ns = telemetry::clock_now_ns();
+  }
   const std::uint64_t n = config.n;
   const std::uint64_t max_activations = rule.max_rounds * n;
   if (trajectory != nullptr) trajectory->record(0, config.ones);
   std::uint64_t activation = 0;
   while (true) {
-    if (auto reason = evaluate_stop(rule, config)) {
-      result.reason = *reason;
-      break;
+    {
+      const telemetry::ScopedTimer stop_timer(telemetry::Phase::kStopCheck);
+      if (auto reason = evaluate_stop(rule, config)) {
+        result.reason = *reason;
+        break;
+      }
     }
     if (activation >= max_activations) {
       result.reason = StopReason::kRoundLimit;
       break;
     }
-    config = step(config, rng);
+    {
+      const telemetry::ScopedTimer step_timer(telemetry::Phase::kRoundStep);
+      config = step(config, rng);
+    }
     ++activation;
     if (trajectory != nullptr && activation % n == 0) {
       trajectory->record(activation / n, config.ones);
@@ -61,6 +76,14 @@ SequentialRunResult SequentialEngine::run(Configuration config,
   result.final_config = config;
   if (trajectory != nullptr) {
     trajectory->force_record((activation + n - 1) / n, config.ones);
+  }
+  if constexpr (telemetry::kCompiledIn) {
+    result.telemetry.recorded = true;
+    result.telemetry.wall_seconds =
+        static_cast<double>(telemetry::clock_now_ns() - start_ns) * 1e-9;
+    result.telemetry.rounds = activation / n;
+    result.telemetry.samples_drawn =
+        activation * protocol_->sample_size(n);
   }
   return result;
 }
@@ -76,6 +99,11 @@ SequentialRunResult SequentialEngine::run(Configuration config,
   const EnvironmentModel& model = session.model();
 
   SequentialRunResult result;
+  std::uint64_t start_ns = 0;
+  std::uint64_t samples_drawn = 0;
+  if constexpr (telemetry::kCompiledIn) {
+    start_ns = telemetry::clock_now_ns();
+  }
   const std::uint64_t n = config.n;
   const std::uint64_t non_source = n - config.sources;
   const std::uint64_t max_activations = rule.max_rounds * n;
@@ -88,11 +116,15 @@ SequentialRunResult SequentialEngine::run(Configuration config,
   while (true) {
     const std::uint64_t round = activation / n;
     if (activation % n == 0 && session.flip_due(round)) {
+      const telemetry::ScopedTimer fault_timer(telemetry::Phase::kFaultApply);
       session.apply_flip(round, config);
     }
-    if (auto reason = session.evaluate(rule, config)) {
-      result.reason = *reason;
-      break;
+    {
+      const telemetry::ScopedTimer stop_timer(telemetry::Phase::kStopCheck);
+      if (auto reason = session.evaluate(rule, config)) {
+        result.reason = *reason;
+        break;
+      }
     }
     if (activation >= max_activations) {
       result.reason = session.censored_reason();
@@ -105,6 +137,7 @@ SequentialRunResult SequentialEngine::run(Configuration config,
     const std::uint64_t index = rng.next_below(non_source);
     const std::uint64_t free = session.free_agents();
     if (index < free) {
+      const telemetry::ScopedTimer step_timer(telemetry::Phase::kRoundStep);
       const bool holds_one = index < session.free_ones(config);
       const Opinion own = holds_one ? Opinion::kOne : Opinion::kZero;
       // BSC noise on l observed bits == sampling Bin(l, noisy_fraction(p)).
@@ -117,9 +150,11 @@ SequentialRunResult SequentialEngine::run(Configuration config,
       const Opinion next =
           rng.bernoulli(adopt_one) ? Opinion::kOne : Opinion::kZero;
       if (own != next) config.ones += next == Opinion::kOne ? 1 : -1;
+      if constexpr (telemetry::kCompiledIn) samples_drawn += ell;
     }
     ++activation;
     if (activation % n == 0) {
+      const telemetry::ScopedTimer fault_timer(telemetry::Phase::kFaultApply);
       config = session.churn(config, rng);
       session.observe(activation / n, config);
       if (trajectory != nullptr) {
@@ -132,6 +167,17 @@ SequentialRunResult SequentialEngine::run(Configuration config,
   result.recoveries = session.take_recoveries();
   if (trajectory != nullptr) {
     trajectory->force_record((activation + n - 1) / n, config.ones);
+  }
+  if constexpr (telemetry::kCompiledIn) {
+    result.telemetry.recorded = true;
+    result.telemetry.wall_seconds =
+        static_cast<double>(telemetry::clock_now_ns() - start_ns) * 1e-9;
+    result.telemetry.rounds = activation / n;
+    result.telemetry.samples_drawn = samples_drawn;
+    result.telemetry.fault_flips = session.flips_applied();
+    result.telemetry.fault_zealots = session.zealots();
+    result.telemetry.fault_churned = session.churned();
+    fold_recovery_telemetry(result.telemetry, result.recoveries);
   }
   return result;
 }

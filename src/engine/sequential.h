@@ -36,6 +36,10 @@ struct SequentialRunResult {
   // (segment 0 = initial epoch, then one per source flip).
   std::vector<RecoverySegment> recoveries;
 
+  // Measurement-only sidecar (see RunResult::telemetry); `rounds` counts
+  // completed parallel rounds, samples are per-activation.
+  RunTelemetry telemetry;
+
   double parallel_rounds() const noexcept {
     return static_cast<double>(activations) /
            static_cast<double>(final_config.n);

@@ -7,6 +7,7 @@
 
 #include "faults/session.h"
 #include "sim/parallel.h"
+#include "telemetry/telemetry.h"
 
 namespace bitspread {
 namespace {
@@ -137,6 +138,7 @@ void ShardedAgentEngine::process_block(Population& population,
                                        std::uint64_t block, std::uint32_t ell,
                                        Rng& rng,
                                        FloydSampler& sampler) const {
+  const telemetry::ScopedTimer draw_timer(telemetry::Phase::kSampleDraw);
   const std::uint64_t n = population.n_;
   const std::uint64_t sources = population.sources_;
   const std::uint64_t words = population.current_.size();
@@ -195,6 +197,7 @@ void ShardedAgentEngine::process_block_faulty(Population& population,
                                               const FaultSession& session,
                                               Rng& rng,
                                               FloydSampler& sampler) const {
+  const telemetry::ScopedTimer draw_timer(telemetry::Phase::kSampleDraw);
   const EnvironmentModel& model = session.model();
   const double epsilon = model.observation_noise;
   const double eta = model.spontaneous_rate;
@@ -214,6 +217,7 @@ void ShardedAgentEngine::process_block_faulty(Population& population,
   const std::uint64_t word_begin = block * kBlockWords;
   const std::uint64_t word_end = std::min(words, word_begin + kBlockWords);
   std::uint64_t block_ones = 0;
+  std::uint64_t block_churned = 0;
   for (std::uint64_t w = word_begin; w < word_end; ++w) {
     const std::uint64_t base = w * 64;
     const unsigned bits =
@@ -257,6 +261,7 @@ void ShardedAgentEngine::process_block_faulty(Population& population,
           if (protocol_ != nullptr) {
             population.states_[i] = protocol_->initial_view(wrong).state;
           }
+          if constexpr (telemetry::kCompiledIn) ++block_churned;
         }
       }
       out |= value << bit;
@@ -265,6 +270,11 @@ void ShardedAgentEngine::process_block_faulty(Population& population,
     block_ones += static_cast<std::uint64_t>(std::popcount(out));
   }
   population.block_ones_[block] = block_ones;
+  if constexpr (telemetry::kCompiledIn) {
+    population.block_churned_[block] = block_churned;
+  } else {
+    (void)block_churned;
+  }
 }
 
 void ShardedAgentEngine::step(Population& population, std::uint64_t round,
@@ -358,6 +368,9 @@ void ShardedAgentEngine::step(Population& population, std::uint64_t round,
     }
   }
   population.block_ones_.resize(blocks);
+  if constexpr (telemetry::kCompiledIn) {
+    population.block_churned_.assign(blocks, 0);
+  }
 
   std::uint64_t chunks =
       options_.shards == 0 ? blocks
@@ -421,11 +434,16 @@ RunResult ShardedAgentEngine::run(const Configuration& config,
   const SeedSequence seeds(seed);
 
   RunResult result;
+  std::uint64_t start_ns = 0;
+  if constexpr (telemetry::kCompiledIn) {
+    start_ns = telemetry::clock_now_ns();
+  }
   Configuration current = population.config();
   if (trajectory != nullptr) trajectory->record(0, current.ones);
   session.observe(0, current);
   for (std::uint64_t round = 0;; ++round) {
     if (session.flip_due(round)) {
+      const telemetry::ScopedTimer fault_timer(telemetry::Phase::kFaultApply);
       session.apply_flip(round, current);
       // Mirror the flip onto the packed planes: sources display the new
       // correct opinion; on the stateful path they also reboot their view.
@@ -439,19 +457,33 @@ RunResult ShardedAgentEngine::run(const Configuration& config,
       }
       assert(population.count_ones() == current.ones);
     }
-    if (auto reason = session.evaluate(rule, current)) {
-      result.reason = *reason;
-      result.rounds = round;
-      break;
+    {
+      const telemetry::ScopedTimer stop_timer(telemetry::Phase::kStopCheck);
+      if (auto reason = session.evaluate(rule, current)) {
+        result.reason = *reason;
+        result.rounds = round;
+        break;
+      }
     }
     if (round >= rule.max_rounds) {
       result.reason = session.censored_reason();
       result.rounds = round;
       break;
     }
-    step(population, round, seeds, session);
+    {
+      const telemetry::ScopedTimer step_timer(telemetry::Phase::kRoundStep);
+      step(population, round, seeds, session);
+    }
+    if constexpr (telemetry::kCompiledIn) {
+      for (const std::uint64_t c : population.block_churned_) {
+        result.telemetry.fault_churned += c;
+      }
+    }
     current = population.config();
-    session.observe(round + 1, current);
+    {
+      const telemetry::ScopedTimer fault_timer(telemetry::Phase::kFaultApply);
+      session.observe(round + 1, current);
+    }
     if (trajectory != nullptr) trajectory->record(round + 1, current.ones);
   }
   if (trajectory != nullptr) {
@@ -459,6 +491,17 @@ RunResult ShardedAgentEngine::run(const Configuration& config,
   }
   result.final_config = current;
   result.recoveries = session.take_recoveries();
+  if constexpr (telemetry::kCompiledIn) {
+    result.telemetry.recorded = true;
+    result.telemetry.wall_seconds =
+        static_cast<double>(telemetry::clock_now_ns() - start_ns) * 1e-9;
+    result.telemetry.rounds = result.rounds;
+    result.telemetry.samples_drawn =
+        result.rounds * session.free_agents() * sample_size(current.n);
+    result.telemetry.fault_flips = session.flips_applied();
+    result.telemetry.fault_zealots = session.zealots();
+    fold_recovery_telemetry(result.telemetry, result.recoveries);
+  }
   return result;
 }
 
@@ -468,20 +511,30 @@ RunResult ShardedAgentEngine::run_population(Population& population,
                                              Trajectory* trajectory) const {
   const SeedSequence seeds(seed);
   RunResult result;
+  std::uint64_t start_ns = 0;
+  if constexpr (telemetry::kCompiledIn) {
+    start_ns = telemetry::clock_now_ns();
+  }
   Configuration config = population.config();
   if (trajectory != nullptr) trajectory->record(0, config.ones);
   for (std::uint64_t round = 0;; ++round) {
-    if (auto reason = evaluate_stop(rule, config)) {
-      result.reason = *reason;
-      result.rounds = round;
-      break;
+    {
+      const telemetry::ScopedTimer stop_timer(telemetry::Phase::kStopCheck);
+      if (auto reason = evaluate_stop(rule, config)) {
+        result.reason = *reason;
+        result.rounds = round;
+        break;
+      }
     }
     if (round >= rule.max_rounds) {
       result.reason = StopReason::kRoundLimit;
       result.rounds = round;
       break;
     }
-    step(population, round, seeds);
+    {
+      const telemetry::ScopedTimer step_timer(telemetry::Phase::kRoundStep);
+      step(population, round, seeds);
+    }
     config = population.config();
     if (trajectory != nullptr) trajectory->record(round + 1, config.ones);
   }
@@ -489,6 +542,14 @@ RunResult ShardedAgentEngine::run_population(Population& population,
     trajectory->force_record(result.rounds, config.ones);
   }
   result.final_config = config;
+  if constexpr (telemetry::kCompiledIn) {
+    result.telemetry.recorded = true;
+    result.telemetry.wall_seconds =
+        static_cast<double>(telemetry::clock_now_ns() - start_ns) * 1e-9;
+    result.telemetry.rounds = result.rounds;
+    result.telemetry.samples_drawn =
+        result.rounds * (config.n - config.sources) * sample_size(config.n);
+  }
   return result;
 }
 

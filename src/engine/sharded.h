@@ -120,6 +120,9 @@ class ShardedAgentEngine {
 
     // Reusable round scratch (resized once, then allocation-free).
     std::vector<std::uint64_t> block_ones_;
+    // Churn replacements per block, filled only in telemetry builds (each
+    // block is written by exactly one worker, so no atomics are needed).
+    std::vector<std::uint64_t> block_churned_;
     std::vector<double> gtable_;
     std::vector<FloydSampler> samplers_;
   };

@@ -33,4 +33,13 @@ std::optional<StopReason> evaluate_stop(const StopRule& rule,
   return std::nullopt;
 }
 
+void fold_recovery_telemetry(RunTelemetry& telemetry,
+                             const std::vector<RecoverySegment>& recoveries) {
+  for (const RecoverySegment& segment : recoveries) {
+    if (!segment.recovered) continue;
+    ++telemetry.recovered_segments;
+    telemetry.recovery_rounds_total += segment.recovery_rounds();
+  }
+}
+
 }  // namespace bitspread

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/configuration.h"
+#include "telemetry/run_telemetry.h"
 
 namespace bitspread {
 
@@ -71,6 +72,11 @@ struct RunResult {
   // source flip, in flip order.
   std::vector<RecoverySegment> recoveries;
 
+  // Measurement-only sidecar (telemetry.recorded is false unless the
+  // library was built with BITSPREAD_TELEMETRY). NOT part of the semantic
+  // payload: byte-identity across builds is asserted on everything above.
+  RunTelemetry telemetry;
+
   bool converged() const noexcept {
     return reason == StopReason::kCorrectConsensus;
   }
@@ -91,6 +97,11 @@ struct RunResult {
 // Evaluates the rule against a configuration; nullopt means keep running.
 std::optional<StopReason> evaluate_stop(const StopRule& rule,
                                         const Configuration& config) noexcept;
+
+// Folds the closed recovery segments into `telemetry` (recovered_segments,
+// recovery_rounds_total). Engines call this once per telemetry-enabled run.
+void fold_recovery_telemetry(RunTelemetry& telemetry,
+                             const std::vector<RecoverySegment>& recoveries);
 
 }  // namespace bitspread
 

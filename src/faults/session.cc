@@ -128,14 +128,20 @@ StopReason FaultSession::censored_reason() const noexcept {
   return StopReason::kRoundLimit;
 }
 
-Configuration FaultSession::churn(Configuration config, Rng& rng) const {
+Configuration FaultSession::churn(Configuration config, Rng& rng) {
   if (model_.churn_rate <= 0.0) return config;
   const Opinion wrong = opposite(config.correct);
   if (wrong == Opinion::kZero) {
     // Crashed one-holders are replaced by zero-holders.
-    config.ones -= binomial(rng, free_ones(config), model_.churn_rate);
+    const std::uint64_t crashed =
+        binomial(rng, free_ones(config), model_.churn_rate);
+    config.ones -= crashed;
+    churned_ += crashed;
   } else {
-    config.ones += binomial(rng, free_zeros(config), model_.churn_rate);
+    const std::uint64_t crashed =
+        binomial(rng, free_zeros(config), model_.churn_rate);
+    config.ones += crashed;
+    churned_ += crashed;
   }
   return config;
 }

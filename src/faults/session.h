@@ -102,8 +102,11 @@ class FaultSession {
   StopReason censored_reason() const noexcept;
 
   // Channel 5 at the counts level: each free agent crashes with probability
-  // churn_rate and is replaced holding the currently wrong opinion.
-  Configuration churn(Configuration config, Rng& rng) const;
+  // churn_rate and is replaced holding the currently wrong opinion. The
+  // opinion-changing replacements are tallied in churned() (counts-level
+  // churn only draws those; same-opinion replacements are invisible here).
+  Configuration churn(Configuration config, Rng& rng);
+  std::uint64_t churned() const noexcept { return churned_; }
 
   const std::vector<RecoverySegment>& recoveries() const noexcept {
     return recoveries_;
@@ -121,6 +124,7 @@ class FaultSession {
   std::uint64_t zealot_begin_ = 0;
   std::uint64_t zealot_end_ = 0;
   std::size_t next_flip_ = 0;
+  std::uint64_t churned_ = 0;
   std::vector<RecoverySegment> recoveries_;
 };
 

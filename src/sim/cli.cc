@@ -2,12 +2,15 @@
 
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <iomanip>
 #include <iostream>
 
 #include "engine/stopping.h"
 #include "sim/csv.h"
 #include "sim/experiment.h"
 #include "sim/seeds.h"
+#include "telemetry/reporter.h"
 
 namespace bitspread {
 
@@ -28,6 +31,8 @@ BenchOptions parse_bench_options(int argc, char** argv) {
       options.replicates = std::atoi(arg.c_str() + 7);
     } else if (arg.rfind("--csv=", 0) == 0) {
       options.csv_path = arg.substr(6);
+    } else if (arg.rfind("--json=", 0) == 0) {
+      options.json_path = arg.substr(7);
     } else {
       std::cerr << "warning: unknown option '" << arg << "' ignored\n";
     }
@@ -39,7 +44,8 @@ void emit_table(const Table& table, const BenchOptions& options) {
   table.print(std::cout);
   if (options.csv_path) {
     if (write_csv(table, *options.csv_path)) {
-      std::cerr << "[csv written to " << *options.csv_path << "]\n";
+      std::cerr << "[csv written to " << *options.csv_path
+                << "] (deprecated: prefer the unified --json report)\n";
     } else {
       std::cerr << "[failed to write csv to " << *options.csv_path << "]\n";
     }
@@ -53,34 +59,115 @@ void print_banner(const std::string& experiment_id, const std::string& title,
             << (options.quick ? " (quick mode)" : "") << "\n\n";
 }
 
+namespace {
+
+// Ledger counter names: stable registry keys, shared with the JSON schema.
+constexpr const char kTotal[] = "outcomes.total";
+constexpr const char kConverged[] = "outcomes.converged";
+constexpr const char kCensored[] = "outcomes.censored";
+constexpr const char kDegraded[] = "outcomes.degraded";
+constexpr const char kWrong[] = "outcomes.wrong";
+
+}  // namespace
+
+OutcomeLedger::OutcomeLedger()
+    : owned_(std::make_unique<MetricsRegistry>()),
+      total_(owned_->counter(kTotal)),
+      converged_(owned_->counter(kConverged)),
+      censored_(owned_->counter(kCensored)),
+      degraded_(owned_->counter(kDegraded)),
+      wrong_(owned_->counter(kWrong)) {}
+
+OutcomeLedger::OutcomeLedger(MetricsRegistry* registry)
+    : total_(registry->counter(kTotal)),
+      converged_(registry->counter(kConverged)),
+      censored_(registry->counter(kCensored)),
+      degraded_(registry->counter(kDegraded)),
+      wrong_(registry->counter(kWrong)) {}
+
 void OutcomeLedger::add(const ConvergenceMeasurement& measurement) {
-  total_ += measurement.replicates;
-  converged_ += measurement.converged;
-  censored_ += measurement.censored;
-  degraded_ += measurement.degraded;
-  wrong_ += measurement.wrong_outcome;
+  total_.increment(static_cast<std::uint64_t>(measurement.replicates));
+  converged_.increment(static_cast<std::uint64_t>(measurement.converged));
+  censored_.increment(static_cast<std::uint64_t>(measurement.censored));
+  degraded_.increment(static_cast<std::uint64_t>(measurement.degraded));
+  wrong_.increment(static_cast<std::uint64_t>(measurement.wrong_outcome));
 }
 
 void OutcomeLedger::add_run(const RunResult& result) {
-  ++total_;
+  total_.increment();
   if (result.converged()) {
-    ++converged_;
+    converged_.increment();
   } else if (result.censored()) {
-    ++censored_;
-    if (result.degraded()) ++degraded_;
+    censored_.increment();
+    if (result.degraded()) degraded_.increment();
   } else {
-    ++wrong_;
+    wrong_.increment();
   }
 }
 
 void OutcomeLedger::report(std::ostream& out) const {
-  out << "outcomes: " << converged_ << "/" << total_ << " converged";
-  if (censored_ > 0) {
-    out << ", " << censored_ << " censored (round cap)";
-    if (degraded_ > 0) out << " (" << degraded_ << " degraded)";
+  out << "outcomes: " << converged() << "/" << total() << " converged";
+  if (censored() > 0) {
+    out << ", " << censored() << " censored (round cap)";
+    if (degraded() > 0) out << " (" << degraded() << " degraded)";
   }
-  if (wrong_ > 0) out << ", " << wrong_ << " wrong outcome";
+  if (wrong() > 0) out << ", " << wrong() << " wrong outcome";
   out << "\n";
+}
+
+ExampleOptions parse_example_options(int argc, char** argv) {
+  ExampleOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--trace") {
+      options.trace = true;
+    } else if (arg == "--metrics-out" && i + 1 < argc) {
+      options.metrics_out = argv[++i];
+    } else if (arg.rfind("--metrics-out=", 0) == 0) {
+      options.metrics_out = arg.substr(14);
+    } else if (arg.rfind("--", 0) == 0) {
+      // Positional arguments stay the example's business.
+      std::cerr << "warning: unknown option '" << arg << "' ignored\n";
+    }
+  }
+  return options;
+}
+
+ExampleTelemetryScope::ExampleTelemetryScope(ExampleOptions options)
+    : options_(std::move(options)) {
+  if (options_.trace) {
+    if (telemetry::kCompiledIn) {
+      telemetry::install_phase_sink(&stats_);
+    } else {
+      std::cerr << "note: --trace has no effect (build with "
+                   "-DBITSPREAD_TELEMETRY=ON)\n";
+    }
+  }
+}
+
+ExampleTelemetryScope::~ExampleTelemetryScope() {
+  if (options_.trace && telemetry::kCompiledIn) {
+    telemetry::install_phase_sink(nullptr);
+    std::cerr << "\nphase trace (engine-side, wall time):\n";
+    for (int i = 0; i < telemetry::kPhaseCount; ++i) {
+      const auto phase = static_cast<telemetry::Phase>(i);
+      if (stats_.count(phase) == 0) continue;
+      std::cerr << "  " << std::left << std::setw(14)
+                << telemetry::phase_name(phase) << std::right << std::fixed
+                << std::setprecision(6) << stats_.total_seconds(phase)
+                << " s across " << stats_.count(phase) << " events\n";
+    }
+  }
+  if (options_.metrics_out) {
+    std::ofstream out(*options_.metrics_out);
+    if (out) {
+      out << metrics_to_json(MetricsRegistry::global().snapshot()).dump();
+      std::cerr << "[metrics written to " << *options_.metrics_out << "]\n";
+    } else {
+      std::cerr << "[failed to write metrics to " << *options_.metrics_out
+                << "]\n";
+    }
+  }
 }
 
 }  // namespace bitspread

@@ -4,16 +4,26 @@
 //   --quick          smaller grids / fewer replicates (also BITSPREAD_QUICK=1)
 //   --seed=<u64>     master seed (also BITSPREAD_SEED)
 //   --reps=<int>     replicate override
-//   --csv=<path>     mirror the main table to a CSV file
+//   --csv=<path>     mirror the main table to a CSV file (deprecated: the
+//                    unified JSON report carries the tables now)
+//   --json=<path>    override the destination of the unified JSON report
+//
+// Example binaries accept (parse_example_options):
+//   --metrics-out <path>   dump the global metrics registry as JSON on exit
+//   --trace                print a per-phase timing table on exit
+//                          (telemetry builds only; a no-op note otherwise)
 #ifndef BITSPREAD_SIM_CLI_H_
 #define BITSPREAD_SIM_CLI_H_
 
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <optional>
 #include <string>
 
 #include "sim/table.h"
+#include "telemetry/metrics.h"
+#include "telemetry/telemetry.h"
 
 namespace bitspread {
 
@@ -25,6 +35,7 @@ struct BenchOptions {
   std::uint64_t seed = 0;
   std::optional<int> replicates;
   std::optional<std::string> csv_path;
+  std::optional<std::string> json_path;
 
   int reps_or(int dflt) const noexcept { return replicates.value_or(dflt); }
 };
@@ -44,30 +55,69 @@ void print_banner(const std::string& experiment_id, const std::string& title,
 // truth) and can exit nonzero when nothing converged — which lets CI and
 // scripts catch a stalled configuration instead of reading a green exit
 // code off a table of censored rows.
+//
+// The counts live in a MetricsRegistry (counters "outcomes.total",
+// "outcomes.converged", "outcomes.censored", "outcomes.degraded",
+// "outcomes.wrong"), so a bench that shares its registry gets the ledger's
+// tallies in its metrics snapshot for free. The default constructor owns a
+// private registry; pass one to share. `degraded` follows the
+// ConvergenceMeasurement convention: also counted inside `censored`.
 class OutcomeLedger {
  public:
+  OutcomeLedger();
+  explicit OutcomeLedger(MetricsRegistry* registry);
+
   void add(const ConvergenceMeasurement& measurement);
   void add_run(const RunResult& result);
 
-  int total() const noexcept { return total_; }
-  int converged() const noexcept { return converged_; }
-  int censored() const noexcept { return censored_; }
-  int degraded() const noexcept { return degraded_; }
-  int wrong() const noexcept { return wrong_; }
+  int total() const { return read(total_); }
+  int converged() const { return read(converged_); }
+  int censored() const { return read(censored_); }
+  int degraded() const { return read(degraded_); }
+  int wrong() const { return read(wrong_); }
 
   // One-line summary, e.g.
   //   outcomes: 37/60 converged, 20 censored (3 degraded), 3 wrong outcome
   void report(std::ostream& out) const;
 
   // 0 if at least one run converged, 1 otherwise (EXIT_FAILURE semantics).
-  int exit_status() const noexcept { return converged_ > 0 ? 0 : 1; }
+  int exit_status() const { return converged() > 0 ? 0 : 1; }
 
  private:
-  int total_ = 0;
-  int converged_ = 0;
-  int censored_ = 0;
-  int degraded_ = 0;
-  int wrong_ = 0;
+  static int read(const MetricsRegistry::Counter& counter) {
+    return static_cast<int>(counter.value());
+  }
+
+  std::unique_ptr<MetricsRegistry> owned_;  // Null when sharing.
+  MetricsRegistry::Counter total_;
+  MetricsRegistry::Counter converged_;
+  MetricsRegistry::Counter censored_;
+  MetricsRegistry::Counter degraded_;
+  MetricsRegistry::Counter wrong_;
+};
+
+struct ExampleOptions {
+  std::optional<std::string> metrics_out;
+  bool trace = false;
+};
+
+ExampleOptions parse_example_options(int argc, char** argv);
+
+// RAII scope for an example binary's telemetry flags: --trace installs a
+// PhaseStats sink for the scope's lifetime and prints the per-phase table on
+// destruction; --metrics-out dumps the global registry as JSON. Both are
+// no-ops (with a stderr note for --trace) when telemetry is compiled out.
+class ExampleTelemetryScope {
+ public:
+  explicit ExampleTelemetryScope(ExampleOptions options);
+  ~ExampleTelemetryScope();
+
+  ExampleTelemetryScope(const ExampleTelemetryScope&) = delete;
+  ExampleTelemetryScope& operator=(const ExampleTelemetryScope&) = delete;
+
+ private:
+  ExampleOptions options_;
+  telemetry::PhaseStats stats_;
 };
 
 }  // namespace bitspread

@@ -20,10 +20,19 @@ namespace bitspread {
 struct ConvergenceMeasurement {
   int replicates = 0;
   int converged = 0;
+  // CAUTION — `degraded` is DOUBLE-COUNTED inside `censored`: every
+  // kDegraded run increments both fields (a degraded run hit the cap too),
+  // so `censored + degraded` over-counts. Invariant (asserted in
+  // tests/sim_test.cc): 0 <= degraded <= censored, and
+  // converged + censored + wrong_outcome == replicates. Use censored_only()
+  // for runs that were plainly capped without degradation.
   int censored = 0;       // Hit the round cap: true time exceeds the cap.
   int degraded = 0;       // Censored AND never re-converged after a source
                           // flip (kDegraded; also counted in `censored`).
   int wrong_outcome = 0;  // Wrong consensus / interval exit (context-specific).
+
+  // Censored runs that did NOT end degraded (plain kRoundLimit).
+  int censored_only() const noexcept { return censored - degraded; }
 
   // Rounds of CONVERGED runs only.
   RunningStats rounds;

@@ -12,6 +12,18 @@ thread_local bool t_inside_pool_worker = false;
 
 }  // namespace
 
+double WorkerPoolTelemetry::utilization() const noexcept {
+  if (dispatch_ns == 0 || workers.empty()) return 0.0;
+  std::uint64_t busy = 0;
+  for (const Worker& worker : workers) busy += worker.busy_ns;
+  // Each dispatched generation paid for `active` workers, but summing
+  // per-generation active counts would need per-generation records; the
+  // spawned worker count is the stable upper bound the pool actually holds.
+  const double paid = static_cast<double>(dispatch_ns) *
+                      static_cast<double>(workers.size());
+  return paid > 0.0 ? static_cast<double>(busy) / paid : 0.0;
+}
+
 WorkerPool& WorkerPool::shared() {
   static WorkerPool pool;
   return pool;
@@ -29,6 +41,42 @@ WorkerPool::~WorkerPool() {
 unsigned WorkerPool::worker_count() const {
   std::lock_guard<std::mutex> lock(mu_);
   return static_cast<unsigned>(workers_.size());
+}
+
+WorkerPoolTelemetry WorkerPool::telemetry() const {
+  WorkerPoolTelemetry out;
+#ifdef BITSPREAD_TELEMETRY
+  out.recorded = true;
+  out.generations = generations_total_.load(std::memory_order_relaxed);
+  out.items = items_total_.load(std::memory_order_relaxed);
+  out.dispatch_ns = dispatch_ns_.load(std::memory_order_relaxed);
+  out.wake_ns = wake_ns_.load(std::memory_order_relaxed);
+  const unsigned spawned = worker_count();
+  out.workers.resize(spawned);
+  for (unsigned i = 0; i < spawned; ++i) {
+    out.workers[i].busy_ns =
+        worker_stats_[i].busy_ns.load(std::memory_order_relaxed);
+    out.workers[i].items =
+        worker_stats_[i].items.load(std::memory_order_relaxed);
+    out.workers[i].generations =
+        worker_stats_[i].generations.load(std::memory_order_relaxed);
+  }
+#endif
+  return out;
+}
+
+void WorkerPool::reset_telemetry() {
+#ifdef BITSPREAD_TELEMETRY
+  generations_total_.store(0, std::memory_order_relaxed);
+  items_total_.store(0, std::memory_order_relaxed);
+  dispatch_ns_.store(0, std::memory_order_relaxed);
+  wake_ns_.store(0, std::memory_order_relaxed);
+  for (WorkerStats& stats : worker_stats_) {
+    stats.busy_ns.store(0, std::memory_order_relaxed);
+    stats.items.store(0, std::memory_order_relaxed);
+    stats.generations.store(0, std::memory_order_relaxed);
+  }
+#endif
 }
 
 void WorkerPool::ensure_workers(unsigned target) {
@@ -50,14 +98,33 @@ void WorkerPool::worker_main(unsigned slot, std::uint64_t spawn_generation) {
     if (slot >= active_) continue;  // Not participating this generation.
     const std::function<void(int)>* fn = fn_;
     const int count = count_;
+#ifdef BITSPREAD_TELEMETRY
+    const std::uint64_t gen_start_ns = gen_start_ns_;  // Read under mu_.
+#endif
     lock.unlock();
+#ifdef BITSPREAD_TELEMETRY
+    const std::uint64_t woke_ns = telemetry::clock_now_ns();
+    wake_ns_.fetch_add(woke_ns - gen_start_ns, std::memory_order_relaxed);
+    std::uint64_t my_items = 0;
+#endif
     t_inside_pool_worker = true;
     while (true) {
       const int i = next_.fetch_add(1, std::memory_order_relaxed);
       if (i >= count) break;
       (*fn)(i);
+#ifdef BITSPREAD_TELEMETRY
+      ++my_items;
+#endif
     }
     t_inside_pool_worker = false;
+#ifdef BITSPREAD_TELEMETRY
+    WorkerStats& stats = worker_stats_[slot];
+    stats.busy_ns.fetch_add(telemetry::clock_now_ns() - woke_ns,
+                            std::memory_order_relaxed);
+    stats.items.fetch_add(my_items, std::memory_order_relaxed);
+    stats.generations.fetch_add(1, std::memory_order_relaxed);
+    items_total_.fetch_add(my_items, std::memory_order_relaxed);
+#endif
     lock.lock();
     if (--pending_ == 0) done_cv_.notify_all();
   }
@@ -75,6 +142,8 @@ void WorkerPool::run(int count, const std::function<void(int)>& fn,
     return;
   }
   std::lock_guard<std::mutex> run_lock(run_mu_);
+  const telemetry::ScopedTimer dispatch_timer(
+      telemetry::Phase::kPoolDispatch);
   ensure_workers(target);
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -84,11 +153,20 @@ void WorkerPool::run(int count, const std::function<void(int)>& fn,
     active_ = target;
     pending_ = target;
     ++generation_;
+#ifdef BITSPREAD_TELEMETRY
+    gen_start_ns_ = telemetry::clock_now_ns();
+#endif
   }
   work_cv_.notify_all();
   std::unique_lock<std::mutex> lock(mu_);
   done_cv_.wait(lock, [&] { return pending_ == 0; });
   fn_ = nullptr;
+#ifdef BITSPREAD_TELEMETRY
+  lock.unlock();
+  generations_total_.fetch_add(1, std::memory_order_relaxed);
+  dispatch_ns_.fetch_add(telemetry::clock_now_ns() - gen_start_ns_,
+                         std::memory_order_relaxed);
+#endif
 }
 
 void parallel_for(int count, const std::function<void(int)>& fn,

@@ -19,8 +19,32 @@
 #include <vector>
 
 #include "sim/experiment.h"
+#include "telemetry/telemetry.h"
 
 namespace bitspread {
+
+// Pool utilization counters (telemetry builds only; `recorded` is false and
+// everything is zero otherwise). Totals accumulate since process start or
+// the last reset_telemetry(); read them between run() calls — the pool's
+// join gives the happens-before that makes the numbers exact.
+struct WorkerPoolTelemetry {
+  bool recorded = false;
+  std::uint64_t generations = 0;  // Dispatched fan-outs (inline runs excluded).
+  std::uint64_t items = 0;        // Work items executed by pool workers.
+  std::uint64_t dispatch_ns = 0;  // run() wall time, dispatch through join.
+  std::uint64_t wake_ns = 0;      // Sum of per-worker dispatch->wake latency.
+
+  struct Worker {
+    std::uint64_t busy_ns = 0;      // Time inside the item loop.
+    std::uint64_t items = 0;
+    std::uint64_t generations = 0;  // Generations this worker participated in.
+  };
+  std::vector<Worker> workers;
+
+  // Busy time across workers divided by the total worker-time the dispatched
+  // generations paid for (0 when nothing was dispatched).
+  double utilization() const noexcept;
+};
 
 // A persistent pool of worker threads with generation-based dispatch.
 // Threads are created once (lazily, growing on demand up to kMaxWorkers)
@@ -49,6 +73,12 @@ class WorkerPool {
   // Workers currently parked in the pool (grows on demand; for tests).
   unsigned worker_count() const;
 
+  // Pool utilization since process start / the last reset. Call between
+  // run() calls; inline-serial and nested executions are not counted (they
+  // never touch pool threads).
+  WorkerPoolTelemetry telemetry() const;
+  void reset_telemetry();
+
   // Upper bound on pool size; requests beyond it are clamped.
   static constexpr unsigned kMaxWorkers = 64;
 
@@ -57,6 +87,22 @@ class WorkerPool {
 
   void ensure_workers(unsigned target);
   void worker_main(unsigned slot, std::uint64_t spawn_generation);
+
+#ifdef BITSPREAD_TELEMETRY
+  struct WorkerStats {
+    std::atomic<std::uint64_t> busy_ns{0};
+    std::atomic<std::uint64_t> items{0};
+    std::atomic<std::uint64_t> generations{0};
+  };
+  // Fixed-capacity so recording never allocates or locks; slots beyond the
+  // spawned workers stay zero.
+  std::array<WorkerStats, kMaxWorkers> worker_stats_;
+  std::atomic<std::uint64_t> generations_total_{0};
+  std::atomic<std::uint64_t> items_total_{0};
+  std::atomic<std::uint64_t> dispatch_ns_{0};
+  std::atomic<std::uint64_t> wake_ns_{0};
+  std::uint64_t gen_start_ns_ = 0;  // Guarded by mu_.
+#endif
 
   mutable std::mutex mu_;
   std::condition_variable work_cv_;

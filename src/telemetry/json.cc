@@ -1,0 +1,373 @@
+#include "telemetry/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace bitspread {
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_double(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "null";  // JSON has no inf/nan.
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  // Shortest round-trip would be nicer; %.17g is always exact, then trim.
+  double parsed = std::strtod(buf, nullptr);
+  for (int prec = 1; prec < 17; ++prec) {
+    char shorter[32];
+    std::snprintf(shorter, sizeof(shorter), "%.*g", prec, v);
+    if (std::strtod(shorter, nullptr) == parsed) {
+      out += shorter;
+      return;
+    }
+  }
+  out += buf;
+}
+
+void indent_to(std::string& out, int indent) {
+  out.append(static_cast<std::size_t>(indent) * 2, ' ');
+}
+
+struct Parser {
+  const std::string& text;
+  std::size_t pos = 0;
+
+  void skip_ws() {
+    while (pos < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[pos]))) {
+      ++pos;
+    }
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(const char* word) {
+    std::size_t n = 0;
+    while (word[n] != '\0') ++n;
+    if (text.compare(pos, n, word) == 0) {
+      pos += n;
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<std::string> parse_string() {
+    if (!consume('"')) return std::nullopt;
+    std::string out;
+    while (pos < text.size()) {
+      char c = text[pos++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos >= text.size()) return std::nullopt;
+        char esc = text[pos++];
+        switch (esc) {
+          case '"':
+            out += '"';
+            break;
+          case '\\':
+            out += '\\';
+            break;
+          case '/':
+            out += '/';
+            break;
+          case 'n':
+            out += '\n';
+            break;
+          case 't':
+            out += '\t';
+            break;
+          case 'r':
+            out += '\r';
+            break;
+          case 'b':
+            out += '\b';
+            break;
+          case 'f':
+            out += '\f';
+            break;
+          case 'u': {
+            if (pos + 4 > text.size()) return std::nullopt;
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = text[pos++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code |= static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                code |= static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                return std::nullopt;
+              }
+            }
+            // UTF-8 encode the BMP code point (reports are ASCII anyway).
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default:
+            return std::nullopt;
+        }
+      } else {
+        out += c;
+      }
+    }
+    return std::nullopt;  // Unterminated.
+  }
+
+  std::optional<JsonValue> parse_number() {
+    const std::size_t start = pos;
+    bool is_integral = true;
+    if (pos < text.size() && text[pos] == '-') ++pos;
+    const std::size_t digits_start = pos;
+    while (pos < text.size() &&
+           std::isdigit(static_cast<unsigned char>(text[pos]))) {
+      ++pos;
+    }
+    // JSON forbids empty and leading-zero integer parts ("01", "-042").
+    if (pos == digits_start ||
+        (pos - digits_start > 1 && text[digits_start] == '0')) {
+      return std::nullopt;
+    }
+    if (pos < text.size() && text[pos] == '.') {
+      is_integral = false;
+      ++pos;
+      while (pos < text.size() &&
+             std::isdigit(static_cast<unsigned char>(text[pos]))) {
+        ++pos;
+      }
+    }
+    if (pos < text.size() && (text[pos] == 'e' || text[pos] == 'E')) {
+      is_integral = false;
+      ++pos;
+      if (pos < text.size() && (text[pos] == '+' || text[pos] == '-')) ++pos;
+      while (pos < text.size() &&
+             std::isdigit(static_cast<unsigned char>(text[pos]))) {
+        ++pos;
+      }
+    }
+    if (pos == start) return std::nullopt;
+    const std::string token = text.substr(start, pos - start);
+    if (is_integral) {
+      errno = 0;
+      if (token[0] == '-') {
+        const long long v = std::strtoll(token.c_str(), nullptr, 10);
+        if (errno == 0) return JsonValue(v);
+      } else {
+        const unsigned long long v = std::strtoull(token.c_str(), nullptr, 10);
+        if (errno == 0) return JsonValue(v);
+      }
+    }
+    return JsonValue(std::strtod(token.c_str(), nullptr));
+  }
+
+  std::optional<JsonValue> parse_value() {
+    skip_ws();
+    if (pos >= text.size()) return std::nullopt;
+    const char c = text[pos];
+    if (c == '{') {
+      ++pos;
+      JsonValue obj = JsonValue::object();
+      skip_ws();
+      if (consume('}')) return obj;
+      while (true) {
+        auto key = parse_string();
+        if (!key || !consume(':')) return std::nullopt;
+        auto value = parse_value();
+        if (!value) return std::nullopt;
+        obj.set(*key, std::move(*value));
+        if (consume(',')) {
+          skip_ws();
+          continue;
+        }
+        if (consume('}')) return obj;
+        return std::nullopt;
+      }
+    }
+    if (c == '[') {
+      ++pos;
+      JsonValue arr = JsonValue::array();
+      skip_ws();
+      if (consume(']')) return arr;
+      while (true) {
+        auto value = parse_value();
+        if (!value) return std::nullopt;
+        arr.push_back(std::move(*value));
+        if (consume(',')) continue;
+        if (consume(']')) return arr;
+        return std::nullopt;
+      }
+    }
+    if (c == '"') {
+      auto s = parse_string();
+      if (!s) return std::nullopt;
+      return JsonValue(std::move(*s));
+    }
+    if (literal("true")) return JsonValue(true);
+    if (literal("false")) return JsonValue(false);
+    if (literal("null")) return JsonValue(nullptr);
+    return parse_number();
+  }
+};
+
+}  // namespace
+
+JsonValue& JsonValue::set(const std::string& key, JsonValue value) {
+  kind_ = Kind::kObject;
+  for (auto& member : object_) {
+    if (member.first == key) {
+      member.second = std::move(value);
+      return member.second;
+    }
+  }
+  object_.emplace_back(key, std::move(value));
+  return object_.back().second;
+}
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  for (const auto& member : object_) {
+    if (member.first == key) return &member.second;
+  }
+  return nullptr;
+}
+
+void JsonValue::dump_to(std::string& out, int indent) const {
+  switch (kind_) {
+    case Kind::kNull:
+      out += "null";
+      break;
+    case Kind::kBool:
+      out += bool_ ? "true" : "false";
+      break;
+    case Kind::kInt:
+      out += std::to_string(int_);
+      break;
+    case Kind::kUint:
+      out += std::to_string(uint_);
+      break;
+    case Kind::kDouble:
+      append_double(out, double_);
+      break;
+    case Kind::kString:
+      append_escaped(out, string_);
+      break;
+    case Kind::kArray: {
+      if (array_.empty()) {
+        out += "[]";
+        break;
+      }
+      // Scalar-only arrays print on one line; nested ones get one item per
+      // line, which keeps phase/row lists readable.
+      bool nested = false;
+      for (const auto& item : array_) {
+        if (item.is_array() || item.is_object()) nested = true;
+      }
+      out += '[';
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        if (nested) {
+          out += '\n';
+          indent_to(out, indent + 1);
+        } else if (i > 0) {
+          out += ' ';
+        }
+        array_[i].dump_to(out, indent + 1);
+        if (i + 1 < array_.size()) out += ',';
+      }
+      if (nested) {
+        out += '\n';
+        indent_to(out, indent);
+      }
+      out += ']';
+      break;
+    }
+    case Kind::kObject: {
+      if (object_.empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      for (std::size_t i = 0; i < object_.size(); ++i) {
+        out += '\n';
+        indent_to(out, indent + 1);
+        append_escaped(out, object_[i].first);
+        out += ": ";
+        object_[i].second.dump_to(out, indent + 1);
+        if (i + 1 < object_.size()) out += ',';
+      }
+      out += '\n';
+      indent_to(out, indent);
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string JsonValue::dump() const {
+  std::string out;
+  dump_to(out, 0);
+  out += '\n';
+  return out;
+}
+
+std::optional<JsonValue> JsonValue::parse(const std::string& text) {
+  Parser parser{text};
+  auto value = parser.parse_value();
+  if (!value) return std::nullopt;
+  parser.skip_ws();
+  if (parser.pos != text.size()) return std::nullopt;  // Trailing garbage.
+  return value;
+}
+
+}  // namespace bitspread

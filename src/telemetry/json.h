@@ -1,0 +1,117 @@
+// Minimal JSON value model used by the unified bench reporter.
+//
+// Deliberately small: insertion-ordered objects (so reports diff cleanly),
+// distinct int64/uint64/double arms (so 64-bit seeds round-trip exactly),
+// a pretty-printing dump(), and a strict parser sufficient for the schema
+// tests and the CI overhead checker. Not a general-purpose JSON library.
+#ifndef BITSPREAD_TELEMETRY_JSON_H_
+#define BITSPREAD_TELEMETRY_JSON_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace bitspread {
+
+class JsonValue {
+ public:
+  using Array = std::vector<JsonValue>;
+  // Insertion-ordered; keys are unique (set() overwrites in place).
+  using Object = std::vector<std::pair<std::string, JsonValue>>;
+
+  enum class Kind { kNull, kBool, kInt, kUint, kDouble, kString, kArray, kObject };
+
+  JsonValue() : kind_(Kind::kNull) {}
+  JsonValue(std::nullptr_t) : kind_(Kind::kNull) {}
+  JsonValue(bool b) : kind_(Kind::kBool), bool_(b) {}
+  JsonValue(int v) : kind_(Kind::kInt), int_(v) {}
+  JsonValue(long v) : kind_(Kind::kInt), int_(v) {}
+  JsonValue(long long v) : kind_(Kind::kInt), int_(v) {}
+  JsonValue(unsigned v) : kind_(Kind::kUint), uint_(v) {}
+  JsonValue(unsigned long v) : kind_(Kind::kUint), uint_(v) {}
+  JsonValue(unsigned long long v) : kind_(Kind::kUint), uint_(v) {}
+  JsonValue(double v) : kind_(Kind::kDouble), double_(v) {}
+  JsonValue(const char* s) : kind_(Kind::kString), string_(s) {}
+  JsonValue(std::string s) : kind_(Kind::kString), string_(std::move(s)) {}
+  JsonValue(Array a) : kind_(Kind::kArray), array_(std::move(a)) {}
+
+  static JsonValue object() {
+    JsonValue v;
+    v.kind_ = Kind::kObject;
+    return v;
+  }
+  static JsonValue array() {
+    JsonValue v;
+    v.kind_ = Kind::kArray;
+    return v;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_number() const {
+    return kind_ == Kind::kInt || kind_ == Kind::kUint ||
+           kind_ == Kind::kDouble;
+  }
+
+  bool as_bool() const { return bool_; }
+  const std::string& as_string() const { return string_; }
+  double as_double() const {
+    switch (kind_) {
+      case Kind::kInt:
+        return static_cast<double>(int_);
+      case Kind::kUint:
+        return static_cast<double>(uint_);
+      default:
+        return double_;
+    }
+  }
+  std::uint64_t as_uint() const {
+    switch (kind_) {
+      case Kind::kInt:
+        return static_cast<std::uint64_t>(int_);
+      case Kind::kDouble:
+        return static_cast<std::uint64_t>(double_);
+      default:
+        return uint_;
+    }
+  }
+
+  const Array& items() const { return array_; }
+  Array& items() { return array_; }
+  const Object& members() const { return object_; }
+
+  // Object access: set() overwrites an existing key in place (preserving
+  // order); find() returns nullptr when absent.
+  JsonValue& set(const std::string& key, JsonValue value);
+  const JsonValue* find(const std::string& key) const;
+
+  void push_back(JsonValue value) { array_.push_back(std::move(value)); }
+
+  // Serializes with 2-space indentation and a trailing newline at top level.
+  std::string dump() const;
+
+  // Strict parse of a complete JSON document; nullopt on any syntax error
+  // or trailing garbage. Numbers parse to kUint/kInt when exactly integral.
+  static std::optional<JsonValue> parse(const std::string& text);
+
+ private:
+  void dump_to(std::string& out, int indent) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  std::uint64_t uint_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+}  // namespace bitspread
+
+#endif  // BITSPREAD_TELEMETRY_JSON_H_

@@ -1,0 +1,336 @@
+#include "telemetry/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <mutex>
+
+namespace bitspread {
+namespace {
+
+// Portable fetch_add for atomic<double> (std::atomic<double>::fetch_add is
+// not guaranteed lock-free everywhere; the CAS loop is, effectively).
+void atomic_add(std::atomic<double>& target, double delta) noexcept {
+  double expected = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(expected, expected + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+// One Core per registry, shared by the registry object, every handle, and
+// every thread-local shard entry — so handles and shards stay valid in any
+// destruction order (a worker thread may exit after the registry is gone).
+//
+// Locking protocol: all STRUCTURE mutation (defining metrics, growing a
+// shard's slot deques, attaching/retiring shards) and all cross-thread READS
+// (snapshot, value, reset) hold `mu`. Slot increments are owner-thread-only
+// relaxed atomics on elements whose addresses a std::deque never moves, so
+// the hot path takes no lock.
+struct MetricsRegistryCore {
+  struct HistDef {
+    std::string name;
+    std::vector<double> bounds;  // Strictly increasing finite upper bounds.
+  };
+
+  struct HistShard {
+    std::deque<std::atomic<std::uint64_t>> buckets;  // bounds.size() + 1.
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<double> sum{0.0};
+  };
+
+  struct Shard {
+    std::deque<std::atomic<std::uint64_t>> counters;
+    std::deque<HistShard> histograms;
+  };
+
+  struct RetiredHist {
+    std::vector<std::uint64_t> buckets;
+    std::uint64_t count = 0;
+    double sum = 0.0;
+  };
+
+  mutable std::mutex mu;
+
+  std::vector<std::string> counter_names;
+  std::vector<std::string> gauge_names;
+  std::vector<HistDef> hist_defs;
+  std::map<std::string, std::size_t> counter_index;
+  std::map<std::string, std::size_t> gauge_index;
+  std::map<std::string, std::size_t> hist_index;
+
+  std::vector<double> gauge_values;  // Guarded by mu (gauges are not hot).
+
+  std::vector<std::shared_ptr<Shard>> shards;  // Live thread shards.
+  std::vector<std::uint64_t> retired_counters;
+  std::vector<RetiredHist> retired_hists;
+
+  // Grows `shard` (owner thread only; mu held) to cover all definitions.
+  void size_shard(Shard& shard) {
+    while (shard.counters.size() < counter_names.size()) {
+      shard.counters.emplace_back(0);
+    }
+    while (shard.histograms.size() < hist_defs.size()) {
+      HistShard& h = shard.histograms.emplace_back();
+      const std::size_t buckets =
+          hist_defs[shard.histograms.size() - 1].bounds.size() + 1;
+      for (std::size_t b = 0; b < buckets; ++b) h.buckets.emplace_back(0);
+    }
+  }
+
+  // Folds an exiting thread's shard into the retired totals.
+  void retire(const std::shared_ptr<Shard>& shard) {
+    std::lock_guard<std::mutex> lock(mu);
+    retired_counters.resize(counter_names.size(), 0);
+    retired_hists.resize(hist_defs.size());
+    for (std::size_t i = 0; i < shard->counters.size(); ++i) {
+      retired_counters[i] +=
+          shard->counters[i].load(std::memory_order_relaxed);
+    }
+    for (std::size_t i = 0; i < shard->histograms.size(); ++i) {
+      RetiredHist& dst = retired_hists[i];
+      const HistShard& src = shard->histograms[i];
+      dst.buckets.resize(hist_defs[i].bounds.size() + 1, 0);
+      for (std::size_t b = 0; b < src.buckets.size(); ++b) {
+        dst.buckets[b] += src.buckets[b].load(std::memory_order_relaxed);
+      }
+      dst.count += src.count.load(std::memory_order_relaxed);
+      dst.sum += src.sum.load(std::memory_order_relaxed);
+    }
+    shards.erase(std::remove(shards.begin(), shards.end(), shard),
+                 shards.end());
+  }
+};
+
+namespace {
+
+using Core = MetricsRegistryCore;
+
+// Per-thread shard directory. On thread exit, every still-live core absorbs
+// the thread's totals; cores that died first are simply skipped (weak_ptr).
+struct ThreadShardDirectory {
+  struct Entry {
+    const Core* key = nullptr;
+    std::weak_ptr<Core> core;
+    std::shared_ptr<Core::Shard> shard;
+  };
+  std::vector<Entry> entries;
+
+  ~ThreadShardDirectory() {
+    for (Entry& entry : entries) {
+      if (auto core = entry.core.lock()) core->retire(entry.shard);
+    }
+  }
+};
+
+thread_local ThreadShardDirectory t_shard_directory;
+
+// The calling thread's shard for `core` (created and registered on first
+// use). Only the owner thread ever calls this for its own shard.
+Core::Shard& local_shard(const std::shared_ptr<Core>& core) {
+  for (ThreadShardDirectory::Entry& entry : t_shard_directory.entries) {
+    if (entry.key == core.get()) return *entry.shard;
+  }
+  auto shard = std::make_shared<Core::Shard>();
+  {
+    std::lock_guard<std::mutex> lock(core->mu);
+    core->size_shard(*shard);
+    core->shards.push_back(shard);
+  }
+  t_shard_directory.entries.push_back(
+      ThreadShardDirectory::Entry{core.get(), core, shard});
+  return *t_shard_directory.entries.back().shard;
+}
+
+// Ensures slot `index` exists in the owner's shard (grows under the core
+// lock when a metric was defined after the shard was created).
+template <typename Container>
+void ensure_slot(const std::shared_ptr<Core>& core, Core::Shard& shard,
+                 const Container& slots, std::size_t index) {
+  if (index < slots.size()) return;
+  std::lock_guard<std::mutex> lock(core->mu);
+  core->size_shard(shard);
+}
+
+std::size_t bucket_for(const std::vector<double>& bounds,
+                       double value) noexcept {
+  const auto it = std::lower_bound(bounds.begin(), bounds.end(), value);
+  return static_cast<std::size_t>(it - bounds.begin());
+}
+
+}  // namespace
+
+MetricsRegistry::MetricsRegistry()
+    : core_(std::make_shared<MetricsRegistryCore>()) {}
+
+MetricsRegistry::~MetricsRegistry() = default;
+
+MetricsRegistry& MetricsRegistry::global() {
+  // Intentionally leaked: pool worker threads may retire their shards after
+  // static destructors have begun, and the weak_ptr protocol needs the
+  // control block — a leak sidesteps destruction-order entirely.
+  static auto* registry = new MetricsRegistry();
+  return *registry;
+}
+
+MetricsRegistry::Counter MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(core_->mu);
+  auto [it, inserted] =
+      core_->counter_index.try_emplace(name, core_->counter_names.size());
+  if (inserted) {
+    core_->counter_names.push_back(name);
+    core_->retired_counters.resize(core_->counter_names.size(), 0);
+  }
+  return Counter(core_, it->second);
+}
+
+MetricsRegistry::Gauge MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(core_->mu);
+  auto [it, inserted] =
+      core_->gauge_index.try_emplace(name, core_->gauge_names.size());
+  if (inserted) {
+    core_->gauge_names.push_back(name);
+    core_->gauge_values.resize(core_->gauge_names.size(), 0.0);
+  }
+  return Gauge(core_, it->second);
+}
+
+MetricsRegistry::Histogram MetricsRegistry::histogram(
+    const std::string& name, std::vector<double> bounds) {
+  assert(std::is_sorted(bounds.begin(), bounds.end()));
+  std::lock_guard<std::mutex> lock(core_->mu);
+  auto [it, inserted] =
+      core_->hist_index.try_emplace(name, core_->hist_defs.size());
+  if (inserted) {
+    core_->hist_defs.push_back(
+        MetricsRegistryCore::HistDef{name, std::move(bounds)});
+    core_->retired_hists.resize(core_->hist_defs.size());
+    core_->retired_hists.back().buckets.resize(
+        core_->hist_defs.back().bounds.size() + 1, 0);
+  }
+  return Histogram(core_, it->second);
+}
+
+void MetricsRegistry::Counter::increment(std::uint64_t delta) const {
+  if (core_ == nullptr) return;
+  Core::Shard& shard = local_shard(core_);
+  ensure_slot(core_, shard, shard.counters, index_);
+  shard.counters[index_].fetch_add(delta, std::memory_order_relaxed);
+}
+
+std::uint64_t MetricsRegistry::Counter::value() const {
+  if (core_ == nullptr) return 0;
+  std::lock_guard<std::mutex> lock(core_->mu);
+  std::uint64_t total = index_ < core_->retired_counters.size()
+                            ? core_->retired_counters[index_]
+                            : 0;
+  for (const auto& shard : core_->shards) {
+    if (index_ < shard->counters.size()) {
+      total += shard->counters[index_].load(std::memory_order_relaxed);
+    }
+  }
+  return total;
+}
+
+void MetricsRegistry::Gauge::set(double value) const {
+  if (core_ == nullptr) return;
+  std::lock_guard<std::mutex> lock(core_->mu);
+  core_->gauge_values[index_] = value;
+}
+
+double MetricsRegistry::Gauge::value() const {
+  if (core_ == nullptr) return 0.0;
+  std::lock_guard<std::mutex> lock(core_->mu);
+  return core_->gauge_values[index_];
+}
+
+void MetricsRegistry::Histogram::observe(double value) const {
+  if (core_ == nullptr) return;
+  Core::Shard& shard = local_shard(core_);
+  ensure_slot(core_, shard, shard.histograms, index_);
+  // Bounds are immutable after definition: lock-free read is safe.
+  const std::size_t bucket =
+      bucket_for(core_->hist_defs[index_].bounds, value);
+  Core::HistShard& hist = shard.histograms[index_];
+  hist.buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+  hist.count.fetch_add(1, std::memory_order_relaxed);
+  atomic_add(hist.sum, value);
+}
+
+std::uint64_t MetricsRegistry::Histogram::count() const {
+  if (core_ == nullptr) return 0;
+  std::lock_guard<std::mutex> lock(core_->mu);
+  std::uint64_t total = index_ < core_->retired_hists.size()
+                            ? core_->retired_hists[index_].count
+                            : 0;
+  for (const auto& shard : core_->shards) {
+    if (index_ < shard->histograms.size()) {
+      total +=
+          shard->histograms[index_].count.load(std::memory_order_relaxed);
+    }
+  }
+  return total;
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(core_->mu);
+  Snapshot out;
+  for (std::size_t i = 0; i < core_->counter_names.size(); ++i) {
+    std::uint64_t total = core_->retired_counters[i];
+    for (const auto& shard : core_->shards) {
+      if (i < shard->counters.size()) {
+        total += shard->counters[i].load(std::memory_order_relaxed);
+      }
+    }
+    out.counters[core_->counter_names[i]] = total;
+  }
+  for (std::size_t i = 0; i < core_->gauge_names.size(); ++i) {
+    out.gauges[core_->gauge_names[i]] = core_->gauge_values[i];
+  }
+  for (std::size_t i = 0; i < core_->hist_defs.size(); ++i) {
+    HistogramSnapshot hist;
+    hist.bounds = core_->hist_defs[i].bounds;
+    hist.counts = core_->retired_hists[i].buckets;
+    hist.counts.resize(hist.bounds.size() + 1, 0);
+    hist.count = core_->retired_hists[i].count;
+    hist.sum = core_->retired_hists[i].sum;
+    for (const auto& shard : core_->shards) {
+      if (i >= shard->histograms.size()) continue;
+      const auto& src = shard->histograms[i];
+      for (std::size_t b = 0; b < src.buckets.size(); ++b) {
+        hist.counts[b] += src.buckets[b].load(std::memory_order_relaxed);
+      }
+      hist.count += src.count.load(std::memory_order_relaxed);
+      hist.sum += src.sum.load(std::memory_order_relaxed);
+    }
+    out.histograms[core_->hist_defs[i].name] = std::move(hist);
+  }
+  return out;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(core_->mu);
+  std::fill(core_->retired_counters.begin(), core_->retired_counters.end(),
+            0);
+  for (auto& hist : core_->retired_hists) {
+    std::fill(hist.buckets.begin(), hist.buckets.end(), 0);
+    hist.count = 0;
+    hist.sum = 0.0;
+  }
+  std::fill(core_->gauge_values.begin(), core_->gauge_values.end(), 0.0);
+  for (const auto& shard : core_->shards) {
+    for (auto& value : shard->counters) {
+      value.store(0, std::memory_order_relaxed);
+    }
+    for (auto& hist : shard->histograms) {
+      for (auto& bucket : hist.buckets) {
+        bucket.store(0, std::memory_order_relaxed);
+      }
+      hist.count.store(0, std::memory_order_relaxed);
+      hist.sum.store(0.0, std::memory_order_relaxed);
+    }
+  }
+}
+
+}  // namespace bitspread

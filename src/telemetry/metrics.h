@@ -1,0 +1,118 @@
+// MetricsRegistry: named counters, gauges, and fixed-bucket histograms with
+// thread-local shards merged on read.
+//
+// Designed for the WorkerPool fan-out pattern (sim/parallel.h): each thread
+// writes to its own shard, so concurrent increments never contend on a shared
+// cache line and never tear (shard slots are relaxed atomics — a snapshot
+// taken after a pool run() returns sees every increment exactly once,
+// because run()'s join is a happens-before). The registry performs NO
+// randomness and holds NO simulation state: attaching or detaching it cannot
+// change any RunResult (tested).
+//
+// Handles (Counter/Gauge/Histogram) are cheap value types that keep the
+// underlying storage alive; metric names are unique per registry, and
+// re-requesting a name returns a handle to the same metric.
+#ifndef BITSPREAD_TELEMETRY_METRICS_H_
+#define BITSPREAD_TELEMETRY_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace bitspread {
+
+struct MetricsRegistryCore;
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry();
+  ~MetricsRegistry();
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Process-wide registry (engine probes and example binaries default to
+  // it). Prefer a locally owned registry when isolation matters (tests,
+  // OutcomeLedger).
+  static MetricsRegistry& global();
+
+  class Counter {
+   public:
+    Counter() = default;
+    // Adds `delta` to this thread's shard; never blocks other writers.
+    void increment(std::uint64_t delta = 1) const;
+    // Merged total across all shards (locks; not for hot paths).
+    std::uint64_t value() const;
+
+   private:
+    friend class MetricsRegistry;
+    Counter(std::shared_ptr<MetricsRegistryCore> core, std::size_t index)
+        : core_(std::move(core)), index_(index) {}
+    std::shared_ptr<MetricsRegistryCore> core_;
+    std::size_t index_ = 0;
+  };
+
+  class Gauge {
+   public:
+    Gauge() = default;
+    void set(double value) const;
+    double value() const;
+
+   private:
+    friend class MetricsRegistry;
+    Gauge(std::shared_ptr<MetricsRegistryCore> core, std::size_t index)
+        : core_(std::move(core)), index_(index) {}
+    std::shared_ptr<MetricsRegistryCore> core_;
+    std::size_t index_ = 0;
+  };
+
+  class Histogram {
+   public:
+    Histogram() = default;
+    // Counts `value` into the first bucket whose upper bound is >= value
+    // (the last bucket is the +inf overflow); also accumulates sum/count.
+    void observe(double value) const;
+    std::uint64_t count() const;
+
+   private:
+    friend class MetricsRegistry;
+    Histogram(std::shared_ptr<MetricsRegistryCore> core, std::size_t index)
+        : core_(std::move(core)), index_(index) {}
+    std::shared_ptr<MetricsRegistryCore> core_;
+    std::size_t index_ = 0;
+  };
+
+  // Get-or-create by name. A histogram's bucket bounds are fixed at first
+  // registration (strictly increasing finite upper bounds; an implicit +inf
+  // overflow bucket is appended).
+  Counter counter(const std::string& name);
+  Gauge gauge(const std::string& name);
+  Histogram histogram(const std::string& name, std::vector<double> bounds);
+
+  struct HistogramSnapshot {
+    std::vector<double> bounds;        // Finite upper bounds.
+    std::vector<std::uint64_t> counts; // bounds.size() + 1 (last = overflow).
+    std::uint64_t count = 0;
+    double sum = 0.0;
+  };
+  struct Snapshot {
+    std::map<std::string, std::uint64_t> counters;
+    std::map<std::string, double> gauges;
+    std::map<std::string, HistogramSnapshot> histograms;
+  };
+
+  // Merged view across every live thread shard plus retired threads.
+  Snapshot snapshot() const;
+
+  // Zeroes all metrics (definitions are kept).
+  void reset();
+
+ private:
+  std::shared_ptr<MetricsRegistryCore> core_;
+};
+
+}  // namespace bitspread
+
+#endif  // BITSPREAD_TELEMETRY_METRICS_H_

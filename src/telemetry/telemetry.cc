@@ -1,0 +1,45 @@
+#include "telemetry/telemetry.h"
+
+namespace bitspread {
+namespace telemetry {
+namespace {
+
+std::atomic<PhaseStats*> g_phase_sink{nullptr};
+
+}  // namespace
+
+const char* phase_name(Phase phase) noexcept {
+  switch (phase) {
+    case Phase::kRoundStep:
+      return "round_step";
+    case Phase::kSampleDraw:
+      return "sample_draw";
+    case Phase::kFaultApply:
+      return "fault_apply";
+    case Phase::kStopCheck:
+      return "stop_check";
+    case Phase::kPoolDispatch:
+      return "pool_dispatch";
+    case Phase::kCount:
+      break;
+  }
+  return "unknown";
+}
+
+void install_phase_sink(PhaseStats* sink) noexcept {
+  if constexpr (kCompiledIn) {
+    g_phase_sink.store(sink, std::memory_order_release);
+  } else {
+    (void)sink;
+  }
+}
+
+PhaseStats* phase_sink() noexcept {
+  if constexpr (kCompiledIn) {
+    return g_phase_sink.load(std::memory_order_acquire);
+  }
+  return nullptr;
+}
+
+}  // namespace telemetry
+}  // namespace bitspread

@@ -1,0 +1,130 @@
+// The telemetry switch, the round-level phase sink, and the RAII timer probe.
+//
+// Two gates keep the measurement layer out of the measured system:
+//
+//  1. *Compile time.* Probes exist only when the library is built with
+//     -DBITSPREAD_TELEMETRY (CMake option BITSPREAD_TELEMETRY, preset
+//     `telemetry`). Without it, ScopedTimer is an empty object and every
+//     accounting branch is `if constexpr`-eliminated — the disabled build is
+//     bit-for-bit the untouched hot path (CI asserts the runtime delta of the
+//     enabled build stays under 5% on perf_smoke).
+//  2. *Run time.* Even when compiled in, a probe records only while a
+//     PhaseStats sink is installed (install_phase_sink); otherwise it costs
+//     one relaxed atomic pointer load and never reads the clock.
+//
+// Neither gate can perturb simulation results: telemetry reads clocks and
+// bumps counters, and NEVER touches an RNG stream — the determinism suite
+// must pass bit-identical with telemetry on and off (tests/telemetry_test.cc
+// pins golden run payloads compiled into both builds).
+#ifndef BITSPREAD_TELEMETRY_TELEMETRY_H_
+#define BITSPREAD_TELEMETRY_TELEMETRY_H_
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace bitspread {
+namespace telemetry {
+
+// True when the library was built with -DBITSPREAD_TELEMETRY.
+#ifdef BITSPREAD_TELEMETRY
+inline constexpr bool kCompiledIn = true;
+#else
+inline constexpr bool kCompiledIn = false;
+#endif
+
+// The instrumented phases of a simulation run. Every engine reports through
+// the same vocabulary so bench reports are comparable across engines.
+enum class Phase : int {
+  kRoundStep = 0,  // One synchronous round (or n sequential activations).
+  kSampleDraw,     // Observation sampling inside a round/block.
+  kFaultApply,     // Fault-channel work: flips, churn, recovery bookkeeping.
+  kStopCheck,      // Stop-rule / quorum evaluation.
+  kPoolDispatch,   // WorkerPool fan-out latency (recorded by the pool).
+  kCount
+};
+
+inline constexpr int kPhaseCount = static_cast<int>(Phase::kCount);
+
+// Short stable identifier ("round_step", ...) used in JSON reports.
+const char* phase_name(Phase phase) noexcept;
+
+inline std::uint64_t clock_now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// The runtime sink: per-phase nanosecond and event totals, safe for
+// concurrent recording from pool workers (relaxed atomics; totals are read
+// after the recorded region completes, which the pool's join ordering makes
+// a happens-before).
+class PhaseStats {
+ public:
+  void add(Phase phase, std::uint64_t ns) noexcept {
+    const auto i = static_cast<std::size_t>(phase);
+    ns_[i].fetch_add(ns, std::memory_order_relaxed);
+    count_[i].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  std::uint64_t total_ns(Phase phase) const noexcept {
+    return ns_[static_cast<std::size_t>(phase)].load(
+        std::memory_order_relaxed);
+  }
+  std::uint64_t count(Phase phase) const noexcept {
+    return count_[static_cast<std::size_t>(phase)].load(
+        std::memory_order_relaxed);
+  }
+  double total_seconds(Phase phase) const noexcept {
+    return static_cast<double>(total_ns(phase)) * 1e-9;
+  }
+
+  void reset() noexcept {
+    for (auto& v : ns_) v.store(0, std::memory_order_relaxed);
+    for (auto& v : count_) v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kPhaseCount> ns_{};
+  std::array<std::atomic<std::uint64_t>, kPhaseCount> count_{};
+};
+
+// Installs (or, with nullptr, removes) the process-wide probe sink. The
+// caller owns the sink and must keep it alive until it is uninstalled.
+// Compiled-out builds accept the call and ignore it.
+void install_phase_sink(PhaseStats* sink) noexcept;
+
+// The currently installed sink (nullptr when none, or compiled out).
+PhaseStats* phase_sink() noexcept;
+
+// RAII probe: measures the lifetime of the object and adds it to the
+// installed sink under `phase`. A disabled build compiles this to nothing.
+class ScopedTimer {
+ public:
+#ifdef BITSPREAD_TELEMETRY
+  explicit ScopedTimer(Phase phase) noexcept
+      : sink_(phase_sink()), phase_(phase) {
+    if (sink_ != nullptr) start_ns_ = clock_now_ns();
+  }
+  ~ScopedTimer() {
+    if (sink_ != nullptr) sink_->add(phase_, clock_now_ns() - start_ns_);
+  }
+
+ private:
+  PhaseStats* sink_;
+  Phase phase_;
+  std::uint64_t start_ns_ = 0;
+#else
+  explicit ScopedTimer(Phase /*phase*/) noexcept {}
+#endif
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+};
+
+}  // namespace telemetry
+}  // namespace bitspread
+
+#endif  // BITSPREAD_TELEMETRY_TELEMETRY_H_

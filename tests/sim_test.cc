@@ -190,5 +190,34 @@ TEST(Measurement, WrongOutcomeTracked) {
   EXPECT_EQ(m.converged, 0);
 }
 
+// The documented double-count: every kDegraded run increments BOTH
+// `degraded` and `censored`, so censored + degraded over-counts and
+// censored_only() subtracts. These are the invariants experiment.h promises.
+TEST(Measurement, DegradedIsDoubleCountedInsideCensored) {
+  const SeedSequence seeds(5);
+  int call = 0;
+  const auto runner = [&call](Rng&) {
+    RunResult result;
+    const int i = call++;  // 2 degraded, 3 plain-capped, 4 converged, 1 wrong.
+    if (i < 2) {
+      result.reason = StopReason::kDegraded;
+    } else if (i < 5) {
+      result.reason = StopReason::kRoundLimit;
+    } else if (i < 9) {
+      result.reason = StopReason::kCorrectConsensus;
+    } else {
+      result.reason = StopReason::kWrongConsensus;
+    }
+    return result;
+  };
+  const ConvergenceMeasurement m = measure_convergence(runner, seeds, 0, 10);
+  EXPECT_EQ(m.degraded, 2);
+  EXPECT_EQ(m.censored, 5);  // The 2 degraded runs are counted here too.
+  EXPECT_EQ(m.censored_only(), 3);
+  EXPECT_GE(m.degraded, 0);
+  EXPECT_LE(m.degraded, m.censored);
+  EXPECT_EQ(m.converged + m.censored + m.wrong_outcome, m.replicates);
+}
+
 }  // namespace
 }  // namespace bitspread

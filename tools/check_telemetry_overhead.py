@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Compare two perf_smoke reports and fail on telemetry overhead.
+
+Usage:
+    check_telemetry_overhead.py BASELINE.json TELEMETRY.json [--max-regression R]
+
+Both inputs are unified bench reports ("bitspread-bench/1") written by
+perf_smoke: BASELINE from the default build, TELEMETRY from the
+BITSPREAD_TELEMETRY=ON build with NO sink installed. The compiled-in but
+unsinked probes must stay within `--max-regression` (default 5%) of the
+baseline throughput on every benchmark; a faster telemetry build always
+passes. Exit status 0 = within budget, 1 = regression, 2 = bad input.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_benchmarks(path):
+    with open(path, "r", encoding="utf-8") as fh:
+        report = json.load(fh)
+    if report.get("schema") != "bitspread-bench/1":
+        sys.exit(f"error: {path}: not a bitspread-bench/1 report")
+    benchmarks = report.get("benchmarks")
+    if not isinstance(benchmarks, list) or not benchmarks:
+        sys.exit(f"error: {path}: no benchmarks array")
+    return {b["name"]: float(b["items_per_second"]) for b in benchmarks}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("telemetry")
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.05,
+        help="maximum tolerated relative slowdown per benchmark (default 0.05)",
+    )
+    args = parser.parse_args()
+
+    try:
+        baseline = load_benchmarks(args.baseline)
+        telemetry = load_benchmarks(args.telemetry)
+    except (OSError, json.JSONDecodeError, KeyError, ValueError) as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+
+    missing = sorted(set(baseline) - set(telemetry))
+    if missing:
+        print(f"error: telemetry report lacks benchmarks: {missing}",
+              file=sys.stderr)
+        return 2
+
+    worst = 0.0
+    failed = False
+    print(f"{'benchmark':<28} {'baseline':>12} {'telemetry':>12} {'delta':>8}")
+    for name, base_ips in sorted(baseline.items()):
+        tele_ips = telemetry[name]
+        if base_ips <= 0:
+            print(f"error: baseline throughput for {name} is {base_ips}",
+                  file=sys.stderr)
+            return 2
+        # Positive = telemetry build is slower.
+        slowdown = (base_ips - tele_ips) / base_ips
+        worst = max(worst, slowdown)
+        verdict = "OK"
+        if slowdown > args.max_regression:
+            verdict = "FAIL"
+            failed = True
+        print(f"{name:<28} {base_ips:12.3e} {tele_ips:12.3e} "
+              f"{slowdown:+7.1%} {verdict}")
+
+    budget = args.max_regression
+    print(f"\nworst slowdown: {worst:+.1%} (budget {budget:.0%})")
+    if failed:
+        print("telemetry overhead exceeds budget", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
