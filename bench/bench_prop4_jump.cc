@@ -22,6 +22,7 @@
 #include "protocols/voter.h"
 #include "sim/cli.h"
 #include "sim/table.h"
+#include "telemetry/reporter.h"
 
 namespace bitspread {
 namespace {
@@ -32,6 +33,14 @@ void run(const BenchOptions& options) {
   const std::uint64_t n = options.quick ? (1 << 14) : (1 << 16);
   const int trials = options.reps_or(options.quick ? 3000 : 20000);
   const SeedSequence seeds(options.seed);
+
+  JsonReporter reporter("prop4_jump");
+  reporter.set_experiment("E9");
+  reporter.set_seed(options.seed);
+  reporter.set_quick(options.quick);
+  reporter.set_workload("n", JsonValue(n));
+  reporter.set_workload("trials_per_cell", JsonValue(trials));
+  const std::uint64_t simulate_start_ns = telemetry::clock_now_ns();
 
   const VoterDynamics voter;
   const MinorityDynamics minority3(3);
@@ -85,6 +94,15 @@ void run(const BenchOptions& options) {
       any_violation ? "SOME (investigate!)" : "none",
       static_cast<unsigned long long>(n),
       2.0 * std::sqrt(static_cast<double>(n)), trials);
+
+  reporter.add_phase(
+      "simulate",
+      static_cast<double>(telemetry::clock_now_ns() - simulate_start_ns) *
+          1e-9);
+  reporter.set_extra("any_violation", JsonValue(any_violation));
+  reporter.set_extra("failure_bound", JsonValue(proposition4_failure(n)));
+  reporter.add_table("jump_bound", table);
+  reporter.write_file(options.json_path.value_or("BENCH_prop4_jump.json"));
 }
 
 }  // namespace

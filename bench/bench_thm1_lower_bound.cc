@@ -21,6 +21,7 @@
 #include <memory>
 #include <vector>
 
+#include "analysis/bias.h"
 #include "analysis/bounds.h"
 #include "analysis/cases.h"
 #include "engine/aggregate.h"
@@ -72,6 +73,10 @@ void run(const BenchOptions& options) {
   OutcomeLedger ledger(&registry);
   telemetry::PhaseStats phase_stats;
   telemetry::install_phase_sink(&phase_stats);
+  // Flight recorder (--trace-out= / --stream-out=): records the slow-crossing
+  // timeline this bench exists to study. Destroyed (and files written) after
+  // the report.
+  FlightRecorderScope flight_recorder(options.recorder);
   const std::uint64_t simulate_start_ns = telemetry::clock_now_ns();
 
   Rng proto_rng(seeds.derive("random-protocol"));
@@ -109,6 +114,10 @@ void run(const BenchOptions& options) {
       }
       const Configuration start{n, bound(analysis.x0_fraction),
                                 analysis.slow_correct};
+      // Streamed lines for this cell carry the exact Eq. 3 drift of the
+      // protocol under test (quiescent between cells, so the swap is safe).
+      flight_recorder.set_bias(
+          [bias = BiasFunction(*protocol, n)](double x) { return bias(x); });
       const auto runner = [&](Rng& rng) {
         return engine.run(start, rule, rng);
       };
@@ -176,6 +185,9 @@ void run(const BenchOptions& options) {
 
   reporter.add_phase("simulate", simulate_seconds);
   reporter.add_phase_stats(phase_stats);
+  if (flight_recorder.recorder() != nullptr) {
+    reporter.set_flight_recorder(*flight_recorder.recorder());
+  }
   reporter.set_metrics(registry.snapshot());
   reporter.add_table("interval_crossing", table);
   reporter.write_file(

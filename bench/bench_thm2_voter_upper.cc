@@ -80,6 +80,7 @@ void run(const BenchOptions& options) {
   OutcomeLedger ledger(&registry);
   telemetry::PhaseStats phase_stats;
   telemetry::install_phase_sink(&phase_stats);
+  FlightRecorderScope flight_recorder(options.recorder);
 
   Table table({"n", "reps", "mean T", "median", "p90", "T/(n ln n)",
                "dual mean", "dual/(n ln n)"});
@@ -141,6 +142,9 @@ void run(const BenchOptions& options) {
   reporter.add_phase("simulate", simulate_seconds);
   reporter.add_phase("dual", dual_seconds);
   reporter.add_phase_stats(phase_stats);
+  if (flight_recorder.recorder() != nullptr) {
+    reporter.set_flight_recorder(*flight_recorder.recorder());
+  }
   reporter.set_metrics(registry.snapshot());
   reporter.add_table("voter_convergence", table);
   reporter.write_file(

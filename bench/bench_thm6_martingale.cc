@@ -26,6 +26,7 @@
 #include "sim/ascii_plot.h"
 #include "sim/sweep.h"
 #include "sim/table.h"
+#include "telemetry/reporter.h"
 
 namespace bitspread {
 namespace {
@@ -85,7 +86,13 @@ void run(const BenchOptions& options) {
 
   const MinorityDynamics protocol(3);
 
+  JsonReporter reporter("thm6_martingale");
+  reporter.set_experiment("E6");
+  reporter.set_seed(options.seed);
+  reporter.set_quick(options.quick);
+
   // Part 1: one annotated trajectory at n = 2^14.
+  const std::uint64_t figure_start_ns = telemetry::clock_now_ns();
   {
     const std::uint64_t n = 1 << 14;
     const CaseAnalysis analysis = classify_bias(protocol, n);
@@ -128,7 +135,12 @@ void run(const BenchOptions& options) {
                 r.y_below_m_always ? "yes" : "NO",
                 r.max_abs_m_deviation,
                 (analysis.a3 - analysis.a2) / 4.0 * static_cast<double>(n));
+    reporter.add_table("figure1_trajectory", rows);
+    reporter.set_extra("figure1_y_below_m", JsonValue(r.y_below_m_always));
   }
+  reporter.add_phase(
+      "figure1",
+      static_cast<double>(telemetry::clock_now_ns() - figure_start_ns) * 1e-9);
 
   // Parts 2-3: confinement and crossing across n. Claim 8's confinement
   // constant alpha = (a3-a2)/4 is tiny for this interval, so |M_t - M_0|
@@ -138,6 +150,9 @@ void run(const BenchOptions& options) {
   const int reps = options.reps_or(options.quick ? 5 : 10);
   const auto grid = power_of_two_grid(14, max_exp);
   const SeedSequence seeds(options.seed);
+  reporter.set_workload("n_max", JsonValue(grid.back()));
+  reporter.set_workload("reps", JsonValue(reps));
+  const std::uint64_t sweep_start_ns = telemetry::clock_now_ns();
 
   Table table({"n", "T = n^0.5", "reps", "max|M-M0| (worst)", "alpha*n",
                "ratio", "Y<=M always", "crossed before T"});
@@ -172,6 +187,14 @@ void run(const BenchOptions& options) {
       "shrinks like n^{-1/4} down through 1 as n grows — the\nmartingale "
       "noise sigma*sqrt(T) ~ n^{3/4} loses to alpha*n exactly as the proof "
       "needs.\n");
+
+  reporter.add_phase(
+      "confinement_sweep",
+      static_cast<double>(telemetry::clock_now_ns() - sweep_start_ns) * 1e-9);
+  reporter.set_extra("epsilon", JsonValue(kEpsilon));
+  reporter.add_table("confinement", table);
+  reporter.write_file(
+      options.json_path.value_or("BENCH_thm6_martingale.json"));
 }
 
 }  // namespace

@@ -21,6 +21,7 @@
 #include "engine/aggregate.h"
 #include "engine/sharded.h"
 #include "protocols/minority.h"
+#include "sim/cli.h"
 #include "sim/parallel.h"
 #include "telemetry/reporter.h"
 
@@ -67,11 +68,14 @@ int main(int argc, char** argv) {
 
   bool quick = std::getenv("BITSPREAD_QUICK") != nullptr;
   std::string out_path = "BENCH_engine.json";
+  FlightRecorderOptions recorder_options;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--quick") quick = true;
     if (arg.rfind("--out=", 0) == 0) out_path = arg.substr(6);
+    recorder_options.parse_flag(arg);
   }
+  FlightRecorderScope flight_recorder(recorder_options);
 
   const std::uint64_t n = quick ? (1u << 14) : (1u << 17);
   const std::uint64_t rounds = quick ? 96 : 256;
@@ -101,6 +105,10 @@ int main(int argc, char** argv) {
     results.push_back(measure(name, threads, rounds, updates_per_round,
                               [&](std::uint64_t round) {
                                 engine.step(population, round, seeds);
+                                // O(1): the sharded population tracks its
+                                // ones-count incrementally.
+                                telemetry::record_round(
+                                    round, population.count_ones(), n);
                               }));
     if (hw == 1) break;  // Both configs identical on a single-core host.
   }
@@ -111,9 +119,10 @@ int main(int argc, char** argv) {
     Rng rng(3);
     const std::uint64_t agg_rounds = quick ? 20000 : 100000;
     results.push_back(measure("aggregate_step", 1, agg_rounds, 1,
-                              [&](std::uint64_t) {
+                              [&](std::uint64_t round) {
                                 config = engine.step(config, rng);
                                 if (config.is_consensus()) config = init;
+                                telemetry::record_round(round, config.ones, n);
                               }));
   }
 
@@ -164,6 +173,9 @@ int main(int argc, char** argv) {
                                 : 0.0));
     pool_json.set("utilization", JsonValue(pool.utilization()));
     reporter.set_extra("worker_pool", std::move(pool_json));
+  }
+  if (flight_recorder.recorder() != nullptr) {
+    reporter.set_flight_recorder(*flight_recorder.recorder());
   }
   if (!reporter.write_file(out_path)) return 1;
 

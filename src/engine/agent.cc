@@ -150,6 +150,7 @@ RunResult AgentParallelEngine::run(Configuration config, const StopRule& rule,
   }
   Configuration current = population.config();
   if (trajectory != nullptr) trajectory->record(0, current.ones);
+  telemetry::record_round(0, current.ones, current.n);
   session.observe(0, current);
   for (std::uint64_t round = 0;; ++round) {
     if (session.flip_due(round)) {
@@ -197,6 +198,7 @@ RunResult AgentParallelEngine::run(Configuration config, const StopRule& rule,
     current = population.config();
     session.observe(round + 1, current);
     if (trajectory != nullptr) trajectory->record(round + 1, current.ones);
+    telemetry::record_round(round + 1, current.ones, current.n);
   }
   if (trajectory != nullptr) {
     trajectory->force_record(result.rounds, current.ones);
@@ -229,6 +231,7 @@ RunResult AgentParallelEngine::run_population(Population& population,
   }
   Configuration config = population.config();
   if (trajectory != nullptr) trajectory->record(0, config.ones);
+  telemetry::record_round(0, config.ones, config.n);
   for (std::uint64_t round = 0;; ++round) {
     {
       const telemetry::ScopedTimer stop_timer(telemetry::Phase::kStopCheck);
@@ -249,6 +252,7 @@ RunResult AgentParallelEngine::run_population(Population& population,
     }
     config = population.config();
     if (trajectory != nullptr) trajectory->record(round + 1, config.ones);
+    telemetry::record_round(round + 1, config.ones, config.n);
   }
   if (trajectory != nullptr) {
     trajectory->force_record(result.rounds, config.ones);
@@ -298,6 +302,7 @@ SequentialRunResult AgentSequentialEngine::run(Configuration config,
   Configuration current = config;
   current.ones = ones;
   if (trajectory != nullptr) trajectory->record(0, ones);
+  telemetry::record_round(0, ones, n);
   std::uint64_t activation = 0;
   while (true) {
     {
@@ -318,8 +323,9 @@ SequentialRunResult AgentSequentialEngine::run(Configuration config,
     }
     current.ones = ones;
     ++activation;
-    if (trajectory != nullptr && activation % n == 0) {
-      trajectory->record(activation / n, ones);
+    if (activation % n == 0) {
+      if (trajectory != nullptr) trajectory->record(activation / n, ones);
+      telemetry::record_round(activation / n, ones, n);
     }
   }
   result.activations = activation;

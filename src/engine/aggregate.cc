@@ -35,6 +35,7 @@ RunResult AggregateParallelEngine::run(Configuration config,
     start_ns = telemetry::clock_now_ns();
   }
   if (trajectory != nullptr) trajectory->record(0, config.ones);
+  telemetry::record_round(0, config.ones, config.n);
   for (std::uint64_t round = 0;; ++round) {
     {
       const telemetry::ScopedTimer stop_timer(telemetry::Phase::kStopCheck);
@@ -54,6 +55,7 @@ RunResult AggregateParallelEngine::run(Configuration config,
       config = step(config, rng);
     }
     if (trajectory != nullptr) trajectory->record(round + 1, config.ones);
+    telemetry::record_round(round + 1, config.ones, config.n);
   }
   if (trajectory != nullptr) trajectory->force_record(result.rounds, config.ones);
   result.final_config = config;
@@ -87,6 +89,7 @@ RunResult AggregateParallelEngine::run(Configuration config,
     start_ns = telemetry::clock_now_ns();
   }
   if (trajectory != nullptr) trajectory->record(0, config.ones);
+  telemetry::record_round(0, config.ones, config.n);
   session.observe(0, config);
   for (std::uint64_t round = 0;; ++round) {
     if (session.flip_due(round)) {
@@ -125,6 +128,7 @@ RunResult AggregateParallelEngine::run(Configuration config,
       session.observe(round + 1, config);
     }
     if (trajectory != nullptr) trajectory->record(round + 1, config.ones);
+    telemetry::record_round(round + 1, config.ones, config.n);
   }
   if (trajectory != nullptr) {
     trajectory->force_record(result.rounds, config.ones);

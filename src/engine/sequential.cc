@@ -50,6 +50,7 @@ SequentialRunResult SequentialEngine::run(Configuration config,
   const std::uint64_t n = config.n;
   const std::uint64_t max_activations = rule.max_rounds * n;
   if (trajectory != nullptr) trajectory->record(0, config.ones);
+  telemetry::record_round(0, config.ones, n);
   std::uint64_t activation = 0;
   while (true) {
     {
@@ -68,8 +69,9 @@ SequentialRunResult SequentialEngine::run(Configuration config,
       config = step(config, rng);
     }
     ++activation;
-    if (trajectory != nullptr && activation % n == 0) {
-      trajectory->record(activation / n, config.ones);
+    if (activation % n == 0) {
+      if (trajectory != nullptr) trajectory->record(activation / n, config.ones);
+      telemetry::record_round(activation / n, config.ones, n);
     }
   }
   result.activations = activation;
@@ -111,6 +113,7 @@ SequentialRunResult SequentialEngine::run(Configuration config,
   assert(non_source > 0);
 
   if (trajectory != nullptr) trajectory->record(0, config.ones);
+  telemetry::record_round(0, config.ones, n);
   session.observe(0, config);
   std::uint64_t activation = 0;
   while (true) {
@@ -160,6 +163,7 @@ SequentialRunResult SequentialEngine::run(Configuration config,
       if (trajectory != nullptr) {
         trajectory->record(activation / n, config.ones);
       }
+      telemetry::record_round(activation / n, config.ones, n);
     }
   }
   result.activations = activation;

@@ -440,6 +440,7 @@ RunResult ShardedAgentEngine::run(const Configuration& config,
   }
   Configuration current = population.config();
   if (trajectory != nullptr) trajectory->record(0, current.ones);
+  telemetry::record_round(0, current.ones, current.n);
   session.observe(0, current);
   for (std::uint64_t round = 0;; ++round) {
     if (session.flip_due(round)) {
@@ -485,6 +486,7 @@ RunResult ShardedAgentEngine::run(const Configuration& config,
       session.observe(round + 1, current);
     }
     if (trajectory != nullptr) trajectory->record(round + 1, current.ones);
+    telemetry::record_round(round + 1, current.ones, current.n);
   }
   if (trajectory != nullptr) {
     trajectory->force_record(result.rounds, current.ones);
@@ -517,6 +519,7 @@ RunResult ShardedAgentEngine::run_population(Population& population,
   }
   Configuration config = population.config();
   if (trajectory != nullptr) trajectory->record(0, config.ones);
+  telemetry::record_round(0, config.ones, config.n);
   for (std::uint64_t round = 0;; ++round) {
     {
       const telemetry::ScopedTimer stop_timer(telemetry::Phase::kStopCheck);
@@ -537,6 +540,7 @@ RunResult ShardedAgentEngine::run_population(Population& population,
     }
     config = population.config();
     if (trajectory != nullptr) trajectory->record(round + 1, config.ones);
+    telemetry::record_round(round + 1, config.ones, config.n);
   }
   if (trajectory != nullptr) {
     trajectory->force_record(result.rounds, config.ones);

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "random/binomial.h"
+#include "telemetry/telemetry.h"
 
 namespace bitspread {
 
@@ -51,6 +52,7 @@ bool FaultSession::flip_due(std::uint64_t round) const noexcept {
 
 void FaultSession::apply_flip(std::uint64_t round, Configuration& config) {
   assert(flip_due(round));
+  telemetry::record_mark("source_flip");
   ++next_flip_;
   config.correct = opposite(config.correct);
   // Sources now display the new correct opinion.

@@ -7,12 +7,27 @@
 #include <iostream>
 
 #include "engine/stopping.h"
-#include "sim/csv.h"
 #include "sim/experiment.h"
 #include "sim/seeds.h"
 #include "telemetry/reporter.h"
 
 namespace bitspread {
+
+bool FlightRecorderOptions::parse_flag(const std::string& arg) {
+  if (arg.rfind("--trace-out=", 0) == 0) {
+    trace_out = arg.substr(12);
+  } else if (arg.rfind("--stream-out=", 0) == 0) {
+    stream_out = arg.substr(13);
+  } else if (arg.rfind("--trace-buffer=", 0) == 0) {
+    trace_buffer = static_cast<std::size_t>(
+        std::strtoull(arg.c_str() + 15, nullptr, 0));
+  } else if (arg.rfind("--stream-stride=", 0) == 0) {
+    stream_stride = std::strtoull(arg.c_str() + 16, nullptr, 0);
+  } else {
+    return false;
+  }
+  return true;
+}
 
 BenchOptions parse_bench_options(int argc, char** argv) {
   BenchOptions options;
@@ -29,10 +44,13 @@ BenchOptions parse_bench_options(int argc, char** argv) {
       options.seed = std::strtoull(arg.c_str() + 7, nullptr, 0);
     } else if (arg.rfind("--reps=", 0) == 0) {
       options.replicates = std::atoi(arg.c_str() + 7);
-    } else if (arg.rfind("--csv=", 0) == 0) {
-      options.csv_path = arg.substr(6);
     } else if (arg.rfind("--json=", 0) == 0) {
       options.json_path = arg.substr(7);
+    } else if (options.recorder.parse_flag(arg)) {
+      // Consumed by the flight recorder.
+    } else if (arg.rfind("--csv=", 0) == 0) {
+      std::cerr << "warning: --csv= has been removed; the unified --json "
+                   "report carries the tables\n";
     } else {
       std::cerr << "warning: unknown option '" << arg << "' ignored\n";
     }
@@ -41,15 +59,8 @@ BenchOptions parse_bench_options(int argc, char** argv) {
 }
 
 void emit_table(const Table& table, const BenchOptions& options) {
+  (void)options;
   table.print(std::cout);
-  if (options.csv_path) {
-    if (write_csv(table, *options.csv_path)) {
-      std::cerr << "[csv written to " << *options.csv_path
-                << "] (deprecated: prefer the unified --json report)\n";
-    } else {
-      std::cerr << "[failed to write csv to " << *options.csv_path << "]\n";
-    }
-  }
 }
 
 void print_banner(const std::string& experiment_id, const std::string& title,
@@ -125,6 +136,8 @@ ExampleOptions parse_example_options(int argc, char** argv) {
       options.metrics_out = argv[++i];
     } else if (arg.rfind("--metrics-out=", 0) == 0) {
       options.metrics_out = arg.substr(14);
+    } else if (options.recorder.parse_flag(arg)) {
+      // Consumed by the flight recorder.
     } else if (arg.rfind("--", 0) == 0) {
       // Positional arguments stay the example's business.
       std::cerr << "warning: unknown option '" << arg << "' ignored\n";
@@ -133,8 +146,70 @@ ExampleOptions parse_example_options(int argc, char** argv) {
   return options;
 }
 
-ExampleTelemetryScope::ExampleTelemetryScope(ExampleOptions options)
+FlightRecorderScope::FlightRecorderScope(FlightRecorderOptions options)
     : options_(std::move(options)) {
+  if (!options_.requested()) return;
+  if (!telemetry::kCompiledIn) {
+    std::cerr << "note: --trace-out/--stream-out have no effect (build with "
+                 "-DBITSPREAD_TELEMETRY=ON)\n";
+    return;
+  }
+  if (options_.trace_out) {
+    telemetry::TraceRecorder::Options trace_options;
+    trace_options.capacity = options_.trace_buffer;
+    recorder_ = std::make_unique<telemetry::TraceRecorder>(trace_options);
+    telemetry::install_trace_recorder(recorder_.get());
+  }
+  if (options_.stream_out) {
+    telemetry::RoundStream::Options stream_options;
+    stream_options.stride = options_.stream_stride;
+    stream_ = std::make_unique<telemetry::RoundStream>(*options_.stream_out,
+                                                       stream_options);
+    if (!stream_->ok()) {
+      std::cerr << "[failed to open stream " << *options_.stream_out << "]\n";
+      stream_.reset();
+    } else {
+      telemetry::install_round_sink(stream_.get());
+    }
+  }
+}
+
+void FlightRecorderScope::set_bias(std::function<double(double)> bias) {
+  if (stream_ != nullptr) stream_->set_bias(std::move(bias));
+}
+
+FlightRecorderScope::~FlightRecorderScope() {
+  if (recorder_ != nullptr) {
+    telemetry::install_trace_recorder(nullptr);
+    if (recorder_->write_chrome_trace(*options_.trace_out)) {
+      std::cerr << "[trace written to " << *options_.trace_out << ": "
+                << recorder_->stored() << " events across "
+                << recorder_->buffers() << " lanes";
+      if (recorder_->dropped() > 0) {
+        std::cerr << ", " << recorder_->dropped()
+                  << " oldest dropped (raise --trace-buffer=)";
+      }
+      std::cerr << "]\n";
+    } else {
+      std::cerr << "[failed to write trace to " << *options_.trace_out
+                << "]\n";
+    }
+  }
+  if (stream_ != nullptr) {
+    telemetry::install_round_sink(nullptr);
+    if (stream_->flush()) {
+      std::cerr << "[stream written to " << *options_.stream_out << ": "
+                << stream_->lines() << " lines from " << stream_->rounds_seen()
+                << " rounds]\n";
+    } else {
+      std::cerr << "[failed to write stream to " << *options_.stream_out
+                << "]\n";
+    }
+  }
+}
+
+ExampleTelemetryScope::ExampleTelemetryScope(ExampleOptions options)
+    : options_(std::move(options)), flight_recorder_(options_.recorder) {
   if (options_.trace) {
     if (telemetry::kCompiledIn) {
       telemetry::install_phase_sink(&stats_);

@@ -4,46 +4,72 @@
 //   --quick          smaller grids / fewer replicates (also BITSPREAD_QUICK=1)
 //   --seed=<u64>     master seed (also BITSPREAD_SEED)
 //   --reps=<int>     replicate override
-//   --csv=<path>     mirror the main table to a CSV file (deprecated: the
-//                    unified JSON report carries the tables now)
 //   --json=<path>    override the destination of the unified JSON report
 //
-// Example binaries accept (parse_example_options):
+// Flight-recorder flags (benches and examples; active in telemetry builds,
+// a stderr note otherwise):
+//   --trace-out=<path>     write a Chrome trace-event JSON timeline on exit
+//   --stream-out=<path>    write a per-round JSONL stream (X_t, drift,
+//                          per-phase nanoseconds)
+//   --trace-buffer=<n>     ring capacity per recording thread (events)
+//   --stream-stride=<n>    emit every n-th round to the stream
+//
+// Example binaries additionally accept (parse_example_options):
 //   --metrics-out <path>   dump the global metrics registry as JSON on exit
 //   --trace                print a per-phase timing table on exit
 //                          (telemetry builds only; a no-op note otherwise)
+//
+// The former --csv=<path> table mirror (deprecated in the telemetry PR) has
+// been removed; the unified JSON report carries the tables.
 #ifndef BITSPREAD_SIM_CLI_H_
 #define BITSPREAD_SIM_CLI_H_
 
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <memory>
 #include <optional>
 #include <string>
 
 #include "sim/table.h"
+#include "telemetry/jsonl.h"
 #include "telemetry/metrics.h"
 #include "telemetry/telemetry.h"
+#include "telemetry/trace.h"
 
 namespace bitspread {
 
 struct ConvergenceMeasurement;
 struct RunResult;
 
+// Flight-recorder flags shared by bench and example binaries.
+struct FlightRecorderOptions {
+  std::optional<std::string> trace_out;
+  std::optional<std::string> stream_out;
+  std::size_t trace_buffer = std::size_t{1} << 15;
+  std::uint64_t stream_stride = 1;
+
+  bool requested() const noexcept {
+    return trace_out.has_value() || stream_out.has_value();
+  }
+  // Consumes the flag if it matches one of the four recorder options.
+  bool parse_flag(const std::string& arg);
+};
+
 struct BenchOptions {
   bool quick = false;
   std::uint64_t seed = 0;
   std::optional<int> replicates;
-  std::optional<std::string> csv_path;
   std::optional<std::string> json_path;
+  FlightRecorderOptions recorder;
 
   int reps_or(int dflt) const noexcept { return replicates.value_or(dflt); }
 };
 
 BenchOptions parse_bench_options(int argc, char** argv);
 
-// Prints the table to stdout and mirrors to CSV if requested; reports the
-// CSV path (or an error) on stderr.
+// Prints the table to stdout. (The BenchOptions parameter is kept so call
+// sites read uniformly; the former CSV mirror is gone.)
 void emit_table(const Table& table, const BenchOptions& options);
 
 // Standard experiment banner.
@@ -99,14 +125,46 @@ class OutcomeLedger {
 struct ExampleOptions {
   std::optional<std::string> metrics_out;
   bool trace = false;
+  FlightRecorderOptions recorder;
 };
 
 ExampleOptions parse_example_options(int argc, char** argv);
 
+// RAII scope for the flight recorder: when the options request any output
+// and the library is a telemetry build, installs a TraceRecorder (and a
+// RoundStream when --stream-out= was given) for the scope's lifetime; the
+// destructor uninstalls both, writes the Chrome trace file, flushes the
+// stream, and reports what was written (with the dropped-event count) on
+// stderr. In a non-telemetry build a single stderr note explains how to
+// enable it. Construct before the run, destroy after — installation must
+// not race an engine.
+class FlightRecorderScope {
+ public:
+  explicit FlightRecorderScope(FlightRecorderOptions options);
+  ~FlightRecorderScope();
+
+  FlightRecorderScope(const FlightRecorderScope&) = delete;
+  FlightRecorderScope& operator=(const FlightRecorderScope&) = delete;
+
+  // Forwards a drift model x ↦ F_n(x) to the JSONL stream (no-op without
+  // one). Call before the instrumented run.
+  void set_bias(std::function<double(double)> bias);
+
+  // The active recorder, or nullptr when none was requested/installed.
+  telemetry::TraceRecorder* recorder() noexcept { return recorder_.get(); }
+
+ private:
+  FlightRecorderOptions options_;
+  std::unique_ptr<telemetry::TraceRecorder> recorder_;
+  std::unique_ptr<telemetry::RoundStream> stream_;
+};
+
 // RAII scope for an example binary's telemetry flags: --trace installs a
 // PhaseStats sink for the scope's lifetime and prints the per-phase table on
-// destruction; --metrics-out dumps the global registry as JSON. Both are
-// no-ops (with a stderr note for --trace) when telemetry is compiled out.
+// destruction; --metrics-out dumps the global registry as JSON; the
+// flight-recorder flags (--trace-out= etc.) are handled by an embedded
+// FlightRecorderScope. All are no-ops (with a stderr note) when telemetry
+// is compiled out.
 class ExampleTelemetryScope {
  public:
   explicit ExampleTelemetryScope(ExampleOptions options);
@@ -118,6 +176,7 @@ class ExampleTelemetryScope {
  private:
   ExampleOptions options_;
   telemetry::PhaseStats stats_;
+  FlightRecorderScope flight_recorder_;
 };
 
 }  // namespace bitspread

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "telemetry/trace.h"
+
 namespace bitspread {
 namespace {
 
@@ -118,8 +120,14 @@ void WorkerPool::worker_main(unsigned slot, std::uint64_t spawn_generation) {
     }
     t_inside_pool_worker = false;
 #ifdef BITSPREAD_TELEMETRY
+    const std::uint64_t busy_end_ns = telemetry::clock_now_ns();
+    // Reuses the two clock reads already taken for busy_ns accounting: an
+    // installed flight recorder costs the pool no extra clock traffic.
+    if (telemetry::TraceRecorder* recorder = telemetry::trace_recorder()) {
+      recorder->span("worker_busy", woke_ns, busy_end_ns);
+    }
     WorkerStats& stats = worker_stats_[slot];
-    stats.busy_ns.fetch_add(telemetry::clock_now_ns() - woke_ns,
+    stats.busy_ns.fetch_add(busy_end_ns - woke_ns,
                             std::memory_order_relaxed);
     stats.items.fetch_add(my_items, std::memory_order_relaxed);
     stats.generations.fetch_add(1, std::memory_order_relaxed);

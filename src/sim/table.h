@@ -1,5 +1,6 @@
 // Fixed-width console tables: every bench binary prints its paper
-// table/figure series through this, and can mirror the rows to CSV.
+// table/figure series through this; the unified JSON report embeds the
+// same rows via JsonReporter::add_table.
 #ifndef BITSPREAD_SIM_TABLE_H_
 #define BITSPREAD_SIM_TABLE_H_
 

@@ -116,6 +116,17 @@ void JsonReporter::set_extra(const std::string& key, JsonValue value) {
   extras_.set(key, std::move(value));
 }
 
+void JsonReporter::set_flight_recorder(
+    const telemetry::TraceRecorder& recorder) {
+  JsonValue fr = JsonValue::object();
+  fr.set("capacity_per_lane", static_cast<std::uint64_t>(recorder.capacity()));
+  fr.set("lanes", static_cast<std::uint64_t>(recorder.buffers()));
+  fr.set("events_recorded", recorder.recorded());
+  fr.set("events_stored", recorder.stored());
+  fr.set("events_dropped", recorder.dropped());
+  extras_.set("flight_recorder", std::move(fr));
+}
+
 JsonValue JsonReporter::build() const {
   JsonValue report = JsonValue::object();
   report.set("schema", kBenchSchema);

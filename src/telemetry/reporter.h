@@ -32,6 +32,7 @@
 #include "telemetry/json.h"
 #include "telemetry/metrics.h"
 #include "telemetry/telemetry.h"
+#include "telemetry/trace.h"
 
 namespace bitspread {
 
@@ -67,6 +68,12 @@ class JsonReporter {
 
   // Bench-specific top-level extras (fit exponents, speedups, ...).
   void set_extra(const std::string& key, JsonValue value);
+
+  // Embeds the flight recorder's capacity accounting under
+  // "flight_recorder" (capacity, buffers, events recorded/stored/dropped),
+  // so a report carries the provenance of any trace artifact written
+  // alongside it.
+  void set_flight_recorder(const telemetry::TraceRecorder& recorder);
 
   // Assembles the report (schema/build stamps included).
   JsonValue build() const;

@@ -100,21 +100,75 @@ void install_phase_sink(PhaseStats* sink) noexcept;
 // The currently installed sink (nullptr when none, or compiled out).
 PhaseStats* phase_sink() noexcept;
 
+// The flight recorder (trace.h): a per-thread bounded ring of timestamped
+// span/counter/instant events, exported as Chrome trace-event JSON. It obeys
+// the same two gates as PhaseStats: install/trace_recorder() are inert when
+// compiled out, and an installed recorder is the only thing that makes the
+// probes below emit events. The caller owns the recorder and must keep it
+// alive (and quiescent: no engine running) until it is uninstalled.
+class TraceRecorder;
+void install_trace_recorder(TraceRecorder* recorder) noexcept;
+TraceRecorder* trace_recorder() noexcept;
+
+// Per-round stream sink: engines report (round, X_t, n) once per completed
+// parallel round through record_round(); an installed RoundSink receives the
+// series (jsonl.h turns it into a JSONL stream interleaving X_t, drift, and
+// per-phase nanoseconds). Same ownership/gating rules as the phase sink.
+// on_round() may be called concurrently when replicates run on the pool —
+// implementations must be thread-safe. It must never touch an RNG stream.
+class RoundSink {
+ public:
+  virtual ~RoundSink() = default;
+  virtual void on_round(std::uint64_t round, std::uint64_t ones,
+                        std::uint64_t n) = 0;
+};
+void install_round_sink(RoundSink* sink) noexcept;
+RoundSink* round_sink() noexcept;
+
+#ifdef BITSPREAD_TELEMETRY
+// Round marker: feeds an installed TraceRecorder (counter event "X_t") and
+// an installed RoundSink. Costs two relaxed loads when neither is installed;
+// compiles to nothing in the default build. Defined in trace.cc.
+void record_round(std::uint64_t round, std::uint64_t ones,
+                  std::uint64_t n) noexcept;
+// Instant marker (e.g. "source_flip") on the calling thread's trace lane.
+// `name` must be a string literal (stored by pointer, not copied).
+void record_mark(const char* name) noexcept;
+namespace internal {
+// Complete-span hook used by ScopedTimer and the pool's worker loop: pushes
+// one span with explicit timestamps onto the installed recorder, if any.
+void trace_span(Phase phase, std::uint64_t begin_ns,
+                std::uint64_t end_ns) noexcept;
+}  // namespace internal
+#else
+inline void record_round(std::uint64_t /*round*/, std::uint64_t /*ones*/,
+                         std::uint64_t /*n*/) noexcept {}
+inline void record_mark(const char* /*name*/) noexcept {}
+#endif
+
 // RAII probe: measures the lifetime of the object and adds it to the
-// installed sink under `phase`. A disabled build compiles this to nothing.
+// installed sink under `phase`; when a TraceRecorder is installed it also
+// records the interval as a trace span. A disabled build compiles this to
+// nothing.
 class ScopedTimer {
  public:
 #ifdef BITSPREAD_TELEMETRY
   explicit ScopedTimer(Phase phase) noexcept
-      : sink_(phase_sink()), phase_(phase) {
-    if (sink_ != nullptr) start_ns_ = clock_now_ns();
+      : sink_(phase_sink()),
+        traced_(trace_recorder() != nullptr),
+        phase_(phase) {
+    if (sink_ != nullptr || traced_) start_ns_ = clock_now_ns();
   }
   ~ScopedTimer() {
-    if (sink_ != nullptr) sink_->add(phase_, clock_now_ns() - start_ns_);
+    if (sink_ == nullptr && !traced_) return;
+    const std::uint64_t end_ns = clock_now_ns();
+    if (sink_ != nullptr) sink_->add(phase_, end_ns - start_ns_);
+    if (traced_) internal::trace_span(phase_, start_ns_, end_ns);
   }
 
  private:
   PhaseStats* sink_;
+  bool traced_;
   Phase phase_;
   std::uint64_t start_ns_ = 0;
 #else

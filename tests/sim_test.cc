@@ -1,4 +1,4 @@
-// The experiment harness: tables, CSV, grids, CLI parsing, seeding, and the
+// The experiment harness: tables, grids, CLI parsing, seeding, and the
 // replicated measurement helpers (including censoring semantics).
 #include <gtest/gtest.h>
 
@@ -6,7 +6,6 @@
 #include <sstream>
 
 #include "sim/cli.h"
-#include "sim/csv.h"
 #include "sim/experiment.h"
 #include "sim/seeds.h"
 #include "sim/sweep.h"
@@ -32,29 +31,6 @@ TEST(Table, FormatHelpers) {
   EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
   EXPECT_EQ(Table::fmt(std::uint64_t{42}), "42");
   EXPECT_EQ(Table::fmt(std::int64_t{-7}), "-7");
-}
-
-TEST(Csv, EscapesSpecialCharacters) {
-  EXPECT_EQ(csv_escape("plain"), "plain");
-  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
-  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
-  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
-}
-
-TEST(Csv, SerializesTable) {
-  Table table({"a", "b"});
-  table.add_row({"1", "x,y"});
-  const std::string csv = to_csv(table);
-  EXPECT_EQ(csv, "a,b\n1,\"x,y\"\n");
-}
-
-TEST(Csv, WritesFile) {
-  Table table({"col"});
-  table.add_row({"7"});
-  const std::string path = "/tmp/bitspread_csv_test.csv";
-  ASSERT_TRUE(write_csv(table, path));
-  std::remove(path.c_str());
-  EXPECT_FALSE(write_csv(table, "/nonexistent_dir_xyz/file.csv"));
 }
 
 TEST(Sweep, GeometricGridCoversRange) {
@@ -87,14 +63,38 @@ TEST(Sweep, LinearGrid) {
 
 TEST(Cli, ParsesAllOptions) {
   const char* argv[] = {"bench", "--quick", "--seed=99", "--reps=7",
-                        "--csv=/tmp/out.csv"};
+                        "--json=/tmp/out.json"};
   const BenchOptions options =
       parse_bench_options(5, const_cast<char**>(argv));
   EXPECT_TRUE(options.quick);
   EXPECT_EQ(options.seed, 99u);
   EXPECT_EQ(options.reps_or(3), 7);
-  ASSERT_TRUE(options.csv_path.has_value());
-  EXPECT_EQ(*options.csv_path, "/tmp/out.csv");
+  ASSERT_TRUE(options.json_path.has_value());
+  EXPECT_EQ(*options.json_path, "/tmp/out.json");
+}
+
+TEST(Cli, ParsesFlightRecorderFlags) {
+  const char* argv[] = {"bench", "--trace-out=/tmp/t.json",
+                        "--stream-out=/tmp/s.jsonl", "--trace-buffer=1024",
+                        "--stream-stride=16"};
+  const BenchOptions options =
+      parse_bench_options(5, const_cast<char**>(argv));
+  ASSERT_TRUE(options.recorder.trace_out.has_value());
+  EXPECT_EQ(*options.recorder.trace_out, "/tmp/t.json");
+  ASSERT_TRUE(options.recorder.stream_out.has_value());
+  EXPECT_EQ(*options.recorder.stream_out, "/tmp/s.jsonl");
+  EXPECT_EQ(options.recorder.trace_buffer, 1024u);
+  EXPECT_EQ(options.recorder.stream_stride, 16u);
+  EXPECT_TRUE(options.recorder.requested());
+}
+
+TEST(Cli, RecorderFlagsDefaultOff) {
+  const char* argv[] = {"bench"};
+  const BenchOptions options =
+      parse_bench_options(1, const_cast<char**>(argv));
+  EXPECT_FALSE(options.recorder.requested());
+  EXPECT_EQ(options.recorder.trace_buffer, std::size_t{1} << 15);
+  EXPECT_EQ(options.recorder.stream_stride, 1u);
 }
 
 TEST(Cli, DefaultsWhenNoArgs) {

@@ -24,9 +24,11 @@
 #include "protocols/voter.h"
 #include "sim/parallel.h"
 #include "telemetry/json.h"
+#include "telemetry/jsonl.h"
 #include "telemetry/metrics.h"
 #include "telemetry/reporter.h"
 #include "telemetry/telemetry.h"
+#include "telemetry/trace.h"
 
 namespace bitspread {
 namespace {
@@ -383,6 +385,30 @@ TEST(TelemetryDeterminism, GoldenPayloadDigestMatchesAcrossBuilds) {
   EXPECT_EQ(all_engines_digest(), kGoldenAllEnginesDigest)
       << "run payloads changed — update kGoldenAllEnginesDigest (must match "
          "in BOTH the default and the BITSPREAD_TELEMETRY=ON build)";
+}
+
+// The flight recorder rides the same guarantee: with a TraceRecorder AND a
+// RoundStream installed, every engine still produces the golden payload —
+// recording reads clocks and writes ring slots, never an RNG stream.
+TEST(TelemetryDeterminism, FlightRecorderDoesNotPerturbAnyEngine) {
+  telemetry::TraceRecorder recorder;
+  telemetry::RoundStream stream(testing::TempDir() + "/digest_rounds.jsonl");
+  ASSERT_TRUE(stream.ok());
+  telemetry::install_trace_recorder(&recorder);
+  telemetry::install_round_sink(&stream);
+  const std::uint64_t with_recorder = all_engines_digest();
+  telemetry::install_round_sink(nullptr);
+  telemetry::install_trace_recorder(nullptr);
+  EXPECT_EQ(with_recorder, kGoldenAllEnginesDigest)
+      << "flight recorder perturbed a run payload";
+  if (telemetry::kCompiledIn) {
+    EXPECT_GT(recorder.recorded(), 0u);
+    EXPECT_GT(stream.lines(), 0u);
+  } else {
+    // Compiled out: the probes are inline no-ops and nothing reaches either.
+    EXPECT_EQ(recorder.recorded(), 0u);
+    EXPECT_EQ(stream.lines(), 0u);
+  }
 }
 
 TEST(TelemetryDeterminism, RunTelemetryRecordedMatchesBuildFlavor) {

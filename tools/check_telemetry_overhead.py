@@ -3,6 +3,7 @@
 
 Usage:
     check_telemetry_overhead.py BASELINE.json TELEMETRY.json [--max-regression R]
+    check_telemetry_overhead.py --self-test
 
 Both inputs are unified bench reports ("bitspread-bench/1") written by
 perf_smoke: BASELINE from the default build, TELEMETRY from the
@@ -15,69 +16,205 @@ passes. Exit status 0 = within budget, 1 = regression, 2 = bad input.
 import argparse
 import json
 import sys
+import tempfile
+
+
+class BadInput(Exception):
+    """Input file missing, malformed, or not a bench report."""
 
 
 def load_benchmarks(path):
-    with open(path, "r", encoding="utf-8") as fh:
-        report = json.load(fh)
-    if report.get("schema") != "bitspread-bench/1":
-        sys.exit(f"error: {path}: not a bitspread-bench/1 report")
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            report = json.load(fh)
+    except OSError as err:
+        raise BadInput(
+            f"{path}: cannot read: {err.strerror or err}"
+        ) from err
+    except json.JSONDecodeError as err:
+        raise BadInput(f"{path}: malformed JSON: {err}") from err
+    if not isinstance(report, dict) or report.get("schema") != "bitspread-bench/1":
+        raise BadInput(f"{path}: not a bitspread-bench/1 report")
     benchmarks = report.get("benchmarks")
     if not isinstance(benchmarks, list) or not benchmarks:
-        sys.exit(f"error: {path}: no benchmarks array")
-    return {b["name"]: float(b["items_per_second"]) for b in benchmarks}
+        raise BadInput(f"{path}: no benchmarks array")
+    out = {}
+    for row in benchmarks:
+        name = row.get("name") if isinstance(row, dict) else None
+        ips = row.get("items_per_second") if isinstance(row, dict) else None
+        if not isinstance(name, str) or not isinstance(ips, (int, float)):
+            raise BadInput(
+                f"{path}: benchmark rows need string 'name' and numeric "
+                f"'items_per_second'"
+            )
+        out[name] = float(ips)
+    return out
+
+
+def compare(baseline, telemetry, max_regression):
+    """Returns (exit_code, report_lines). Pure so the self-test can drive it."""
+    lines = []
+    missing = sorted(set(baseline) - set(telemetry))
+    if missing:
+        raise BadInput(f"telemetry report lacks benchmarks: {missing}")
+
+    worst = 0.0
+    failed = False
+    lines.append(
+        f"{'benchmark':<28} {'baseline':>12} {'telemetry':>12} {'delta':>8}"
+    )
+    for name, base_ips in sorted(baseline.items()):
+        tele_ips = telemetry[name]
+        if base_ips <= 0:
+            raise BadInput(f"baseline throughput for {name} is {base_ips}")
+        # Positive = telemetry build is slower.
+        slowdown = (base_ips - tele_ips) / base_ips
+        worst = max(worst, slowdown)
+        verdict = "OK"
+        if slowdown > max_regression:
+            verdict = "FAIL"
+            failed = True
+        lines.append(
+            f"{name:<28} {base_ips:12.3e} {tele_ips:12.3e} "
+            f"{slowdown:+7.1%} {verdict}"
+        )
+    lines.append(f"\nworst slowdown: {worst:+.1%} (budget {max_regression:.0%})")
+    return (1 if failed else 0), lines
+
+
+# ---------------------------------------------------------------------------
+# Self-test
+
+
+def _fake_report(scale):
+    return {
+        "schema": "bitspread-bench/1",
+        "benchmarks": [
+            {"name": "agent_serial_step", "items_per_second": 4.0e7 * scale},
+            {"name": "aggregate_step", "items_per_second": 3.0e6 * scale},
+        ],
+    }
+
+
+def self_test():
+    import os
+
+    failures = []
+
+    def case(name, fn):
+        try:
+            fn()
+        except AssertionError as err:
+            failures.append(name)
+            print(f"  FAIL {name}: {err}")
+        else:
+            print(f"  ok   {name}")
+
+    def bench(scale):
+        return {
+            b["name"]: b["items_per_second"]
+            for b in _fake_report(scale)["benchmarks"]
+        }
+
+    def test_within_budget():
+        code, _ = compare(bench(1.0), bench(0.97), 0.05)
+        assert code == 0, "3% slowdown must pass a 5% budget"
+
+    def test_over_budget():
+        code, _ = compare(bench(1.0), bench(0.90), 0.05)
+        assert code == 1, "10% slowdown must fail a 5% budget"
+
+    def test_faster_passes():
+        code, _ = compare(bench(1.0), bench(1.20), 0.05)
+        assert code == 0, "a faster telemetry build must pass"
+
+    def test_missing_benchmark():
+        tele = bench(1.0)
+        del tele["aggregate_step"]
+        try:
+            compare(bench(1.0), tele, 0.05)
+        except BadInput:
+            return
+        raise AssertionError("missing benchmark must raise BadInput")
+
+    def test_malformed_file():
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, "broken.json")
+            with open(path, "w", encoding="utf-8") as fh:
+                fh.write("{not json")
+            try:
+                load_benchmarks(path)
+            except BadInput:
+                return
+        raise AssertionError("malformed JSON must raise BadInput")
+
+    def test_missing_file():
+        try:
+            load_benchmarks("/nonexistent/report.json")
+        except BadInput:
+            return
+        raise AssertionError("missing file must raise BadInput")
+
+    def test_wrong_schema():
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, "other.json")
+            with open(path, "w", encoding="utf-8") as fh:
+                json.dump({"schema": "something-else/1"}, fh)
+            try:
+                load_benchmarks(path)
+            except BadInput:
+                return
+        raise AssertionError("wrong schema must raise BadInput")
+
+    print("check_telemetry_overhead self-test:")
+    case("3% slowdown within 5% budget", test_within_budget)
+    case("10% slowdown fails 5% budget", test_over_budget)
+    case("faster telemetry build passes", test_faster_passes)
+    case("missing benchmark is a clean error", test_missing_benchmark)
+    case("malformed JSON is a clean error", test_malformed_file)
+    case("missing file is a clean error", test_missing_file)
+    case("wrong schema is a clean error", test_wrong_schema)
+    if failures:
+        print(f"self-test: {len(failures)} failure(s)", file=sys.stderr)
+        return 1
+    print("self-test: all cases passed")
+    return 0
 
 
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("baseline")
-    parser.add_argument("telemetry")
+    parser.add_argument("baseline", nargs="?")
+    parser.add_argument("telemetry", nargs="?")
     parser.add_argument(
         "--max-regression",
         type=float,
         default=0.05,
         help="maximum tolerated relative slowdown per benchmark (default 0.05)",
     )
+    parser.add_argument(
+        "--self-test",
+        action="store_true",
+        help="run the built-in test cases and exit",
+    )
     args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if not args.baseline or not args.telemetry:
+        parser.error("baseline and telemetry reports are required")
 
     try:
         baseline = load_benchmarks(args.baseline)
         telemetry = load_benchmarks(args.telemetry)
-    except (OSError, json.JSONDecodeError, KeyError, ValueError) as err:
+        code, lines = compare(baseline, telemetry, args.max_regression)
+    except BadInput as err:
         print(f"error: {err}", file=sys.stderr)
         return 2
 
-    missing = sorted(set(baseline) - set(telemetry))
-    if missing:
-        print(f"error: telemetry report lacks benchmarks: {missing}",
-              file=sys.stderr)
-        return 2
-
-    worst = 0.0
-    failed = False
-    print(f"{'benchmark':<28} {'baseline':>12} {'telemetry':>12} {'delta':>8}")
-    for name, base_ips in sorted(baseline.items()):
-        tele_ips = telemetry[name]
-        if base_ips <= 0:
-            print(f"error: baseline throughput for {name} is {base_ips}",
-                  file=sys.stderr)
-            return 2
-        # Positive = telemetry build is slower.
-        slowdown = (base_ips - tele_ips) / base_ips
-        worst = max(worst, slowdown)
-        verdict = "OK"
-        if slowdown > args.max_regression:
-            verdict = "FAIL"
-            failed = True
-        print(f"{name:<28} {base_ips:12.3e} {tele_ips:12.3e} "
-              f"{slowdown:+7.1%} {verdict}")
-
-    budget = args.max_regression
-    print(f"\nworst slowdown: {worst:+.1%} (budget {budget:.0%})")
-    if failed:
+    print("\n".join(lines))
+    if code != 0:
         print("telemetry overhead exceeds budget", file=sys.stderr)
-        return 1
-    return 0
+    return code
 
 
 if __name__ == "__main__":
