@@ -58,7 +58,7 @@ void run(const BenchOptions& options) {
           n, Opinion::kOne, /*initial_ones=*/1);
       StopRule rule;
       rule.max_rounds = 100000;
-      const SequentialRunResult r =
+      const RunResult r =
           population_engine.run(population, rule, rng);
       epidemic_rounds.add(r.parallel_rounds());
     }
@@ -124,7 +124,7 @@ void run(const BenchOptions& options) {
     StopRule rule;
     rule.max_rounds = 2000;
     rule.stop_on_any_consensus = false;
-    const SequentialRunResult r = engine.run(population, rule, rng);
+    const RunResult r = engine.run(population, rule, rng);
     std::printf(
         "\nself-stabilization check: with n/2 falsely-informed wrong-opinion "
         "agents planted,\nthe epidemic ends at %.3f fraction correct after "

@@ -72,7 +72,7 @@ void run(const BenchOptions& options) {
         Rng rng = seeds.stream(cell, rep, 0);
         const RunResult r =
             engine.run(Configuration{c.n, c.x0, Opinion::kOne}, rule, rng);
-        stats.add(static_cast<double>(r.rounds));
+        stats.add(static_cast<double>(r.rounds()));
       }
       const double sigma = std::max(stats.stderr_mean(), 1e-9);
       const double z_score = std::abs(stats.mean() - exact) / sigma;
@@ -96,9 +96,9 @@ void run(const BenchOptions& options) {
           60, std::min(reps, static_cast<int>(budget / (exact + 1.0))));
       for (int rep = 0; rep < cell_reps; ++rep) {
         Rng rng = seeds.stream(cell, rep, 1);
-        const SequentialRunResult r =
+        const RunResult r =
             engine.run(Configuration{c.n, c.x0, Opinion::kOne}, rule, rng);
-        stats.add(static_cast<double>(r.activations));
+        stats.add(static_cast<double>(r.activations()));
       }
       const double sigma = std::max(stats.stderr_mean(), 1e-9);
       const double z_score = std::abs(stats.mean() - exact) / sigma;

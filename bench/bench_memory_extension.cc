@@ -91,7 +91,7 @@ void run(const BenchOptions& options) {
             engine.run(init_all_wrong(n, Opinion::kOne), rule, rng);
         if (r.converged()) {
           ++solved;
-          rounds.add(static_cast<double>(r.rounds));
+          rounds.add(static_cast<double>(r.rounds()));
         }
         final_fraction += r.final_config.fraction_ones() / reps;
       }

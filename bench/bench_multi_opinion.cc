@@ -81,7 +81,7 @@ void run(const BenchOptions& options) {
         start.counts[0] += n - (n / m) * m;
         start.correct = 0;
         start.sources = 1;
-        MultiStopRule rule;
+        StopRule rule;
         rule.max_rounds = entry.budget;
         int solved = 0;
         RunningStats rounds;

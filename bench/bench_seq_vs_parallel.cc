@@ -58,7 +58,7 @@ void run(const BenchOptions& options) {
       RunningStats seq_rounds;
       for (int rep = 0; rep < reps; ++rep) {
         Rng rng = seeds.stream(cell, rep, 0);
-        const SequentialRunResult r = seq_engine.run(init, rule, rng);
+        const RunResult r = seq_engine.run(init, rule, rng);
         seq_rounds.add(r.parallel_rounds());
       }
 
@@ -108,7 +108,7 @@ void run(const BenchOptions& options) {
       RunningStats seq_rounds;
       for (int rep = 0; rep < reps; ++rep) {
         Rng rng = seeds.stream(cell, rep, 1);
-        const SequentialRunResult r = seq_engine.run(init, seq_rule, rng);
+        const RunResult r = seq_engine.run(init, seq_rule, rng);
         if (r.converged()) {
           ++seq_converged;
           seq_rounds.add(r.parallel_rounds());

@@ -100,7 +100,7 @@ void run(const BenchOptions& options) {
         const RunResult r = engine.run(init, rule, rng);
         if (r.final_config.is_consensus()) {
           ++reached;
-          rounds.add(static_cast<double>(r.rounds));
+          rounds.add(static_cast<double>(r.rounds()));
         }
       }
       ++cell;

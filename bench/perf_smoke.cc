@@ -19,6 +19,8 @@
 #include "core/stateful.h"
 #include "engine/agent.h"
 #include "engine/aggregate.h"
+#include "engine/alpha_sync.h"
+#include "engine/conflicting.h"
 #include "engine/sharded.h"
 #include "protocols/minority.h"
 #include "sim/cli.h"
@@ -112,12 +114,12 @@ int main(int argc, char** argv) {
                               }));
     if (hw == 1) break;  // Both configs identical on a single-core host.
   }
+  const std::uint64_t agg_rounds = quick ? 20000 : 100000;
   {
     // Aggregate-engine reference: the same dynamics at O(l) per round.
     const AggregateParallelEngine engine(minority);
     Configuration config = init;
     Rng rng(3);
-    const std::uint64_t agg_rounds = quick ? 20000 : 100000;
     results.push_back(measure("aggregate_step", 1, agg_rounds, 1,
                               [&](std::uint64_t round) {
                                 config = engine.step(config, rng);
@@ -125,10 +127,43 @@ int main(int argc, char** argv) {
                                 telemetry::record_round(round, config.ones, n);
                               }));
   }
+  {
+    // Alpha-synchronous aggregate step: adds the activation-thinning draws.
+    const AlphaSynchronousEngine engine(minority, 0.5);
+    Configuration config = init;
+    Rng rng(4);
+    results.push_back(measure("alpha_sync_step", 1, agg_rounds, 1,
+                              [&](std::uint64_t round) {
+                                config = engine.step(config, rng);
+                                if (config.is_consensus()) config = init;
+                                telemetry::record_round(round, config.ones, n);
+                              }));
+  }
+  {
+    // Conflicting-sources aggregate step: two camps, two binomial splits per
+    // round. No reset: with both camps non-empty no consensus exists.
+    const ConflictingAggregateEngine engine(minority);
+    ConflictingConfiguration config{n, n / 2, 2, 2};
+    Rng rng(5);
+    results.push_back(measure("conflicting_step", 1, agg_rounds, 1,
+                              [&](std::uint64_t round) {
+                                config = engine.step(config, rng);
+                                telemetry::record_round(round, config.ones, n);
+                              }));
+  }
 
-  const double serial = results[0].items_per_second;
-  const double sharded1 = results[1].items_per_second;
-  const double sharded_hw = results[results.size() - 2].items_per_second;
+  const auto rate = [&results](const char* name) {
+    for (const Measurement& m : results) {
+      if (m.name == name) return m.items_per_second;
+    }
+    return 0.0;
+  };
+  const double serial = rate("agent_serial_step");
+  const double sharded1 = rate("sharded_step_threads1");
+  const double sharded_hw_rate = rate("sharded_step_threads_hw");
+  // Single-core hosts skip the _hw row; fall back to the 1-thread rate so the
+  // derived speedups stay well-defined (and equal) there.
+  const double sharded_hw = sharded_hw_rate > 0.0 ? sharded_hw_rate : sharded1;
 #ifdef NDEBUG
   const char* build_type = "Release";
 #else

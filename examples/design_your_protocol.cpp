@@ -97,7 +97,7 @@ int main(int argc, char** argv) {
   std::printf(
       "simulation: started at X0 = %llu, ran %llu rounds, outcome = %s\n",
       static_cast<unsigned long long>(start.ones),
-      static_cast<unsigned long long>(result.rounds),
+      static_cast<unsigned long long>(result.rounds()),
       to_string(result.reason).c_str());
   std::printf(result.censored()
                   ? "as predicted: the dynamics did NOT cross the interval "

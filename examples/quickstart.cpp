@@ -53,7 +53,7 @@ int main(int argc, char** argv) {
 
   if (result.converged()) {
     std::printf("converged to the correct opinion in %llu rounds\n",
-                static_cast<unsigned long long>(result.rounds));
+                static_cast<unsigned long long>(result.rounds()));
     return 0;
   }
   std::printf("did not converge (%s)\n", to_string(result.reason).c_str());

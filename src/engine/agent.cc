@@ -2,10 +2,104 @@
 
 #include <cassert>
 
+#include "engine/run_loop.h"
 #include "faults/session.h"
 #include "telemetry/telemetry.h"
 
 namespace bitspread {
+namespace {
+
+// Fault-free stepper over an explicit population (run and run_population).
+struct AgentPopulationStepper {
+  const AgentParallelEngine& engine;
+  AgentParallelEngine::Population& population;
+  Rng& rng;
+  Configuration state;
+  std::uint64_t samples = 0;
+
+  Configuration& config() noexcept { return state; }
+  void step(std::uint64_t /*tick*/) {
+    engine.step(population, rng);
+    state = population.config();
+    if constexpr (telemetry::kCompiledIn) {
+      samples += (state.n - state.sources) *
+                 engine.protocol().sample_size(state.n);
+    }
+  }
+  std::uint64_t samples_drawn() const noexcept { return samples; }
+};
+
+// Faulty stepper: noise/zealots/spontaneous inside step_faulty, per-agent
+// churn and the flip mirror at the driver's round boundaries. The O(n)
+// ones-recount happens once per round, in end_round.
+struct AgentFaultyStepper {
+  const AgentParallelEngine& engine;
+  AgentParallelEngine::Population& population;
+  FaultSession& session;
+  Rng& rng;
+  Configuration state;
+  std::uint64_t samples = 0;
+  std::uint64_t churn_events = 0;
+
+  Configuration& config() noexcept { return state; }
+  void step(std::uint64_t /*tick*/) {
+    engine.step_faulty(population, session, rng);
+    if constexpr (telemetry::kCompiledIn) {
+      samples += session.free_agents() *
+                 engine.protocol().sample_size(state.n);
+    }
+  }
+  void sync_flip() {
+    // Mirror the flip onto the explicit state: sources display the new
+    // correct opinion (fresh initial views), everyone else is untouched.
+    population.correct = state.correct;
+    for (std::uint64_t i = 0; i < population.sources; ++i) {
+      population.views[i] = engine.protocol().initial_view(state.correct);
+    }
+    assert(population.config().ones == state.ones);
+  }
+  void end_round(std::uint64_t /*round*/) {
+    const EnvironmentModel& model = session.model();
+    if (model.churn_rate > 0.0) {
+      // Each free agent crashes independently; its replacement boots in the
+      // protocol's initial view for the currently wrong opinion.
+      const Opinion wrong = opposite(population.correct);
+      for (std::uint64_t i = population.sources;
+           i < population.views.size(); ++i) {
+        if (session.is_zealot(i)) continue;
+        if (rng.bernoulli(model.churn_rate)) {
+          population.views[i] = engine.protocol().initial_view(wrong);
+          if constexpr (telemetry::kCompiledIn) ++churn_events;
+        }
+      }
+    }
+    state = population.config();
+  }
+  std::uint64_t samples_drawn() const noexcept { return samples; }
+  std::uint64_t churned() const noexcept { return churn_events; }
+};
+
+// Sequential activation stepper: birth-death increments, no recount.
+struct AgentActivationStepper {
+  const AgentSequentialEngine& engine;
+  AgentParallelEngine::Population& population;
+  Rng& rng;
+  Configuration state;
+  std::uint64_t samples = 0;
+
+  Configuration& config() noexcept { return state; }
+  void step(std::uint64_t /*tick*/) {
+    state.ones = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(state.ones) +
+        engine.activate(population, rng));
+    if constexpr (telemetry::kCompiledIn) {
+      samples += engine.protocol().sample_size(state.n);
+    }
+  }
+  std::uint64_t samples_drawn() const noexcept { return samples; }
+};
+
+}  // namespace
 
 std::uint64_t AgentParallelEngine::Population::count_ones() const noexcept {
   std::uint64_t ones = 0;
@@ -138,136 +232,19 @@ RunResult AgentParallelEngine::run(Configuration config, const StopRule& rule,
                                    Trajectory* trajectory) const {
   assert(config.valid());
   FaultSession session(faults, config);
-  const EnvironmentModel& model = session.model();
   config = session.plant(config);
   Population population = make_population(config);
-
-  RunResult result;
-  std::uint64_t start_ns = 0;
-  std::uint64_t churned = 0;
-  if constexpr (telemetry::kCompiledIn) {
-    start_ns = telemetry::clock_now_ns();
-  }
-  Configuration current = population.config();
-  if (trajectory != nullptr) trajectory->record(0, current.ones);
-  telemetry::record_round(0, current.ones, current.n);
-  session.observe(0, current);
-  for (std::uint64_t round = 0;; ++round) {
-    if (session.flip_due(round)) {
-      const telemetry::ScopedTimer fault_timer(telemetry::Phase::kFaultApply);
-      session.apply_flip(round, current);
-      // Mirror the flip onto the explicit state: sources display the new
-      // correct opinion (fresh initial views), everyone else is untouched.
-      population.correct = current.correct;
-      for (std::uint64_t i = 0; i < population.sources; ++i) {
-        population.views[i] = protocol_->initial_view(current.correct);
-      }
-      assert(population.config().ones == current.ones);
-    }
-    {
-      const telemetry::ScopedTimer stop_timer(telemetry::Phase::kStopCheck);
-      if (auto reason = session.evaluate(rule, current)) {
-        result.reason = *reason;
-        result.rounds = round;
-        break;
-      }
-    }
-    if (round >= rule.max_rounds) {
-      result.reason = session.censored_reason();
-      result.rounds = round;
-      break;
-    }
-    {
-      const telemetry::ScopedTimer step_timer(telemetry::Phase::kRoundStep);
-      step_faulty(population, session, rng);
-    }
-    if (model.churn_rate > 0.0) {
-      // Each free agent crashes independently; its replacement boots in the
-      // protocol's initial view for the currently wrong opinion.
-      const telemetry::ScopedTimer fault_timer(telemetry::Phase::kFaultApply);
-      const Opinion wrong = opposite(population.correct);
-      for (std::uint64_t i = population.sources; i < population.views.size();
-           ++i) {
-        if (session.is_zealot(i)) continue;
-        if (rng.bernoulli(model.churn_rate)) {
-          population.views[i] = protocol_->initial_view(wrong);
-          if constexpr (telemetry::kCompiledIn) ++churned;
-        }
-      }
-    }
-    current = population.config();
-    session.observe(round + 1, current);
-    if (trajectory != nullptr) trajectory->record(round + 1, current.ones);
-    telemetry::record_round(round + 1, current.ones, current.n);
-  }
-  if (trajectory != nullptr) {
-    trajectory->force_record(result.rounds, current.ones);
-  }
-  result.final_config = current;
-  result.recoveries = session.take_recoveries();
-  if constexpr (telemetry::kCompiledIn) {
-    result.telemetry.recorded = true;
-    result.telemetry.wall_seconds =
-        static_cast<double>(telemetry::clock_now_ns() - start_ns) * 1e-9;
-    result.telemetry.rounds = result.rounds;
-    result.telemetry.samples_drawn =
-        result.rounds * session.free_agents() *
-        protocol_->sample_size(current.n);
-    result.telemetry.fault_flips = session.flips_applied();
-    result.telemetry.fault_zealots = session.zealots();
-    result.telemetry.fault_churned = churned;
-    fold_recovery_telemetry(result.telemetry, result.recoveries);
-  }
-  return result;
+  AgentFaultyStepper stepper{*this, population, session, rng,
+                             population.config()};
+  return RunDriver(TimePolicy::parallel())
+      .run(stepper, rule, session, trajectory);
 }
 
 RunResult AgentParallelEngine::run_population(Population& population,
                                               const StopRule& rule, Rng& rng,
                                               Trajectory* trajectory) const {
-  RunResult result;
-  std::uint64_t start_ns = 0;
-  if constexpr (telemetry::kCompiledIn) {
-    start_ns = telemetry::clock_now_ns();
-  }
-  Configuration config = population.config();
-  if (trajectory != nullptr) trajectory->record(0, config.ones);
-  telemetry::record_round(0, config.ones, config.n);
-  for (std::uint64_t round = 0;; ++round) {
-    {
-      const telemetry::ScopedTimer stop_timer(telemetry::Phase::kStopCheck);
-      if (auto reason = evaluate_stop(rule, config)) {
-        result.reason = *reason;
-        result.rounds = round;
-        break;
-      }
-    }
-    if (round >= rule.max_rounds) {
-      result.reason = StopReason::kRoundLimit;
-      result.rounds = round;
-      break;
-    }
-    {
-      const telemetry::ScopedTimer step_timer(telemetry::Phase::kRoundStep);
-      step(population, rng);
-    }
-    config = population.config();
-    if (trajectory != nullptr) trajectory->record(round + 1, config.ones);
-    telemetry::record_round(round + 1, config.ones, config.n);
-  }
-  if (trajectory != nullptr) {
-    trajectory->force_record(result.rounds, config.ones);
-  }
-  result.final_config = config;
-  if constexpr (telemetry::kCompiledIn) {
-    result.telemetry.recorded = true;
-    result.telemetry.wall_seconds =
-        static_cast<double>(telemetry::clock_now_ns() - start_ns) * 1e-9;
-    result.telemetry.rounds = result.rounds;
-    result.telemetry.samples_drawn =
-        result.rounds * (config.n - config.sources) *
-        protocol_->sample_size(config.n);
-  }
-  return result;
+  AgentPopulationStepper stepper{*this, population, rng, population.config()};
+  return RunDriver(TimePolicy::parallel()).run(stepper, rule, trajectory);
 }
 
 int AgentSequentialEngine::activate(Population& population, Rng& rng) const {
@@ -285,63 +262,17 @@ int AgentSequentialEngine::activate(Population& population, Rng& rng) const {
   return to_int(population.views[agent].opinion) - to_int(before);
 }
 
-SequentialRunResult AgentSequentialEngine::run(Configuration config,
-                                               const StopRule& rule, Rng& rng,
-                                               Trajectory* trajectory) const {
+RunResult AgentSequentialEngine::run(Configuration config,
+                                     const StopRule& rule, Rng& rng,
+                                     Trajectory* trajectory) const {
   Population population = make_population(config);
-  const std::uint64_t n = config.n;
-  const std::uint64_t max_activations = rule.max_rounds * n;
-  SequentialRunResult result;
-  std::uint64_t start_ns = 0;
-  if constexpr (telemetry::kCompiledIn) {
-    start_ns = telemetry::clock_now_ns();
-  }
   // The displayed ones-count changes by at most one per activation; track it
   // incrementally instead of recounting.
-  std::uint64_t ones = population.count_ones();
   Configuration current = config;
-  current.ones = ones;
-  if (trajectory != nullptr) trajectory->record(0, ones);
-  telemetry::record_round(0, ones, n);
-  std::uint64_t activation = 0;
-  while (true) {
-    {
-      const telemetry::ScopedTimer stop_timer(telemetry::Phase::kStopCheck);
-      if (auto reason = evaluate_stop(rule, current)) {
-        result.reason = *reason;
-        break;
-      }
-    }
-    if (activation >= max_activations) {
-      result.reason = StopReason::kRoundLimit;
-      break;
-    }
-    {
-      const telemetry::ScopedTimer step_timer(telemetry::Phase::kRoundStep);
-      ones = static_cast<std::uint64_t>(static_cast<std::int64_t>(ones) +
-                                        activate(population, rng));
-    }
-    current.ones = ones;
-    ++activation;
-    if (activation % n == 0) {
-      if (trajectory != nullptr) trajectory->record(activation / n, ones);
-      telemetry::record_round(activation / n, ones, n);
-    }
-  }
-  result.activations = activation;
-  result.final_config = current;
-  if (trajectory != nullptr) {
-    trajectory->force_record((activation + n - 1) / n, ones);
-  }
-  if constexpr (telemetry::kCompiledIn) {
-    result.telemetry.recorded = true;
-    result.telemetry.wall_seconds =
-        static_cast<double>(telemetry::clock_now_ns() - start_ns) * 1e-9;
-    result.telemetry.rounds = activation / n;
-    result.telemetry.samples_drawn =
-        activation * protocol_->sample_size(n);
-  }
-  return result;
+  current.ones = population.count_ones();
+  AgentActivationStepper stepper{*this, population, rng, current};
+  return RunDriver(TimePolicy::activations(config.n))
+      .run(stepper, rule, trajectory);
 }
 
 }  // namespace bitspread

@@ -79,6 +79,12 @@ class AgentParallelEngine {
                 const EnvironmentModel& faults, Rng& rng,
                 Trajectory* trajectory = nullptr) const;
 
+  // One faulty synchronous round (noise + zealots + spontaneous channel);
+  // churn and source flips are per-round-boundary work owned by the
+  // RunDriver's fault lifecycle.
+  void step_faulty(Population& population, const FaultSession& session,
+                   Rng& rng) const;
+
   const StatefulProtocol& protocol() const noexcept { return *protocol_; }
 
  private:
@@ -89,9 +95,6 @@ class AgentParallelEngine {
   std::uint32_t observe_ones_noisy(const std::vector<Opinion>& opinions,
                                    std::uint32_t ell, double epsilon, Rng& rng,
                                    FloydSampler& sampler) const noexcept;
-  // One faulty synchronous round (noise + zealots + spontaneous channel).
-  void step_faulty(Population& population, const FaultSession& session,
-                   Rng& rng) const;
 
   const StatefulProtocol* protocol_;
   Sampling sampling_;
@@ -116,9 +119,10 @@ class AgentSequentialEngine {
   // ones-count (-1, 0, or +1 — the birth-death structure of §1).
   int activate(Population& population, Rng& rng) const;
 
-  // StopRule::max_rounds is in PARALLEL rounds (n activations each).
-  SequentialRunResult run(Configuration config, const StopRule& rule, Rng& rng,
-                          Trajectory* trajectory = nullptr) const;
+  // StopRule::max_rounds is in PARALLEL rounds (n activations each); the
+  // result reports TimeUnit::kActivations.
+  RunResult run(Configuration config, const StopRule& rule, Rng& rng,
+                Trajectory* trajectory = nullptr) const;
 
   const StatefulProtocol& protocol() const noexcept { return *protocol_; }
 

@@ -2,12 +2,66 @@
 
 #include <cassert>
 
+#include "engine/run_loop.h"
 #include "faults/noisy_protocol.h"
 #include "faults/session.h"
 #include "random/binomial.h"
 #include "telemetry/telemetry.h"
 
 namespace bitspread {
+namespace {
+
+// Fault-free stepper: one exact round = two binomial draws.
+struct AggregateStepper {
+  const AggregateParallelEngine& engine;
+  Rng& rng;
+  Configuration state;
+  std::uint64_t samples = 0;
+
+  Configuration& config() noexcept { return state; }
+  void step(std::uint64_t /*tick*/) {
+    state = engine.step(state, rng);
+    if constexpr (telemetry::kCompiledIn) {
+      // The aggregate reduction draws (n - z) * l conceptual observation
+      // bits per round through two exact binomials.
+      samples += (state.n - state.sources) *
+                 engine.protocol().sample_size(state.n);
+    }
+  }
+  std::uint64_t samples_drawn() const noexcept { return samples; }
+};
+
+// Faulty stepper: free agents update through the noisy closed-form adoption
+// probabilities; churn replaces crashed ones at the round boundary.
+struct AggregateFaultyStepper {
+  const NoisyObservationProtocol& noisy;
+  FaultSession& session;
+  Rng& rng;
+  Configuration state;
+  std::uint32_t ell = 0;
+  std::uint64_t samples = 0;
+
+  Configuration& config() noexcept { return state; }
+  void step(std::uint64_t /*tick*/) {
+    const double p = state.fraction_ones();
+    const double p1 = noisy.aggregate_adoption(Opinion::kOne, p, state.n);
+    const double p0 = noisy.aggregate_adoption(Opinion::kZero, p, state.n);
+    const std::uint64_t next_free_ones =
+        binomial(rng, session.free_ones(state), p1) +
+        binomial(rng, session.free_zeros(state), p0);
+    state.ones =
+        state.source_ones() + session.zealot_ones() + next_free_ones;
+    if constexpr (telemetry::kCompiledIn) {
+      samples += session.free_agents() * ell;
+    }
+  }
+  void end_round(std::uint64_t /*round*/) {
+    state = session.churn(state, rng);
+  }
+  std::uint64_t samples_drawn() const noexcept { return samples; }
+};
+
+}  // namespace
 
 Configuration AggregateParallelEngine::step(const Configuration& config,
                                             Rng& rng) const {
@@ -29,48 +83,8 @@ Configuration AggregateParallelEngine::step(const Configuration& config,
 RunResult AggregateParallelEngine::run(Configuration config,
                                        const StopRule& rule, Rng& rng,
                                        Trajectory* trajectory) const {
-  RunResult result;
-  std::uint64_t start_ns = 0;
-  if constexpr (telemetry::kCompiledIn) {
-    start_ns = telemetry::clock_now_ns();
-  }
-  if (trajectory != nullptr) trajectory->record(0, config.ones);
-  telemetry::record_round(0, config.ones, config.n);
-  for (std::uint64_t round = 0;; ++round) {
-    {
-      const telemetry::ScopedTimer stop_timer(telemetry::Phase::kStopCheck);
-      if (auto reason = evaluate_stop(rule, config)) {
-        result.reason = *reason;
-        result.rounds = round;
-        break;
-      }
-    }
-    if (round >= rule.max_rounds) {
-      result.reason = StopReason::kRoundLimit;
-      result.rounds = round;
-      break;
-    }
-    {
-      const telemetry::ScopedTimer step_timer(telemetry::Phase::kRoundStep);
-      config = step(config, rng);
-    }
-    if (trajectory != nullptr) trajectory->record(round + 1, config.ones);
-    telemetry::record_round(round + 1, config.ones, config.n);
-  }
-  if (trajectory != nullptr) trajectory->force_record(result.rounds, config.ones);
-  result.final_config = config;
-  if constexpr (telemetry::kCompiledIn) {
-    result.telemetry.recorded = true;
-    result.telemetry.wall_seconds =
-        static_cast<double>(telemetry::clock_now_ns() - start_ns) * 1e-9;
-    result.telemetry.rounds = result.rounds;
-    // The aggregate reduction draws (n - z) * l conceptual observation bits
-    // per round through two exact binomials.
-    result.telemetry.samples_drawn =
-        result.rounds * (config.n - config.sources) *
-        protocol_->sample_size(config.n);
-  }
-  return result;
+  AggregateStepper stepper{*this, rng, config};
+  return RunDriver(TimePolicy::parallel()).run(stepper, rule, trajectory);
 }
 
 RunResult AggregateParallelEngine::run(Configuration config,
@@ -82,72 +96,10 @@ RunResult AggregateParallelEngine::run(Configuration config,
   FaultSession session(faults, config);
   const NoisyObservationProtocol noisy(*protocol_, session.model());
   config = session.plant(config);
-
-  RunResult result;
-  std::uint64_t start_ns = 0;
-  if constexpr (telemetry::kCompiledIn) {
-    start_ns = telemetry::clock_now_ns();
-  }
-  if (trajectory != nullptr) trajectory->record(0, config.ones);
-  telemetry::record_round(0, config.ones, config.n);
-  session.observe(0, config);
-  for (std::uint64_t round = 0;; ++round) {
-    if (session.flip_due(round)) {
-      const telemetry::ScopedTimer fault_timer(telemetry::Phase::kFaultApply);
-      session.apply_flip(round, config);
-    }
-    {
-      const telemetry::ScopedTimer stop_timer(telemetry::Phase::kStopCheck);
-      if (auto reason = session.evaluate(rule, config)) {
-        result.reason = *reason;
-        result.rounds = round;
-        break;
-      }
-    }
-    if (round >= rule.max_rounds) {
-      result.reason = session.censored_reason();
-      result.rounds = round;
-      break;
-    }
-    // One exact faulty round: free agents update through the noisy
-    // closed-form adoption probabilities, then churn replaces crashed ones.
-    {
-      const telemetry::ScopedTimer step_timer(telemetry::Phase::kRoundStep);
-      const double p = config.fraction_ones();
-      const double p1 = noisy.aggregate_adoption(Opinion::kOne, p, config.n);
-      const double p0 = noisy.aggregate_adoption(Opinion::kZero, p, config.n);
-      const std::uint64_t next_free_ones =
-          binomial(rng, session.free_ones(config), p1) +
-          binomial(rng, session.free_zeros(config), p0);
-      config.ones =
-          config.source_ones() + session.zealot_ones() + next_free_ones;
-    }
-    {
-      const telemetry::ScopedTimer fault_timer(telemetry::Phase::kFaultApply);
-      config = session.churn(config, rng);
-      session.observe(round + 1, config);
-    }
-    if (trajectory != nullptr) trajectory->record(round + 1, config.ones);
-    telemetry::record_round(round + 1, config.ones, config.n);
-  }
-  if (trajectory != nullptr) {
-    trajectory->force_record(result.rounds, config.ones);
-  }
-  result.final_config = config;
-  result.recoveries = session.take_recoveries();
-  if constexpr (telemetry::kCompiledIn) {
-    result.telemetry.recorded = true;
-    result.telemetry.wall_seconds =
-        static_cast<double>(telemetry::clock_now_ns() - start_ns) * 1e-9;
-    result.telemetry.rounds = result.rounds;
-    result.telemetry.samples_drawn = result.rounds * session.free_agents() *
-                                     protocol_->sample_size(config.n);
-    result.telemetry.fault_flips = session.flips_applied();
-    result.telemetry.fault_zealots = session.zealots();
-    result.telemetry.fault_churned = session.churned();
-    fold_recovery_telemetry(result.telemetry, result.recoveries);
-  }
-  return result;
+  AggregateFaultyStepper stepper{noisy, session, rng, config,
+                                 protocol_->sample_size(config.n)};
+  return RunDriver(TimePolicy::parallel())
+      .run(stepper, rule, session, trajectory);
 }
 
 }  // namespace bitspread

@@ -19,6 +19,7 @@
 #include "core/protocol.h"
 #include "engine/stopping.h"
 #include "engine/trajectory.h"
+#include "faults/environment.h"
 #include "random/rng.h"
 
 namespace bitspread {
@@ -31,10 +32,22 @@ class AlphaSynchronousEngine {
 
   Configuration step(const Configuration& config, Rng& rng) const;
 
-  // StopRule::max_rounds counts alpha-rounds; to compare against the other
-  // engines use effective parallel rounds = rounds * alpha (each round
-  // performs alpha*n activations in expectation).
+  // StopRule::max_rounds counts alpha-rounds; the result reports
+  // TimeUnit::kAlphaRounds (RunResult::parallel_rounds() applies the
+  // alpha-to-parallel conversion: each round performs alpha*n activations
+  // in expectation).
   RunResult run(Configuration config, const StopRule& rule, Rng& rng,
+                Trajectory* trajectory = nullptr) const;
+
+  // Faulty run under an EnvironmentModel, still exact: among the free
+  // agents holding b, A_b ~ Bin(free_b, alpha) activate and adopt 1 with the
+  // closed-form noisy probability (observation + spontaneous channels);
+  // zealots are pinned counts that never activate; churn and source flips
+  // land on alpha-round boundaries. At alpha = 1 this is distribution-
+  // identical to AggregateParallelEngine's faulty run. RecoverySegments are
+  // measured in alpha-rounds.
+  RunResult run(Configuration config, const StopRule& rule,
+                const EnvironmentModel& faults, Rng& rng,
                 Trajectory* trajectory = nullptr) const;
 
   double alpha() const noexcept { return alpha_; }

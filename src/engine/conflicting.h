@@ -15,7 +15,9 @@
 #include <string>
 
 #include "core/protocol.h"
+#include "engine/stopping.h"
 #include "engine/trajectory.h"
+#include "faults/environment.h"
 #include "random/rng.h"
 
 namespace bitspread {
@@ -64,12 +66,33 @@ class ConflictingAggregateEngine {
     // Fraction of rounds with >= 90% of FREE agents on the preference.
     double near_consensus_fraction = 0.0;
     ConflictingConfiguration final_config;
+    RunTelemetry telemetry;
   };
 
   // Runs `rounds` rounds (there is no absorbing state to stop at while both
   // camps are non-empty), recording the trajectory if given.
   WatchResult watch(ConflictingConfiguration config, std::uint64_t rounds,
                     Rng& rng, Trajectory* trajectory = nullptr) const;
+
+  // Stop-rule run via the zealot reduction: the majority camp becomes the
+  // sources of a binary Configuration (correct = the majority preference)
+  // and the minority camp becomes exact extra zealots pinned on the wrong
+  // opinion, so the run delegates to AggregateParallelEngine's fault-aware
+  // loop bit-for-bit. With a single stubborn camp (the standard model) the
+  // reduction is the identity: the result is bit-identical to the plain
+  // aggregate run. Quorum stop rules count free agents only (the session's
+  // non-zealot quorum), which is the natural notion here.
+  RunResult run(const ConflictingConfiguration& config, const StopRule& rule,
+                Rng& rng, Trajectory* trajectory = nullptr) const;
+
+  // Same under an EnvironmentModel: the minority camp's zealots are added on
+  // top of the model's own (extra_zealots), every other channel applies to
+  // the free population unchanged. A source flip re-targets the MAJORITY
+  // camp's displayed opinion (the minority camp stays stubborn on its
+  // original one).
+  RunResult run(const ConflictingConfiguration& config, const StopRule& rule,
+                const EnvironmentModel& faults, Rng& rng,
+                Trajectory* trajectory = nullptr) const;
 
  private:
   const MemorylessProtocol* protocol_;

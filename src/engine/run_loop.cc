@@ -1,0 +1,34 @@
+#include "engine/run_loop.h"
+
+#include <sstream>
+
+namespace bitspread {
+
+TimePolicy TimePolicy::parallel() noexcept {
+  return TimePolicy{TimeUnit::kParallelRounds, 1, 1, 1.0};
+}
+
+TimePolicy TimePolicy::activations(std::uint64_t n) noexcept {
+  return TimePolicy{TimeUnit::kActivations, n == 0 ? 1 : n, 1, 1.0};
+}
+
+TimePolicy TimePolicy::interaction_rounds(std::uint64_t n) noexcept {
+  // One driver tick performs a whole round of n interactions (so the O(n)
+  // ones-count in the stop check amortizes), but time is reported in
+  // activations: ticks scale by n.
+  return TimePolicy{TimeUnit::kActivations, 1, n == 0 ? 1 : n, 1.0};
+}
+
+TimePolicy TimePolicy::alpha_rounds(double alpha) noexcept {
+  return TimePolicy{TimeUnit::kAlphaRounds, 1, 1, alpha};
+}
+
+std::string TimePolicy::describe() const {
+  std::ostringstream out;
+  out << "TimePolicy{" << to_string(unit)
+      << ", ticks_per_round=" << ticks_per_round
+      << ", units_per_tick=" << units_per_tick << ", alpha=" << alpha << "}";
+  return out.str();
+}
+
+}  // namespace bitspread

@@ -1,0 +1,223 @@
+// The run-loop core: one driver for stopping, faults, telemetry, and tracing.
+//
+// Every engine used to hand-roll the same loop — evaluate the stop rule, cap
+// at max_rounds, apply scheduled source flips, churn at round boundaries,
+// record the trajectory and the flight-recorder round stream, time the
+// phases, and classify censored/degraded endings. Eight copies drifted in
+// what they supported (the alpha-synchronous, conflicting-sources, multi-
+// opinion, and population engines had no faults and no telemetry at all).
+// This header is the single copy: engines shrink to *steppers* and the
+// RunDriver owns everything cross-cutting.
+//
+// A stepper is any type providing
+//
+//   Configuration& config();        // driver-visible state, kept current
+//   void step(std::uint64_t tick);  // advance one tick of native time
+//
+// plus optional hooks the driver detects at compile time:
+//
+//   void sync_flip();               // mirror an applied source flip onto
+//                                   // explicit population state
+//   void end_round(std::uint64_t round);
+//                                   // per-parallel-round fault work (churn)
+//                                   // before the session observes the round
+//   std::optional<StopReason> evaluate(const StopRule&) const;
+//                                   // replace the default stop evaluation
+//                                   // (multi-opinion consensus, watch runs)
+//   std::uint64_t samples_drawn() const;  // telemetry: total observation
+//                                         // samples (counted by the stepper,
+//                                         // it knows its sampling law)
+//   std::uint64_t churned() const;  // telemetry: churn events counted by
+//                                   // the stepper (otherwise the session's
+//                                   // counts-level tally is used)
+//
+// The driver NEVER draws randomness: steppers own their Rng or SeedSequence,
+// so the per-(round, block) stream schedule of the sharded engine — and with
+// it bit-identical thread/shard invariance — survives unchanged, and the
+// telemetry probes (which never touch an RNG) stay outside the simulation
+// payload.
+//
+// Time units. The TimePolicy maps the engine's native tick onto parallel
+// rounds: StopRule::max_rounds is always in parallel rounds, flips and churn
+// land on parallel-round boundaries, and trajectory/round-stream points are
+// per parallel round — so rules and recordings are interchangeable across
+// engines. `units_per_tick` scales ticks into the result's TimeUnit (the
+// population engine steps one round of n interactions per tick but reports
+// activations).
+#ifndef BITSPREAD_ENGINE_RUN_LOOP_H_
+#define BITSPREAD_ENGINE_RUN_LOOP_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "core/configuration.h"
+#include "engine/stopping.h"
+#include "engine/trajectory.h"
+#include "faults/session.h"
+#include "telemetry/telemetry.h"
+
+namespace bitspread {
+
+// How an engine's native tick relates to parallel rounds and to the time
+// unit its RunResult reports.
+struct TimePolicy {
+  TimeUnit unit = TimeUnit::kParallelRounds;
+  // Ticks per parallel round: boundaries (flips, churn, recording) land at
+  // tick % ticks_per_round == 0, and the cap is max_rounds * ticks_per_round.
+  std::uint64_t ticks_per_round = 1;
+  // RunResult::ticks = elapsed driver ticks * units_per_tick.
+  std::uint64_t units_per_tick = 1;
+  // Activation probability, forwarded to RunResult (kAlphaRounds only).
+  double alpha = 1.0;
+
+  // One tick = one synchronous parallel round.
+  static TimePolicy parallel() noexcept;
+  // One tick = one activation; n ticks = one parallel round.
+  static TimePolicy activations(std::uint64_t n) noexcept;
+  // One tick = one scheduler round of n interactions, reported in
+  // activations.
+  static TimePolicy interaction_rounds(std::uint64_t n) noexcept;
+  // One tick = one alpha-synchronous round (alpha parallel rounds).
+  static TimePolicy alpha_rounds(double alpha) noexcept;
+
+  std::string describe() const;
+};
+
+// The shared run loop. Stateless apart from its policy: one driver value can
+// serve any number of runs.
+class RunDriver {
+ public:
+  explicit RunDriver(const TimePolicy& policy) noexcept : policy_(policy) {}
+
+  const TimePolicy& policy() const noexcept { return policy_; }
+
+  // Fault-free run: default (or stepper-provided) stop evaluation, no
+  // FaultSession lifecycle.
+  template <typename Stepper>
+  RunResult run(Stepper& stepper, const StopRule& rule,
+                Trajectory* trajectory = nullptr) const {
+    return drive(stepper, rule, nullptr, trajectory);
+  }
+
+  // Faulty run: the driver owns the FaultSession lifecycle — source flips on
+  // round boundaries (mirrored into the stepper via sync_flip), per-round
+  // observation closing RecoverySegments, fault-aware stop evaluation, and
+  // degraded classification at the cap. The session must be constructed on
+  // the stepper's planted initial configuration.
+  template <typename Stepper>
+  RunResult run(Stepper& stepper, const StopRule& rule, FaultSession& session,
+                Trajectory* trajectory = nullptr) const {
+    return drive(stepper, rule, &session, trajectory);
+  }
+
+ private:
+  template <typename Stepper>
+  RunResult drive(Stepper& stepper, const StopRule& rule,
+                  FaultSession* session, Trajectory* trajectory) const {
+    RunResult result;
+    result.unit = policy_.unit;
+    result.alpha = policy_.alpha;
+    std::uint64_t start_ns = 0;
+    if constexpr (telemetry::kCompiledIn) {
+      start_ns = telemetry::clock_now_ns();
+    }
+    const std::uint64_t tpr =
+        policy_.ticks_per_round == 0 ? 1 : policy_.ticks_per_round;
+    const std::uint64_t max_ticks = rule.max_rounds * tpr;
+
+    {
+      const Configuration& config = stepper.config();
+      if (trajectory != nullptr) trajectory->record(0, config.ones);
+      telemetry::record_round(0, config.ones, config.n);
+      if (session != nullptr) session->observe(0, config);
+    }
+
+    std::uint64_t tick = 0;
+    while (true) {
+      // Source flips land on entry to a parallel round.
+      if (session != nullptr && tick % tpr == 0 &&
+          session->flip_due(tick / tpr)) {
+        const telemetry::ScopedTimer timer(telemetry::Phase::kFaultApply);
+        session->apply_flip(tick / tpr, stepper.config());
+        if constexpr (requires { stepper.sync_flip(); }) {
+          stepper.sync_flip();
+        }
+      }
+      {
+        const telemetry::ScopedTimer timer(telemetry::Phase::kStopCheck);
+        std::optional<StopReason> reason;
+        if constexpr (requires { stepper.evaluate(rule); }) {
+          reason = stepper.evaluate(rule);
+        } else {
+          reason = session != nullptr
+                       ? session->evaluate(rule, stepper.config())
+                       : evaluate_stop(rule, stepper.config());
+        }
+        if (reason) {
+          result.reason = *reason;
+          break;
+        }
+      }
+      if (tick >= max_ticks) {
+        result.reason = session != nullptr ? session->censored_reason()
+                                           : StopReason::kRoundLimit;
+        break;
+      }
+      {
+        const telemetry::ScopedTimer timer(telemetry::Phase::kRoundStep);
+        stepper.step(tick);
+      }
+      ++tick;
+      if (tick % tpr == 0) {
+        const std::uint64_t round = tick / tpr;
+        if (session != nullptr) {
+          const telemetry::ScopedTimer timer(telemetry::Phase::kFaultApply);
+          if constexpr (requires { stepper.end_round(round); }) {
+            stepper.end_round(round);
+          }
+          session->observe(round, stepper.config());
+        } else if constexpr (requires { stepper.end_round(round); }) {
+          stepper.end_round(round);
+        }
+        const Configuration& config = stepper.config();
+        if (trajectory != nullptr) trajectory->record(round, config.ones);
+        telemetry::record_round(round, config.ones, config.n);
+      }
+    }
+
+    const Configuration& config = stepper.config();
+    if (trajectory != nullptr) {
+      trajectory->force_record((tick + tpr - 1) / tpr, config.ones);
+    }
+    result.ticks = tick * policy_.units_per_tick;
+    result.final_config = config;
+    if (session != nullptr) result.recoveries = session->take_recoveries();
+    if constexpr (telemetry::kCompiledIn) {
+      result.telemetry.recorded = true;
+      result.telemetry.wall_seconds =
+          static_cast<double>(telemetry::clock_now_ns() - start_ns) * 1e-9;
+      result.telemetry.rounds = tick / tpr;
+      if constexpr (requires { stepper.samples_drawn(); }) {
+        result.telemetry.samples_drawn = stepper.samples_drawn();
+      }
+      if (session != nullptr) {
+        result.telemetry.fault_flips = session->flips_applied();
+        result.telemetry.fault_zealots = session->zealots();
+        if constexpr (requires { stepper.churned(); }) {
+          result.telemetry.fault_churned = stepper.churned();
+        } else {
+          result.telemetry.fault_churned = session->churned();
+        }
+        fold_recovery_telemetry(result.telemetry, result.recoveries);
+      }
+    }
+    return result;
+  }
+
+  TimePolicy policy_;
+};
+
+}  // namespace bitspread
+
+#endif  // BITSPREAD_ENGINE_RUN_LOOP_H_

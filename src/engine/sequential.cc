@@ -2,11 +2,69 @@
 
 #include <cassert>
 
+#include "engine/run_loop.h"
 #include "faults/session.h"
 #include "random/binomial.h"
 #include "telemetry/telemetry.h"
 
 namespace bitspread {
+namespace {
+
+// Fault-free stepper: one activation per tick.
+struct SequentialStepper {
+  const SequentialEngine& engine;
+  Rng& rng;
+  Configuration state;
+  std::uint32_t ell = 0;
+  std::uint64_t samples = 0;
+
+  Configuration& config() noexcept { return state; }
+  void step(std::uint64_t /*tick*/) {
+    state = engine.step(state, rng);
+    if constexpr (telemetry::kCompiledIn) samples += ell;
+  }
+  std::uint64_t samples_drawn() const noexcept { return samples; }
+};
+
+// Faulty stepper: the activated agent is uniform over the non-source slots;
+// the last `zealots` of them are frozen, the free agents hold one iff their
+// index falls below the free ones-count.
+struct SequentialFaultyStepper {
+  const MemorylessProtocol& protocol;
+  FaultSession& session;
+  Rng& rng;
+  Configuration state;
+  std::uint32_t ell = 0;
+  std::uint64_t samples = 0;
+
+  Configuration& config() noexcept { return state; }
+  void step(std::uint64_t /*tick*/) {
+    const EnvironmentModel& model = session.model();
+    const std::uint64_t non_source = state.n - state.sources;
+    const std::uint64_t index = rng.next_below(non_source);
+    const std::uint64_t free = session.free_agents();
+    if (index >= free) return;  // A zealot activation is a no-op.
+    const bool holds_one = index < session.free_ones(state);
+    const Opinion own = holds_one ? Opinion::kOne : Opinion::kZero;
+    // BSC noise on l observed bits == sampling Bin(l, noisy_fraction(p)).
+    const auto ones_seen = static_cast<std::uint32_t>(
+        binomial(rng, ell, model.noisy_fraction(state.fraction_ones())));
+    const double adopt_one =
+        (1.0 - model.spontaneous_rate) *
+            protocol.g(own, ones_seen, ell, state.n) +
+        model.spontaneous_rate * model.spontaneous_bias;
+    const Opinion next =
+        rng.bernoulli(adopt_one) ? Opinion::kOne : Opinion::kZero;
+    if (own != next) state.ones += next == Opinion::kOne ? 1 : -1;
+    if constexpr (telemetry::kCompiledIn) samples += ell;
+  }
+  void end_round(std::uint64_t /*round*/) {
+    state = session.churn(state, rng);
+  }
+  std::uint64_t samples_drawn() const noexcept { return samples; }
+};
+
+}  // namespace
 
 Configuration SequentialEngine::step(const Configuration& config,
                                      Rng& rng) const {
@@ -39,151 +97,25 @@ Configuration SequentialEngine::step(const Configuration& config,
   return result;
 }
 
-SequentialRunResult SequentialEngine::run(Configuration config,
-                                          const StopRule& rule, Rng& rng,
-                                          Trajectory* trajectory) const {
-  SequentialRunResult result;
-  std::uint64_t start_ns = 0;
-  if constexpr (telemetry::kCompiledIn) {
-    start_ns = telemetry::clock_now_ns();
-  }
-  const std::uint64_t n = config.n;
-  const std::uint64_t max_activations = rule.max_rounds * n;
-  if (trajectory != nullptr) trajectory->record(0, config.ones);
-  telemetry::record_round(0, config.ones, n);
-  std::uint64_t activation = 0;
-  while (true) {
-    {
-      const telemetry::ScopedTimer stop_timer(telemetry::Phase::kStopCheck);
-      if (auto reason = evaluate_stop(rule, config)) {
-        result.reason = *reason;
-        break;
-      }
-    }
-    if (activation >= max_activations) {
-      result.reason = StopReason::kRoundLimit;
-      break;
-    }
-    {
-      const telemetry::ScopedTimer step_timer(telemetry::Phase::kRoundStep);
-      config = step(config, rng);
-    }
-    ++activation;
-    if (activation % n == 0) {
-      if (trajectory != nullptr) trajectory->record(activation / n, config.ones);
-      telemetry::record_round(activation / n, config.ones, n);
-    }
-  }
-  result.activations = activation;
-  result.final_config = config;
-  if (trajectory != nullptr) {
-    trajectory->force_record((activation + n - 1) / n, config.ones);
-  }
-  if constexpr (telemetry::kCompiledIn) {
-    result.telemetry.recorded = true;
-    result.telemetry.wall_seconds =
-        static_cast<double>(telemetry::clock_now_ns() - start_ns) * 1e-9;
-    result.telemetry.rounds = activation / n;
-    result.telemetry.samples_drawn =
-        activation * protocol_->sample_size(n);
-  }
-  return result;
+RunResult SequentialEngine::run(Configuration config, const StopRule& rule,
+                                Rng& rng, Trajectory* trajectory) const {
+  SequentialStepper stepper{*this, rng, config,
+                            protocol_->sample_size(config.n)};
+  return RunDriver(TimePolicy::activations(config.n))
+      .run(stepper, rule, trajectory);
 }
 
-SequentialRunResult SequentialEngine::run(Configuration config,
-                                          const StopRule& rule,
-                                          const EnvironmentModel& faults,
-                                          Rng& rng,
-                                          Trajectory* trajectory) const {
+RunResult SequentialEngine::run(Configuration config, const StopRule& rule,
+                                const EnvironmentModel& faults, Rng& rng,
+                                Trajectory* trajectory) const {
   assert(config.valid());
+  assert(config.n - config.sources > 0);
   FaultSession session(faults, config);
   config = session.plant(config);
-  const EnvironmentModel& model = session.model();
-
-  SequentialRunResult result;
-  std::uint64_t start_ns = 0;
-  std::uint64_t samples_drawn = 0;
-  if constexpr (telemetry::kCompiledIn) {
-    start_ns = telemetry::clock_now_ns();
-  }
-  const std::uint64_t n = config.n;
-  const std::uint64_t non_source = n - config.sources;
-  const std::uint64_t max_activations = rule.max_rounds * n;
-  const std::uint32_t ell = protocol_->sample_size(n);
-  assert(non_source > 0);
-
-  if (trajectory != nullptr) trajectory->record(0, config.ones);
-  telemetry::record_round(0, config.ones, n);
-  session.observe(0, config);
-  std::uint64_t activation = 0;
-  while (true) {
-    const std::uint64_t round = activation / n;
-    if (activation % n == 0 && session.flip_due(round)) {
-      const telemetry::ScopedTimer fault_timer(telemetry::Phase::kFaultApply);
-      session.apply_flip(round, config);
-    }
-    {
-      const telemetry::ScopedTimer stop_timer(telemetry::Phase::kStopCheck);
-      if (auto reason = session.evaluate(rule, config)) {
-        result.reason = *reason;
-        break;
-      }
-    }
-    if (activation >= max_activations) {
-      result.reason = session.censored_reason();
-      break;
-    }
-
-    // One activation. The activated agent is uniform over the non-source
-    // slots; the last `zealots` of them are frozen, the free agents hold
-    // one iff their index falls below the free ones-count.
-    const std::uint64_t index = rng.next_below(non_source);
-    const std::uint64_t free = session.free_agents();
-    if (index < free) {
-      const telemetry::ScopedTimer step_timer(telemetry::Phase::kRoundStep);
-      const bool holds_one = index < session.free_ones(config);
-      const Opinion own = holds_one ? Opinion::kOne : Opinion::kZero;
-      // BSC noise on l observed bits == sampling Bin(l, noisy_fraction(p)).
-      const auto ones_seen = static_cast<std::uint32_t>(binomial(
-          rng, ell, model.noisy_fraction(config.fraction_ones())));
-      const double adopt_one =
-          (1.0 - model.spontaneous_rate) *
-              protocol_->g(own, ones_seen, ell, n) +
-          model.spontaneous_rate * model.spontaneous_bias;
-      const Opinion next =
-          rng.bernoulli(adopt_one) ? Opinion::kOne : Opinion::kZero;
-      if (own != next) config.ones += next == Opinion::kOne ? 1 : -1;
-      if constexpr (telemetry::kCompiledIn) samples_drawn += ell;
-    }
-    ++activation;
-    if (activation % n == 0) {
-      const telemetry::ScopedTimer fault_timer(telemetry::Phase::kFaultApply);
-      config = session.churn(config, rng);
-      session.observe(activation / n, config);
-      if (trajectory != nullptr) {
-        trajectory->record(activation / n, config.ones);
-      }
-      telemetry::record_round(activation / n, config.ones, n);
-    }
-  }
-  result.activations = activation;
-  result.final_config = config;
-  result.recoveries = session.take_recoveries();
-  if (trajectory != nullptr) {
-    trajectory->force_record((activation + n - 1) / n, config.ones);
-  }
-  if constexpr (telemetry::kCompiledIn) {
-    result.telemetry.recorded = true;
-    result.telemetry.wall_seconds =
-        static_cast<double>(telemetry::clock_now_ns() - start_ns) * 1e-9;
-    result.telemetry.rounds = activation / n;
-    result.telemetry.samples_drawn = samples_drawn;
-    result.telemetry.fault_flips = session.flips_applied();
-    result.telemetry.fault_zealots = session.zealots();
-    result.telemetry.fault_churned = session.churned();
-    fold_recovery_telemetry(result.telemetry, result.recoveries);
-  }
-  return result;
+  SequentialFaultyStepper stepper{*protocol_, session, rng, config,
+                                  protocol_->sample_size(config.n)};
+  return RunDriver(TimePolicy::activations(config.n))
+      .run(stepper, rule, session, trajectory);
 }
 
 }  // namespace bitspread

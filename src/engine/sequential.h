@@ -27,33 +27,6 @@
 
 namespace bitspread {
 
-struct SequentialRunResult {
-  StopReason reason = StopReason::kRoundLimit;
-  std::uint64_t activations = 0;
-  Configuration final_config;
-
-  // Faulty runs only: per-epoch recovery segments in PARALLEL-round units
-  // (segment 0 = initial epoch, then one per source flip).
-  std::vector<RecoverySegment> recoveries;
-
-  // Measurement-only sidecar (see RunResult::telemetry); `rounds` counts
-  // completed parallel rounds, samples are per-activation.
-  RunTelemetry telemetry;
-
-  double parallel_rounds() const noexcept {
-    return static_cast<double>(activations) /
-           static_cast<double>(final_config.n);
-  }
-  bool converged() const noexcept {
-    return reason == StopReason::kCorrectConsensus;
-  }
-  bool censored() const noexcept {
-    return reason == StopReason::kRoundLimit ||
-           reason == StopReason::kDegraded;
-  }
-  bool degraded() const noexcept { return reason == StopReason::kDegraded; }
-};
-
 class SequentialEngine {
  public:
   explicit SequentialEngine(const MemorylessProtocol& protocol) noexcept
@@ -65,9 +38,10 @@ class SequentialEngine {
 
   // StopRule::max_rounds is interpreted in PARALLEL rounds (n activations
   // each) so rules are interchangeable across engines. The trajectory, if
-  // given, is recorded once per parallel round.
-  SequentialRunResult run(Configuration config, const StopRule& rule, Rng& rng,
-                          Trajectory* trajectory = nullptr) const;
+  // given, is recorded once per parallel round. The result reports
+  // TimeUnit::kActivations: `ticks` counts activations.
+  RunResult run(Configuration config, const StopRule& rule, Rng& rng,
+                Trajectory* trajectory = nullptr) const;
 
   // Faulty run under an EnvironmentModel. Noise stays exact: the activated
   // agent's sample is Binomial(l, noisy_fraction(X/n)) and the spontaneous
@@ -75,9 +49,9 @@ class SequentialEngine {
   // no-op (time still advances); source flips and churn apply at parallel-
   // round boundaries (every n activations), matching the parallel engines'
   // per-round semantics.
-  SequentialRunResult run(Configuration config, const StopRule& rule,
-                          const EnvironmentModel& faults, Rng& rng,
-                          Trajectory* trajectory = nullptr) const;
+  RunResult run(Configuration config, const StopRule& rule,
+                const EnvironmentModel& faults, Rng& rng,
+                Trajectory* trajectory = nullptr) const;
 
   const MemorylessProtocol& protocol() const noexcept { return *protocol_; }
 

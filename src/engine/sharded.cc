@@ -5,6 +5,7 @@
 #include <cassert>
 #include <utility>
 
+#include "engine/run_loop.h"
 #include "faults/session.h"
 #include "sim/parallel.h"
 #include "telemetry/telemetry.h"
@@ -79,6 +80,68 @@ inline std::uint32_t probe_ones_distinct_noisy(const std::uint64_t* plane,
 
 }  // namespace
 
+namespace {
+
+// Fault-free stepper: the per-(round, block) stream schedule lives entirely
+// in ShardedAgentEngine::step — the driver only supplies the round index.
+struct ShardedStepper {
+  const ShardedAgentEngine& engine;
+  ShardedAgentEngine::Population& population;
+  const SeedSequence& seeds;
+  Configuration state;
+  std::uint64_t samples = 0;
+
+  Configuration& config() noexcept { return state; }
+  void step(std::uint64_t tick) {
+    engine.step(population, tick, seeds);
+    state = population.config();
+    if constexpr (telemetry::kCompiledIn) {
+      samples += (state.n - state.sources) * engine.sample_size(state.n);
+    }
+  }
+  std::uint64_t samples_drawn() const noexcept { return samples; }
+};
+
+// Faulty stepper: fault randomness stays on the dedicated per-(round, block)
+// fault streams inside the faulty step; the flip mirror reboots the packed
+// source bits (and views, on the stateful path).
+struct ShardedFaultyStepper {
+  const ShardedAgentEngine& engine;
+  ShardedAgentEngine::Population& population;
+  const SeedSequence& seeds;
+  FaultSession& session;
+  const StatefulProtocol* stateful;
+  Configuration state;
+  std::uint64_t samples = 0;
+  std::uint64_t churn_events = 0;
+
+  Configuration& config() noexcept { return state; }
+  void step(std::uint64_t tick) {
+    engine.step(population, tick, seeds, session);
+    if constexpr (telemetry::kCompiledIn) {
+      churn_events += population.last_step_churned();
+      samples += session.free_agents() * engine.sample_size(state.n);
+    }
+    state = population.config();
+  }
+  void sync_flip() {
+    // Mirror the flip onto the packed planes: sources display the new
+    // correct opinion; on the stateful path they also reboot their view.
+    population.set_correct(state.correct);
+    for (std::uint64_t i = 0; i < population.source_count(); ++i) {
+      population.set_opinion(i, state.correct);
+      if (stateful != nullptr) {
+        population.set_state(i, stateful->initial_view(state.correct).state);
+      }
+    }
+    assert(population.count_ones() == state.ones);
+  }
+  std::uint64_t samples_drawn() const noexcept { return samples; }
+  std::uint64_t churned() const noexcept { return churn_events; }
+};
+
+}  // namespace
+
 ShardedAgentEngine::ShardedAgentEngine(const StatefulProtocol& protocol,
                                        Options options) noexcept
     : protocol_(&protocol), options_(options) {
@@ -103,6 +166,13 @@ void ShardedAgentEngine::Population::set_state(std::uint64_t i,
                                                std::uint32_t state) {
   if (states_.empty()) states_.resize(n_, 0);
   states_[i] = state;
+}
+
+std::uint64_t ShardedAgentEngine::Population::last_step_churned()
+    const noexcept {
+  std::uint64_t churned = 0;
+  for (const std::uint64_t c : block_churned_) churned += c;
+  return churned;
 }
 
 ShardedAgentEngine::Population ShardedAgentEngine::make_population(
@@ -432,79 +502,10 @@ RunResult ShardedAgentEngine::run(const Configuration& config,
   FaultSession session(faults, config);
   Population population = make_population(session.plant(config));
   const SeedSequence seeds(seed);
-
-  RunResult result;
-  std::uint64_t start_ns = 0;
-  if constexpr (telemetry::kCompiledIn) {
-    start_ns = telemetry::clock_now_ns();
-  }
-  Configuration current = population.config();
-  if (trajectory != nullptr) trajectory->record(0, current.ones);
-  telemetry::record_round(0, current.ones, current.n);
-  session.observe(0, current);
-  for (std::uint64_t round = 0;; ++round) {
-    if (session.flip_due(round)) {
-      const telemetry::ScopedTimer fault_timer(telemetry::Phase::kFaultApply);
-      session.apply_flip(round, current);
-      // Mirror the flip onto the packed planes: sources display the new
-      // correct opinion; on the stateful path they also reboot their view.
-      population.correct_ = current.correct;
-      for (std::uint64_t i = 0; i < population.sources_; ++i) {
-        population.set_opinion(i, current.correct);
-        if (protocol_ != nullptr) {
-          population.set_state(i,
-                               protocol_->initial_view(current.correct).state);
-        }
-      }
-      assert(population.count_ones() == current.ones);
-    }
-    {
-      const telemetry::ScopedTimer stop_timer(telemetry::Phase::kStopCheck);
-      if (auto reason = session.evaluate(rule, current)) {
-        result.reason = *reason;
-        result.rounds = round;
-        break;
-      }
-    }
-    if (round >= rule.max_rounds) {
-      result.reason = session.censored_reason();
-      result.rounds = round;
-      break;
-    }
-    {
-      const telemetry::ScopedTimer step_timer(telemetry::Phase::kRoundStep);
-      step(population, round, seeds, session);
-    }
-    if constexpr (telemetry::kCompiledIn) {
-      for (const std::uint64_t c : population.block_churned_) {
-        result.telemetry.fault_churned += c;
-      }
-    }
-    current = population.config();
-    {
-      const telemetry::ScopedTimer fault_timer(telemetry::Phase::kFaultApply);
-      session.observe(round + 1, current);
-    }
-    if (trajectory != nullptr) trajectory->record(round + 1, current.ones);
-    telemetry::record_round(round + 1, current.ones, current.n);
-  }
-  if (trajectory != nullptr) {
-    trajectory->force_record(result.rounds, current.ones);
-  }
-  result.final_config = current;
-  result.recoveries = session.take_recoveries();
-  if constexpr (telemetry::kCompiledIn) {
-    result.telemetry.recorded = true;
-    result.telemetry.wall_seconds =
-        static_cast<double>(telemetry::clock_now_ns() - start_ns) * 1e-9;
-    result.telemetry.rounds = result.rounds;
-    result.telemetry.samples_drawn =
-        result.rounds * session.free_agents() * sample_size(current.n);
-    result.telemetry.fault_flips = session.flips_applied();
-    result.telemetry.fault_zealots = session.zealots();
-    fold_recovery_telemetry(result.telemetry, result.recoveries);
-  }
-  return result;
+  ShardedFaultyStepper stepper{*this,   population, seeds,
+                               session, protocol_,  population.config()};
+  return RunDriver(TimePolicy::parallel())
+      .run(stepper, rule, session, trajectory);
 }
 
 RunResult ShardedAgentEngine::run_population(Population& population,
@@ -512,49 +513,8 @@ RunResult ShardedAgentEngine::run_population(Population& population,
                                              std::uint64_t seed,
                                              Trajectory* trajectory) const {
   const SeedSequence seeds(seed);
-  RunResult result;
-  std::uint64_t start_ns = 0;
-  if constexpr (telemetry::kCompiledIn) {
-    start_ns = telemetry::clock_now_ns();
-  }
-  Configuration config = population.config();
-  if (trajectory != nullptr) trajectory->record(0, config.ones);
-  telemetry::record_round(0, config.ones, config.n);
-  for (std::uint64_t round = 0;; ++round) {
-    {
-      const telemetry::ScopedTimer stop_timer(telemetry::Phase::kStopCheck);
-      if (auto reason = evaluate_stop(rule, config)) {
-        result.reason = *reason;
-        result.rounds = round;
-        break;
-      }
-    }
-    if (round >= rule.max_rounds) {
-      result.reason = StopReason::kRoundLimit;
-      result.rounds = round;
-      break;
-    }
-    {
-      const telemetry::ScopedTimer step_timer(telemetry::Phase::kRoundStep);
-      step(population, round, seeds);
-    }
-    config = population.config();
-    if (trajectory != nullptr) trajectory->record(round + 1, config.ones);
-    telemetry::record_round(round + 1, config.ones, config.n);
-  }
-  if (trajectory != nullptr) {
-    trajectory->force_record(result.rounds, config.ones);
-  }
-  result.final_config = config;
-  if constexpr (telemetry::kCompiledIn) {
-    result.telemetry.recorded = true;
-    result.telemetry.wall_seconds =
-        static_cast<double>(telemetry::clock_now_ns() - start_ns) * 1e-9;
-    result.telemetry.rounds = result.rounds;
-    result.telemetry.samples_drawn =
-        result.rounds * (config.n - config.sources) * sample_size(config.n);
-  }
-  return result;
+  ShardedStepper stepper{*this, population, seeds, population.config()};
+  return RunDriver(TimePolicy::parallel()).run(stepper, rule, trajectory);
 }
 
 }  // namespace bitspread

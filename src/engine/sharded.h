@@ -100,6 +100,12 @@ class ShardedAgentEngine {
     // quantifies over every internal state).
     void set_opinion(std::uint64_t i, Opinion opinion) noexcept;
     void set_state(std::uint64_t i, std::uint32_t state);
+    // Re-targets the correct opinion (source flips mirror through here).
+    void set_correct(Opinion correct) noexcept { correct_ = correct; }
+
+    // Churn replacements performed by the most recent faulty step (telemetry
+    // builds only; always 0 otherwise).
+    std::uint64_t last_step_churned() const noexcept;
 
    private:
     friend class ShardedAgentEngine;

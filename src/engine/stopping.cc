@@ -18,6 +18,18 @@ std::string to_string(StopReason reason) {
   return "unknown";
 }
 
+std::string to_string(TimeUnit unit) {
+  switch (unit) {
+    case TimeUnit::kParallelRounds:
+      return "parallel-rounds";
+    case TimeUnit::kActivations:
+      return "activations";
+    case TimeUnit::kAlphaRounds:
+      return "alpha-rounds";
+  }
+  return "unknown";
+}
+
 std::optional<StopReason> evaluate_stop(const StopRule& rule,
                                         const Configuration& config) noexcept {
   if (rule.interval_lo && config.ones < *rule.interval_lo) {

@@ -1,4 +1,4 @@
-// Stopping rules and run results shared by all simulation engines.
+// Stopping rules and the unified run result shared by all simulation engines.
 #ifndef BITSPREAD_ENGINE_STOPPING_H_
 #define BITSPREAD_ENGINE_STOPPING_H_
 
@@ -27,8 +27,24 @@ enum class StopReason {
 
 std::string to_string(StopReason reason);
 
+// The unit RunResult::ticks is measured in. Every engine runs through the
+// same RunDriver (engine/run_loop.h); the TimePolicy it is given decides how
+// its native clock relates to parallel rounds, and the result carries that
+// unit so callers convert without knowing which engine produced it.
+enum class TimeUnit {
+  kParallelRounds,  // One tick = one synchronous round (n updates at once).
+  kActivations,     // One tick = one single-agent activation (or pairwise
+                    // interaction); n ticks = one parallel round.
+  kAlphaRounds,     // One tick = one alpha-synchronous round: alpha * n
+                    // activations in expectation (engine/alpha_sync.h).
+};
+
+std::string to_string(TimeUnit unit);
+
 struct StopRule {
-  // Hard cap on parallel rounds; every run terminates.
+  // Hard cap in PARALLEL rounds (converted by each engine's time policy:
+  // n activations or one alpha-round per parallel round); every run
+  // terminates.
   std::uint64_t max_rounds = 1'000'000;
 
   // When set, stop as soon as ones < interval_lo or ones > interval_hi. Used
@@ -62,14 +78,21 @@ struct RecoverySegment {
                          const RecoverySegment&) = default;
 };
 
+// The one result type every engine returns. `ticks` counts elapsed time in
+// the engine's native `unit`; the TimeUnit-aware accessors below convert, so
+// callers never special-case parallel vs sequential vs alpha-synchronous
+// engines (the old RunResult/SequentialRunResult split).
 struct RunResult {
   StopReason reason = StopReason::kRoundLimit;
-  std::uint64_t rounds = 0;  // Parallel rounds elapsed when stopped.
+  TimeUnit unit = TimeUnit::kParallelRounds;
+  std::uint64_t ticks = 0;  // Elapsed time in `unit` when stopped.
+  double alpha = 1.0;       // Activation probability (kAlphaRounds only).
   Configuration final_config;
 
   // Per-epoch recovery bookkeeping of faulty runs (empty for fault-free
   // runs): segment 0 covers the initial configuration, then one segment per
-  // source flip, in flip order.
+  // source flip, in flip order. Rounds are in the engine's native round unit
+  // (parallel rounds, or alpha-rounds for the alpha-synchronous engine).
   std::vector<RecoverySegment> recoveries;
 
   // Measurement-only sidecar (telemetry.recorded is false unless the
@@ -77,10 +100,47 @@ struct RunResult {
   // payload: byte-identity across builds is asserted on everything above.
   RunTelemetry telemetry;
 
+  // Whole native rounds elapsed: ticks for round-driven engines, completed
+  // parallel rounds (ticks / n, floored) for activation-driven ones.
+  std::uint64_t rounds() const noexcept {
+    if (unit != TimeUnit::kActivations) return ticks;
+    const std::uint64_t n = final_config.n;
+    return n == 0 ? 0 : ticks / n;
+  }
+
+  // Elapsed activations: exact for activation-driven engines, the expected
+  // n (or alpha * n) activations per round otherwise.
+  std::uint64_t activations() const noexcept {
+    if (unit == TimeUnit::kActivations) return ticks;
+    if (unit == TimeUnit::kAlphaRounds) {
+      return static_cast<std::uint64_t>(
+          alpha * static_cast<double>(ticks) *
+          static_cast<double>(final_config.n));
+    }
+    return ticks * final_config.n;
+  }
+
+  // Elapsed time in the paper's comparison unit (1 parallel round = n
+  // activations; 1 alpha-round = alpha parallel rounds in expectation).
+  double parallel_rounds() const noexcept {
+    switch (unit) {
+      case TimeUnit::kActivations:
+        return final_config.n == 0
+                   ? 0.0
+                   : static_cast<double>(ticks) /
+                         static_cast<double>(final_config.n);
+      case TimeUnit::kAlphaRounds:
+        return static_cast<double>(ticks) * alpha;
+      case TimeUnit::kParallelRounds:
+        break;
+    }
+    return static_cast<double>(ticks);
+  }
+
   bool converged() const noexcept {
     return reason == StopReason::kCorrectConsensus;
   }
-  // True when the run hit the cap: `rounds` is then a lower bound. A
+  // True when the run hit the cap: `ticks` is then a lower bound. A
   // degraded run is censored too — its last recovery segment never closed.
   bool censored() const noexcept {
     return reason == StopReason::kRoundLimit ||
@@ -99,7 +159,7 @@ std::optional<StopReason> evaluate_stop(const StopRule& rule,
                                         const Configuration& config) noexcept;
 
 // Folds the closed recovery segments into `telemetry` (recovered_segments,
-// recovery_rounds_total). Engines call this once per telemetry-enabled run.
+// recovery_rounds_total). The RunDriver calls this once per faulty run.
 void fold_recovery_telemetry(RunTelemetry& telemetry,
                              const std::vector<RecoverySegment>& recoveries);
 

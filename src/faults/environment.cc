@@ -32,7 +32,7 @@ EnvironmentModel EnvironmentModel::normalized() const {
 
 bool EnvironmentModel::active() const noexcept {
   return observation_noise > 0.0 || spontaneous_rate > 0.0 ||
-         zealot_fraction > 0.0 || churn_rate > 0.0 ||
+         zealot_fraction > 0.0 || extra_zealots > 0 || churn_rate > 0.0 ||
          !source_flip_rounds.empty() || convergence_quorum < 1.0;
 }
 
@@ -40,13 +40,16 @@ std::uint64_t EnvironmentModel::zealot_count(
     std::uint64_t n, std::uint64_t sources) const noexcept {
   const std::uint64_t non_source = n > sources ? n - sources : 0;
   const double count = zealot_fraction * static_cast<double>(non_source);
-  return std::min(non_source, static_cast<std::uint64_t>(count));
+  return std::min(non_source,
+                  static_cast<std::uint64_t>(count) + extra_zealots);
 }
 
 std::string EnvironmentModel::describe() const {
   std::ostringstream out;
   out << "env(eps=" << observation_noise << ", eta=" << spontaneous_rate
-      << ", z=" << zealot_fraction << ", delta=" << churn_rate << ", flips=["
+      << ", z=" << zealot_fraction;
+  if (extra_zealots > 0) out << "+" << extra_zealots;
+  out << ", delta=" << churn_rate << ", flips=["
       << source_flip_rounds.size() << "], quorum=" << convergence_quorum
       << ")";
   return out.str();

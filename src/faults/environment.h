@@ -51,6 +51,11 @@ struct EnvironmentModel {
   // Channel 3: fraction of non-source agents pinned to the initially wrong
   // opinion.
   double zealot_fraction = 0.0;
+  // Channel 3, exact form: zealots added ON TOP of the fraction, as an
+  // absolute count. Used where the adversarial camp is an exact population —
+  // the conflicting-sources engine maps its minority stubborn camp here —
+  // while zealot_fraction serves the scale-free sweeps.
+  std::uint64_t extra_zealots = 0;
   // Channel 5: per-round crash probability of each free agent.
   double churn_rate = 0.0;
   // Channel 4: rounds at which the correct opinion flips (kept sorted and
@@ -75,7 +80,8 @@ struct EnvironmentModel {
   bool active() const noexcept;
 
   // Number of zealots for a population of n agents with `sources` sources:
-  // floor(zealot_fraction * (n - sources)).
+  // floor(zealot_fraction * (n - sources)) + extra_zealots, capped at
+  // n - sources.
   std::uint64_t zealot_count(std::uint64_t n,
                              std::uint64_t sources) const noexcept;
 

@@ -6,6 +6,18 @@
 // sample histograms — feasible for the constant-l regime the paper's
 // footnote concerns), so one round is one multinomial draw per current
 // opinion. MultiAgentEngine is the explicit per-agent fallback for any l.
+//
+// Both engines run through the shared RunDriver (engine/run_loop.h) with a
+// custom consensus stop evaluation, so they take the same StopRule as the
+// binary engines and emit trajectories, flight-recorder round streams, and
+// telemetry. Faulty runs accept an EnvironmentModel with the m-ary
+// generalizations of channels 1 (each observed opinion is replaced by a
+// uniformly random OTHER opinion with probability epsilon), 2 (with
+// probability eta the agent adopts a uniform opinion), and 5 (churned agents
+// restart on the canonical wrong opinion (correct+1) mod m). The zealot and
+// source-flip channels are binary-specific (which of the m-1 wrong opinions
+// zealots pin, and what a flip re-targets, are not canonical) and are
+// ignored here — see DESIGN.md §3.5.
 #ifndef BITSPREAD_MULTI_ENGINE_H_
 #define BITSPREAD_MULTI_ENGINE_H_
 
@@ -13,25 +25,30 @@
 #include <vector>
 
 #include "engine/stopping.h"
+#include "engine/trajectory.h"
+#include "faults/environment.h"
 #include "multi/configuration.h"
 #include "multi/protocol.h"
 #include "random/rng.h"
 
 namespace bitspread {
 
+// The multi-opinion run result: RunResult's shape with the m-ary final
+// configuration. Rounds are always parallel rounds (both engines are
+// synchronous).
 struct MultiRunResult {
   StopReason reason = StopReason::kRoundLimit;
   std::uint64_t rounds = 0;
   MultiConfiguration final_config;
+  RunTelemetry telemetry;
 
   bool converged() const noexcept {
     return reason == StopReason::kCorrectConsensus;
   }
-};
-
-struct MultiStopRule {
-  std::uint64_t max_rounds = 1'000'000;
-  bool stop_on_any_consensus = true;
+  bool censored() const noexcept {
+    return reason == StopReason::kRoundLimit ||
+           reason == StopReason::kDegraded;
+  }
 };
 
 class MultiAggregateEngine {
@@ -47,8 +64,19 @@ class MultiAggregateEngine {
 
   MultiConfiguration step(const MultiConfiguration& config, Rng& rng) const;
 
-  MultiRunResult run(MultiConfiguration config, const MultiStopRule& rule,
-                     Rng& rng) const;
+  // StopRule::max_rounds caps the run; stop_on_any_consensus maps onto
+  // m-ary consensus (any absorbing consensus stops unless it is the correct
+  // one). The interval fields are binary-specific and ignored.
+  MultiRunResult run(MultiConfiguration config, const StopRule& rule,
+                     Rng& rng, Trajectory* trajectory = nullptr) const;
+
+  // Faulty run (channels 1/2/5, m-ary forms; see the header comment). The
+  // convergence quorum generalizes: counts[correct] >= ceil(quorum * n)
+  // counts as correct consensus, and a wrong consensus only stops when the
+  // model keeps it absorbing.
+  MultiRunResult run(MultiConfiguration config, const StopRule& rule,
+                     const EnvironmentModel& faults, Rng& rng,
+                     Trajectory* trajectory = nullptr) const;
 
   const MultiOpinionProtocol& protocol() const noexcept { return *protocol_; }
 
@@ -73,8 +101,19 @@ class MultiAgentEngine {
 
   Population make_population(const MultiConfiguration& config) const;
   void step(Population& population, Rng& rng) const;
-  MultiRunResult run(MultiConfiguration config, const MultiStopRule& rule,
-                     Rng& rng) const;
+  // One faulty synchronous round: per-observation m-ary noise plus the
+  // spontaneous override. Churn is round-boundary work owned by the driver
+  // loop.
+  void step_faulty(Population& population, const EnvironmentModel& model,
+                   Rng& rng) const;
+
+  MultiRunResult run(MultiConfiguration config, const StopRule& rule,
+                     Rng& rng, Trajectory* trajectory = nullptr) const;
+  MultiRunResult run(MultiConfiguration config, const StopRule& rule,
+                     const EnvironmentModel& faults, Rng& rng,
+                     Trajectory* trajectory = nullptr) const;
+
+  const MultiOpinionProtocol& protocol() const noexcept { return *protocol_; }
 
  private:
   const MultiOpinionProtocol* protocol_;

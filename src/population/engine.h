@@ -19,11 +19,14 @@
 #include <vector>
 
 #include "core/opinion.h"
-#include "engine/sequential.h"
 #include "engine/stopping.h"
+#include "engine/trajectory.h"
+#include "faults/environment.h"
 #include "random/rng.h"
 
 namespace bitspread {
+
+class FaultSession;
 
 // A pairwise transition function over a finite state space. States are
 // small integers; the displayed opinion is a projection of the state.
@@ -72,10 +75,29 @@ class PopulationEngine {
   // their own state never changes.
   void interact(Population& population, Rng& rng) const;
 
+  // As interact, but zealot slots never change state (they still respond:
+  // partners see their state).
+  void interact_faulty(Population& population, const FaultSession& session,
+                       Rng& rng) const;
+
   // StopRule::max_rounds in parallel rounds (n interactions each, the
-  // standard population-protocol normalization).
-  SequentialRunResult run(Population& population, const StopRule& rule,
-                          Rng& rng) const;
+  // standard population-protocol normalization); the result reports
+  // TimeUnit::kActivations (ticks = interactions). The trajectory and the
+  // flight-recorder round stream are recorded once per parallel round.
+  RunResult run(Population& population, const StopRule& rule, Rng& rng,
+                Trajectory* trajectory = nullptr) const;
+
+  // Faulty run. Population protocols exchange full states, not sampled
+  // bits, so the bit-observation channels (observation noise, spontaneous
+  // adoption) do not apply and are ignored; the structural channels do:
+  // zealot slots are frozen on the initially wrong opinion, source flips
+  // re-target the correct opinion and reset the source states mid-run, and
+  // churned free agents restart in the protocol's initial state for the
+  // currently wrong opinion at round boundaries. Assumes the canonical
+  // make_population layout (sources | ones | zeros) for zealot placement.
+  RunResult run(Population& population, const StopRule& rule,
+                const EnvironmentModel& faults, Rng& rng,
+                Trajectory* trajectory = nullptr) const;
 
   const PairwiseProtocol& protocol() const noexcept { return *protocol_; }
 

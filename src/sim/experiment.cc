@@ -11,7 +11,7 @@ ConvergenceMeasurement measure(const std::function<RunResult(Rng&)>& single_run,
   for (int rep = 0; rep < replicates; ++rep) {
     Rng rng = seeds.stream(cell, static_cast<std::uint64_t>(rep));
     const RunResult result = single_run(rng);
-    const auto rounds = static_cast<double>(result.rounds);
+    const double rounds = result.parallel_rounds();
     out.rounds_lower_bound.add(rounds);
     if (result.reason == success) {
       ++out.converged;

@@ -201,7 +201,7 @@ ConvergenceMeasurement measure_convergence_parallel(
   ConvergenceMeasurement out;
   out.replicates = replicates;
   for (const RunResult& result : results) {
-    const auto rounds = static_cast<double>(result.rounds);
+    const double rounds = result.parallel_rounds();
     out.rounds_lower_bound.add(rounds);
     if (result.reason == StopReason::kCorrectConsensus) {
       ++out.converged;

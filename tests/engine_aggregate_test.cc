@@ -86,7 +86,7 @@ TEST(AggregateEngine, RunHonorsRoundLimit) {
   const RunResult result =
       engine.run(init_half(100000, Opinion::kOne), rule, rng);
   EXPECT_EQ(result.reason, StopReason::kRoundLimit);
-  EXPECT_EQ(result.rounds, 5u);
+  EXPECT_EQ(result.rounds(), 5u);
   EXPECT_TRUE(result.censored());
 }
 
@@ -110,7 +110,7 @@ TEST(AggregateEngine, ZeroRoundsWhenStartingConverged) {
   Rng rng(8);
   const RunResult result =
       engine.run(correct_consensus(100, Opinion::kZero), StopRule{}, rng);
-  EXPECT_EQ(result.rounds, 0u);
+  EXPECT_EQ(result.rounds(), 0u);
   EXPECT_TRUE(result.converged());
 }
 
@@ -151,7 +151,7 @@ TEST(AggregateEngine, DeterministicGivenSeed) {
   Rng rng_a(11), rng_b(11);
   const RunResult a = engine.run(init_half(512, Opinion::kOne), rule, rng_a);
   const RunResult b = engine.run(init_half(512, Opinion::kOne), rule, rng_b);
-  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.rounds(), b.rounds());
   EXPECT_EQ(a.final_config, b.final_config);
   EXPECT_EQ(a.reason, b.reason);
 }

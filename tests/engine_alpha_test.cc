@@ -33,8 +33,8 @@ TEST(AlphaSync, AlphaOneMatchesParallelEngineInLaw) {
                                             rule, rng_b);
     ASSERT_TRUE(a.converged());
     ASSERT_TRUE(b.converged());
-    a_times.push_back(static_cast<double>(a.rounds));
-    b_times.push_back(static_cast<double>(b.rounds));
+    a_times.push_back(static_cast<double>(a.rounds()));
+    b_times.push_back(static_cast<double>(b.rounds()));
   }
   const double d = ks_statistic(a_times, b_times);
   EXPECT_GT(ks_p_value(d, a_times.size(), b_times.size()), 1e-3) << "KS=" << d;
@@ -98,7 +98,7 @@ TEST(AlphaSync, SmallAlphaApproachesSequentialScale) {
   // Effective parallel rounds = rounds / n: should be within a sane factor
   // of voter's ~n-ish convergence (very loose bounds; this is a unit test).
   const double effective =
-      static_cast<double>(result.rounds) / static_cast<double>(n);
+      static_cast<double>(result.rounds()) / static_cast<double>(n);
   EXPECT_GT(effective, 5.0);
   EXPECT_LT(effective, 100000.0);
 }

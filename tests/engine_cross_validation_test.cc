@@ -9,7 +9,10 @@
 #include "core/stateful.h"
 #include "engine/agent.h"
 #include "engine/aggregate.h"
+#include "engine/alpha_sync.h"
+#include "engine/conflicting.h"
 #include "engine/sharded.h"
+#include "faults/environment.h"
 #include "markov/absorption.h"
 #include "markov/dense_chain.h"
 #include "protocols/minority.h"
@@ -95,8 +98,8 @@ TEST(CrossValidation, ConvergenceTimeLawsAgreeAcrossEngines) {
         agent.run(Configuration{n, 10, Opinion::kOne}, rule, rng_b);
     ASSERT_TRUE(a.converged());
     ASSERT_TRUE(b.converged());
-    agg_times.push_back(static_cast<double>(a.rounds));
-    agent_times.push_back(static_cast<double>(b.rounds));
+    agg_times.push_back(static_cast<double>(a.rounds()));
+    agent_times.push_back(static_cast<double>(b.rounds()));
   }
   const double d = ks_statistic(agg_times, agent_times);
   EXPECT_GT(ks_p_value(d, agg_times.size(), agent_times.size()), 1e-3)
@@ -149,8 +152,8 @@ TEST(CrossValidation, ShardedAndAggregateConvergenceLawsAgree) {
                     70000 + static_cast<std::uint64_t>(i));
     ASSERT_TRUE(a.converged());
     ASSERT_TRUE(b.converged());
-    agg_times.push_back(static_cast<double>(a.rounds));
-    sharded_times.push_back(static_cast<double>(b.rounds));
+    agg_times.push_back(static_cast<double>(a.rounds()));
+    sharded_times.push_back(static_cast<double>(b.rounds()));
   }
   const double d = ks_statistic(agg_times, sharded_times);
   EXPECT_GT(ks_p_value(d, agg_times.size(), sharded_times.size()), 1e-3)
@@ -194,10 +197,127 @@ TEST(CrossValidation, MeanConvergenceMatchesExactAbsorptionTime) {
     const RunResult result =
         engine.run(Configuration{n, x0, Opinion::kOne}, rule, rng);
     ASSERT_TRUE(result.converged());
-    stats.add(static_cast<double>(result.rounds));
+    stats.add(static_cast<double>(result.rounds()));
   }
   EXPECT_NEAR(stats.mean(), exact, 5.0 * stats.stderr_mean())
       << "exact=" << exact;
+}
+
+// The alpha-synchronous scheduler at alpha = 1 IS the parallel setting:
+// convergence-time laws match the aggregate engine's (KS). Not bit-identity —
+// the alpha engine spends two extra activation binomials per round — so the
+// comparison is distributional.
+TEST(CrossValidation, AlphaOneMatchesAggregateConvergenceLaw) {
+  const VoterDynamics voter;
+  const std::uint64_t n = 30;
+  StopRule rule;
+  rule.max_rounds = 1000000;
+
+  const AggregateParallelEngine aggregate(voter);
+  const AlphaSynchronousEngine alpha(voter, 1.0);
+
+  const int kTrials = 400;
+  std::vector<double> agg_times, alpha_times;
+  for (int i = 0; i < kTrials; ++i) {
+    Rng rng_a(80000 + i), rng_b(90000 + i);
+    const RunResult a =
+        aggregate.run(Configuration{n, 10, Opinion::kOne}, rule, rng_a);
+    const RunResult b =
+        alpha.run(Configuration{n, 10, Opinion::kOne}, rule, rng_b);
+    ASSERT_TRUE(a.converged());
+    ASSERT_TRUE(b.converged());
+    EXPECT_EQ(b.unit, TimeUnit::kAlphaRounds);
+    agg_times.push_back(a.parallel_rounds());
+    alpha_times.push_back(b.parallel_rounds());
+  }
+  const double d = ks_statistic(agg_times, alpha_times);
+  EXPECT_GT(ks_p_value(d, agg_times.size(), alpha_times.size()), 1e-3)
+      << "KS=" << d;
+}
+
+// Same identity through the faulty code path: at alpha = 1 the noisy
+// closed-form adoption plus source flips produce the same re-convergence law
+// as the aggregate engine's faulty run.
+TEST(CrossValidation, AlphaOneMatchesAggregateUnderFaults) {
+  const VoterDynamics voter;
+  const std::uint64_t n = 30;
+  StopRule rule;
+  rule.max_rounds = 1000000;
+  EnvironmentModel model;
+  model.observation_noise = 0.02;
+  model.convergence_quorum = 0.9;
+  model.source_flip_rounds = {3};
+
+  const AggregateParallelEngine aggregate(voter);
+  const AlphaSynchronousEngine alpha(voter, 1.0);
+
+  const int kTrials = 400;
+  std::vector<double> agg_times, alpha_times;
+  for (int i = 0; i < kTrials; ++i) {
+    Rng rng_a(100000 + i), rng_b(110000 + i);
+    const RunResult a = aggregate.run(Configuration{n, 10, Opinion::kOne},
+                                      rule, model, rng_a);
+    const RunResult b =
+        alpha.run(Configuration{n, 10, Opinion::kOne}, rule, model, rng_b);
+    ASSERT_TRUE(a.converged());
+    ASSERT_TRUE(b.converged());
+    ASSERT_EQ(a.recoveries.size(), 2u);
+    ASSERT_EQ(b.recoveries.size(), 2u);
+    agg_times.push_back(a.parallel_rounds());
+    alpha_times.push_back(b.parallel_rounds());
+  }
+  const double d = ks_statistic(agg_times, alpha_times);
+  EXPECT_GT(ks_p_value(d, agg_times.size(), alpha_times.size()), 1e-3)
+      << "KS=" << d;
+}
+
+// A single stubborn camp IS the standard single-source model: the
+// conflicting engine's zealot reduction must then be the identity, i.e.
+// bit-for-bit the plain aggregate run with the same seed.
+TEST(CrossValidation, ConflictingSingleCampIsBitIdenticalToStandardRun) {
+  const MinorityDynamics minority(3);
+  const ConflictingAggregateEngine conflicting(minority);
+  const AggregateParallelEngine aggregate(minority);
+  StopRule rule;
+  rule.max_rounds = 5000;
+
+  for (int i = 0; i < 50; ++i) {
+    Rng rng_a(120000 + i), rng_b(120000 + i);
+    const ConflictingConfiguration config{40, 12, 1, 0};
+    const RunResult a = conflicting.run(config, rule, rng_a);
+    const RunResult b =
+        aggregate.run(Configuration{40, 12, Opinion::kOne, 1}, rule, rng_b);
+    EXPECT_EQ(a.reason, b.reason);
+    EXPECT_EQ(a.ticks, b.ticks);
+    EXPECT_EQ(a.final_config.ones, b.final_config.ones);
+  }
+}
+
+// The same reduction identity through the fault channels: with noise and a
+// source-flip schedule on top, a single-camp conflicting run is bit-identical
+// to the standard faulty aggregate run.
+TEST(CrossValidation, ConflictingSingleCampBitIdenticalUnderFaults) {
+  const VoterDynamics voter;
+  const ConflictingAggregateEngine conflicting(voter);
+  const AggregateParallelEngine aggregate(voter);
+  StopRule rule;
+  rule.max_rounds = 5000;
+  EnvironmentModel model;
+  model.observation_noise = 0.05;
+  model.convergence_quorum = 0.9;
+  model.source_flip_rounds = {4};
+
+  for (int i = 0; i < 50; ++i) {
+    Rng rng_a(130000 + i), rng_b(130000 + i);
+    const ConflictingConfiguration config{40, 12, 1, 0};
+    const RunResult a = conflicting.run(config, rule, model, rng_a);
+    const RunResult b = aggregate.run(Configuration{40, 12, Opinion::kOne, 1},
+                                      rule, model, rng_b);
+    EXPECT_EQ(a.reason, b.reason);
+    EXPECT_EQ(a.ticks, b.ticks);
+    EXPECT_EQ(a.final_config.ones, b.final_config.ones);
+    EXPECT_EQ(a.recoveries, b.recoveries);
+  }
 }
 
 }  // namespace

@@ -35,10 +35,10 @@ TEST(SequentialEngine, RunReportsActivationsAndParallelRounds) {
   Rng rng(2);
   StopRule rule;
   rule.max_rounds = 3;  // 3 parallel rounds = 3n activations.
-  const SequentialRunResult result =
+  const RunResult result =
       engine.run(init_half(1000, Opinion::kOne), rule, rng);
   EXPECT_EQ(result.reason, StopReason::kRoundLimit);
-  EXPECT_EQ(result.activations, 3000u);
+  EXPECT_EQ(result.activations(), 3000u);
   EXPECT_DOUBLE_EQ(result.parallel_rounds(), 3.0);
 }
 
@@ -48,10 +48,10 @@ TEST(SequentialEngine, ConvergesOnTinyInstance) {
   Rng rng(3);
   StopRule rule;
   rule.max_rounds = 1000000;
-  const SequentialRunResult result =
+  const RunResult result =
       engine.run(init_all_wrong(12, Opinion::kOne), rule, rng);
   EXPECT_TRUE(result.converged());
-  EXPECT_GT(result.activations, 0u);
+  EXPECT_GT(result.activations(), 0u);
 }
 
 TEST(SequentialEngine, ConsensusIsAbsorbing) {
@@ -82,10 +82,10 @@ TEST(SequentialEngine, MeanConvergenceTimeMatchesBirthDeathChain) {
   const int kTrials = 3000;
   for (int i = 0; i < kTrials; ++i) {
     Rng rng(1000 + i);
-    const SequentialRunResult result =
+    const RunResult result =
         engine.run(Configuration{n, x0, Opinion::kOne}, rule, rng);
     ASSERT_TRUE(result.converged());
-    stats.add(static_cast<double>(result.activations));
+    stats.add(static_cast<double>(result.activations()));
   }
   EXPECT_NEAR(stats.mean(), exact, 5.0 * stats.stderr_mean())
       << "exact=" << exact << " simulated=" << stats.mean();
@@ -111,7 +111,7 @@ TEST(SequentialEngine, DeterministicGivenSeed) {
   Rng a(6), b(6);
   const auto ra = engine.run(init_half(64, Opinion::kOne), rule, a);
   const auto rb = engine.run(init_half(64, Opinion::kOne), rule, b);
-  EXPECT_EQ(ra.activations, rb.activations);
+  EXPECT_EQ(ra.activations(), rb.activations());
   EXPECT_EQ(ra.final_config, rb.final_config);
 }
 

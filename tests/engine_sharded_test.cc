@@ -46,7 +46,7 @@ RunRecord run_voter(ShardedAgentEngine::Options options, std::uint64_t n,
 
 void expect_identical(const RunRecord& a, const RunRecord& b) {
   EXPECT_EQ(a.result.reason, b.result.reason);
-  EXPECT_EQ(a.result.rounds, b.result.rounds);
+  EXPECT_EQ(a.result.rounds(), b.result.rounds());
   EXPECT_EQ(a.result.final_config, b.result.final_config);
   ASSERT_EQ(a.points.size(), b.points.size());
   for (std::size_t i = 0; i < a.points.size(); ++i) {
@@ -188,7 +188,7 @@ TEST(ShardedEngine, AdapterUnwrapsToFastPath) {
   const Configuration init = init_all_wrong(500, Opinion::kOne);
   const RunResult a = direct.run(init, rule, 99);
   const RunResult b = via_adapter.run(init, rule, 99);
-  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.rounds(), b.rounds());
   EXPECT_EQ(a.final_config, b.final_config);
 }
 
@@ -218,7 +218,7 @@ TEST(ShardedEngine, StatefulBitIdenticalAcrossThreads) {
     if (threads == 1u) {
       reference = result;
     } else {
-      EXPECT_EQ(result.rounds, reference.rounds);
+      EXPECT_EQ(result.rounds(), reference.rounds());
       EXPECT_EQ(result.final_config, reference.final_config);
     }
   }
@@ -273,7 +273,7 @@ TEST(ShardedEngine, WithoutReplacementBitIdenticalAcrossThreads) {
        .sampling = ShardedAgentEngine::Sampling::kWithoutReplacement});
   const RunResult a = serial.run(init, rule, 23);
   const RunResult b = threaded.run(init, rule, 23);
-  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.rounds(), b.rounds());
   EXPECT_EQ(a.final_config, b.final_config);
 }
 
@@ -299,8 +299,8 @@ TEST(ShardedEngine, AgreesWithAgentEngineInLaw) {
         agent.run(Configuration{n, 10, Opinion::kOne}, rule, rng);
     ASSERT_TRUE(a.converged());
     ASSERT_TRUE(b.converged());
-    sharded_times.push_back(static_cast<double>(a.rounds));
-    agent_times.push_back(static_cast<double>(b.rounds));
+    sharded_times.push_back(static_cast<double>(a.rounds()));
+    agent_times.push_back(static_cast<double>(b.rounds()));
   }
   const double d = ks_statistic(sharded_times, agent_times);
   EXPECT_GT(ks_p_value(d, sharded_times.size(), agent_times.size()), 1e-3)

@@ -62,7 +62,7 @@ RunRecord run_faulty(ShardedAgentEngine::Options options, std::uint64_t n,
 
 void expect_identical(const RunRecord& a, const RunRecord& b) {
   EXPECT_EQ(a.result.reason, b.result.reason);
-  EXPECT_EQ(a.result.rounds, b.result.rounds);
+  EXPECT_EQ(a.result.rounds(), b.result.rounds());
   EXPECT_EQ(a.result.final_config, b.result.final_config);
   EXPECT_EQ(a.result.recoveries, b.result.recoveries);
   ASSERT_EQ(a.points.size(), b.points.size());
@@ -241,8 +241,8 @@ TEST(FaultDeterminism, AggregateAndAgentNoisyConvergenceLawsAgree) {
         aggregate.run(init_all_wrong(n, Opinion::kOne), rule, model, rng_a);
     const RunResult b =
         agent.run(init_all_wrong(n, Opinion::kOne), rule, model, rng_b);
-    if (a.converged()) agg_times.push_back(static_cast<double>(a.rounds));
-    if (b.converged()) agent_times.push_back(static_cast<double>(b.rounds));
+    if (a.converged()) agg_times.push_back(static_cast<double>(a.rounds()));
+    if (b.converged()) agent_times.push_back(static_cast<double>(b.rounds()));
     censored += !a.converged() + !b.converged();
   }
   // Both engines should solve this mild regime essentially always.

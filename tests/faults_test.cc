@@ -225,7 +225,7 @@ TEST(AggregateFaults, WrongConsensusUnderZealotsReportedAtRoundZero) {
   const RunResult result =
       engine.run(Configuration{50, 0, Opinion::kOne, 0}, rule, model, rng);
   EXPECT_EQ(result.reason, StopReason::kWrongConsensus);
-  EXPECT_EQ(result.rounds, 0u);
+  EXPECT_EQ(result.rounds(), 0u);
 }
 
 TEST(AggregateFaults, NoiseEscapesWrongConsensus) {
@@ -290,7 +290,7 @@ TEST(AggregateFaults, RecoverableFlipReportsPerFlipRecoveryTimes) {
   EXPECT_EQ(result.recoveries[1].flip_round, 60u);
   EXPECT_EQ(result.recoveries[2].flip_round, 120u);
   // The run only stops after the LAST flip's recovery.
-  EXPECT_GE(result.rounds, 120u);
+  EXPECT_GE(result.rounds(), 120u);
 }
 
 TEST(AggregateFaults, ZealotsCapTheReachableOnesCount) {
@@ -322,7 +322,7 @@ TEST(SequentialFaults, FaultyRunMatchesSemantics) {
   StopRule rule;
   rule.max_rounds = 25;
   Rng rng(31);
-  const SequentialRunResult result =
+  const RunResult result =
       engine.run(init_all_wrong(64, Opinion::kOne), rule, model, rng);
   EXPECT_EQ(result.reason, StopReason::kDegraded);
   EXPECT_TRUE(result.censored());

@@ -55,7 +55,7 @@ TEST(Integration, MinorityWithSqrtSampleSizeIsFast) {
                                         rule, rng);
     if (result.converged()) {
       ++converged;
-      rounds.add(static_cast<double>(result.rounds));
+      rounds.add(static_cast<double>(result.rounds()));
     }
   }
   EXPECT_EQ(converged, 10);
@@ -86,7 +86,7 @@ TEST(Integration, MinorityConstantSampleSlowCrossing) {
         analysis.slow_correct};
     const RunResult result = engine.run(start, rule, rng);
     EXPECT_EQ(result.reason, StopReason::kRoundLimit)
-        << "crossed after " << result.rounds << " rounds";
+        << "crossed after " << result.rounds() << " rounds";
   }
 }
 
@@ -169,13 +169,13 @@ TEST(Integration, SequentialVsParallelGapForMinority) {
   const RunResult par =
       parallel.run(init_half(n, Opinion::kOne), rule, rng_p);
   ASSERT_TRUE(par.converged());
-  EXPECT_LT(par.rounds, 50u);
+  EXPECT_LT(par.rounds(), 50u);
 
   const SequentialEngine sequential(minority);
   StopRule seq_rule;
-  seq_rule.max_rounds = 100 * par.rounds;
+  seq_rule.max_rounds = 100 * par.rounds();
   Rng rng_s(701);
-  const SequentialRunResult seq =
+  const RunResult seq =
       sequential.run(init_half(n, Opinion::kOne), seq_rule, rng_s);
   EXPECT_TRUE(seq.censored());  // Still not done after a 100x horizon.
 }

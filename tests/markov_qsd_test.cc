@@ -130,14 +130,14 @@ TEST(SequentialAgentEngine, MatchesAggregateSequentialForMemoryless) {
   std::vector<double> agent_times, aggregate_times;
   for (int i = 0; i < kTrials; ++i) {
     Rng rng_a(70000 + i), rng_b(80000 + i);
-    const SequentialRunResult a =
+    const RunResult a =
         agent_engine.run(Configuration{n, 7, Opinion::kOne}, rule, rng_a);
-    const SequentialRunResult b =
+    const RunResult b =
         aggregate_engine.run(Configuration{n, 7, Opinion::kOne}, rule, rng_b);
     ASSERT_TRUE(a.converged());
     ASSERT_TRUE(b.converged());
-    agent_times.push_back(static_cast<double>(a.activations));
-    aggregate_times.push_back(static_cast<double>(b.activations));
+    agent_times.push_back(static_cast<double>(a.activations()));
+    aggregate_times.push_back(static_cast<double>(b.activations()));
   }
   const double d = ks_statistic(agent_times, aggregate_times);
   EXPECT_GT(ks_p_value(d, agent_times.size(), aggregate_times.size()), 1e-3)
@@ -150,10 +150,10 @@ TEST(SequentialAgentEngine, RunReportsActivationsAndStops) {
   Rng rng(2);
   StopRule rule;
   rule.max_rounds = 3;
-  const SequentialRunResult result =
+  const RunResult result =
       engine.run(init_half(50, Opinion::kOne), rule, rng);
   EXPECT_EQ(result.reason, StopReason::kRoundLimit);
-  EXPECT_EQ(result.activations, 150u);
+  EXPECT_EQ(result.activations(), 150u);
 }
 
 TEST(SequentialAgentEngine, SourcePinnedAndCountsConsistent) {

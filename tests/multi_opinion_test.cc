@@ -187,7 +187,7 @@ TEST(MultiAggregate, BinaryEmbeddingMatchesBinaryEngineInLaw) {
 
   const int kTrials = 300;
   std::vector<double> multi_times, binary_times;
-  MultiStopRule multi_rule;
+  StopRule multi_rule;
   multi_rule.max_rounds = 1000000;
   StopRule binary_rule;
   binary_rule.max_rounds = 1000000;
@@ -200,7 +200,7 @@ TEST(MultiAggregate, BinaryEmbeddingMatchesBinaryEngineInLaw) {
     ASSERT_TRUE(a.converged());
     ASSERT_TRUE(b.converged());
     multi_times.push_back(static_cast<double>(a.rounds));
-    binary_times.push_back(static_cast<double>(b.rounds));
+    binary_times.push_back(static_cast<double>(b.rounds()));
   }
   const double d = ks_statistic(multi_times, binary_times);
   EXPECT_GT(ks_p_value(d, multi_times.size(), binary_times.size()), 1e-3)
@@ -255,7 +255,7 @@ TEST(MultiAgent, VoterConvergesWithThreeOpinions) {
   config.counts = {10, 10, 10};
   config.correct = 2;
   config.sources = 1;
-  MultiStopRule rule;
+  StopRule rule;
   rule.max_rounds = 1000000;
   const MultiRunResult result = engine.run(config, rule, rng);
   // Voter with a source eventually reaches the correct consensus (dual

@@ -76,7 +76,7 @@ TEST(PopulationEngine, EpidemicConvergesInLogTime) {
     auto population = engine.make_population(n, Opinion::kOne, 1);
     StopRule rule;
     rule.max_rounds = 10000;
-    const SequentialRunResult r = engine.run(population, rule, rng);
+    const RunResult r = engine.run(population, rule, rng);
     ASSERT_TRUE(r.converged());
     rounds.add(r.parallel_rounds());
   }
@@ -93,7 +93,7 @@ TEST(PopulationEngine, EpidemicWorksForZeroSourceToo) {
       engine.make_population(512, Opinion::kZero, /*initial_ones=*/511);
   StopRule rule;
   rule.max_rounds = 10000;
-  const SequentialRunResult r = engine.run(population, rule, rng);
+  const RunResult r = engine.run(population, rule, rng);
   EXPECT_TRUE(r.converged());
   EXPECT_EQ(r.final_config.ones, 0u);
 }
@@ -105,7 +105,7 @@ TEST(PopulationEngine, PairwiseVoterEventuallyConverges) {
   auto population = engine.make_population(16, Opinion::kOne, 1);
   StopRule rule;
   rule.max_rounds = 1000000;
-  const SequentialRunResult r = engine.run(population, rule, rng);
+  const RunResult r = engine.run(population, rule, rng);
   EXPECT_TRUE(r.converged());
 }
 
@@ -120,7 +120,7 @@ TEST(PopulationEngine, FalselyInformedAgentsBreakSelfStabilization) {
   StopRule rule;
   rule.max_rounds = 500;
   rule.stop_on_any_consensus = false;
-  const SequentialRunResult r = engine.run(population, rule, rng);
+  const RunResult r = engine.run(population, rule, rng);
   EXPECT_FALSE(r.converged());
   // The falsely-informed agent never loses its mark.
   std::uint64_t wrong_informed = 0;

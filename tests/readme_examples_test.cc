@@ -34,7 +34,7 @@ TEST(ReadmeExamples, QuickstartSnippetRuns) {
   RunResult r =
       engine.run(init_all_wrong(1'000'000, Opinion::kOne), rule, rng);
   EXPECT_TRUE(r.converged());
-  EXPECT_LT(r.rounds, 100u);
+  EXPECT_LT(r.rounds(), 100u);
 }
 
 TEST(ReadmeExamples, CustomProtocolSnippetAnalyzes) {

@@ -134,7 +134,7 @@ TEST(Measurement, CountsConvergedRuns) {
     RunResult result;
     result.reason = rng.bernoulli(0.5) ? StopReason::kCorrectConsensus
                                        : StopReason::kRoundLimit;
-    result.rounds = 10;
+    result.ticks = 10;
     return result;
   };
   const ConvergenceMeasurement m = measure_convergence(runner, seeds, 0, 100);
@@ -154,7 +154,7 @@ TEST(Measurement, CellsGetIndependentStreams) {
   const auto runner = [](Rng& rng) {
     RunResult result;
     result.reason = StopReason::kCorrectConsensus;
-    result.rounds = rng.next_below(1000);
+    result.ticks = rng.next_below(1000);
     return result;
   };
   const auto a = measure_convergence(runner, seeds, 0, 50);
@@ -170,7 +170,7 @@ TEST(Measurement, CrossingVariantCountsIntervalExit) {
   const auto runner = [](Rng&) {
     RunResult result;
     result.reason = StopReason::kIntervalExit;
-    result.rounds = 5;
+    result.ticks = 5;
     return result;
   };
   const ConvergenceMeasurement m = measure_crossing(runner, seeds, 0, 10);

@@ -300,13 +300,9 @@ class Digest {
   }
   void fold_result(const RunResult& result) {
     fold(static_cast<std::uint64_t>(result.reason));
-    fold(result.rounds);
-    fold_config(result.final_config);
-    fold_recoveries(result.recoveries);
-  }
-  void fold_result(const SequentialRunResult& result) {
-    fold(static_cast<std::uint64_t>(result.reason));
-    fold(result.activations);
+    // ticks equals the old per-engine fold (rounds for parallel engines,
+    // activations for sequential ones), so the golden digest is unchanged.
+    fold(result.ticks);
     fold_config(result.final_config);
     fold_recoveries(result.recoveries);
   }
@@ -420,7 +416,7 @@ TEST(TelemetryDeterminism, RunTelemetryRecordedMatchesBuildFlavor) {
   const RunResult result = engine.run(init_half(512, Opinion::kOne), rule, rng);
   EXPECT_EQ(result.telemetry.recorded, telemetry::kCompiledIn);
   if (telemetry::kCompiledIn) {
-    EXPECT_EQ(result.telemetry.rounds, result.rounds);
+    EXPECT_EQ(result.telemetry.rounds, result.rounds());
     EXPECT_GT(result.telemetry.samples_drawn, 0u);
     EXPECT_GT(result.telemetry.wall_seconds, 0.0);
   } else {

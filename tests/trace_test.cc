@@ -345,14 +345,14 @@ TEST(TraceProbes, AggregateEngineStreamsEveryRound) {
   telemetry::install_trace_recorder(nullptr);
 
   if (telemetry::kCompiledIn) {
-    ASSERT_EQ(result.rounds, 50u);
+    ASSERT_EQ(result.rounds(), 50u);
     // Round 0 plus one record per executed round.
-    EXPECT_EQ(stream.rounds_seen(), result.rounds + 1);
-    EXPECT_EQ(stream.lines(), result.rounds + 1);
+    EXPECT_EQ(stream.rounds_seen(), result.rounds() + 1);
+    EXPECT_EQ(stream.lines(), result.rounds() + 1);
     const JsonValue trace = recorder.export_chrome_trace();
     EXPECT_TRUE(telemetry::validate_chrome_trace(trace).empty());
     EXPECT_EQ(count_events(trace, "C", "X_t"),
-              static_cast<int>(result.rounds) + 1);
+              static_cast<int>(result.rounds()) + 1);
   } else {
     EXPECT_EQ(recorder.recorded(), 0u);
     EXPECT_EQ(stream.rounds_seen(), 0u);

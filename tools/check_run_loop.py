@@ -1,0 +1,302 @@
+#!/usr/bin/env python3
+"""Structural lint: run-loop concerns live in the RunDriver, nowhere else.
+
+Usage:
+    check_run_loop.py [--root DIR]
+    check_run_loop.py --self-test
+
+Since the unified run-loop refactor, stop-rule evaluation, per-round
+flight-recorder emission, and recovery-segment bookkeeping are driver
+concerns: engines are steppers and must not call `evaluate_stop()`,
+`telemetry::record_round()`, or construct `RecoverySegment{...}` on their
+own. This lint scans src/, bench/, and examples/ for those tokens and fails
+on any call-site outside the allowlisted owners:
+
+    src/engine/run_loop.*   -- the driver itself (all three tokens)
+    src/engine/stopping.*   -- defines evaluate_stop and RecoverySegment
+    src/faults/session.*    -- owns RecoverySegment lifecycle
+    src/telemetry/          -- defines record_round (and its no-op stub)
+    bench/perf_smoke.cc     -- record_round only: it steps engines directly
+                               (no run loop), so it must emit rounds itself
+
+Comments do not count as call-sites. Tests are out of scope: they exercise
+the primitives deliberately. Exit status 0 = clean, 1 = violation,
+2 = bad input.
+"""
+
+import argparse
+import os
+import re
+import sys
+import tempfile
+
+SCAN_DIRS = ("src", "bench", "examples")
+EXTENSIONS = (".h", ".cc")
+
+TOKENS = {
+    "evaluate_stop": re.compile(r"\bevaluate_stop\s*\("),
+    "record_round": re.compile(r"\brecord_round\s*\("),
+    "RecoverySegment": re.compile(r"\bRecoverySegment\s*\{"),
+}
+
+# Maps a path prefix (relative to the repo root, '/'-separated) to the set of
+# tokens that may legitimately appear under it.
+ALLOWLIST = (
+    ("src/engine/run_loop.", {"evaluate_stop", "record_round",
+                              "RecoverySegment"}),
+    ("src/engine/stopping.", {"evaluate_stop", "RecoverySegment"}),
+    ("src/faults/session.", {"RecoverySegment"}),
+    ("src/telemetry/", {"record_round"}),
+    ("bench/perf_smoke.cc", {"record_round"}),
+)
+
+
+def allowed_tokens(relpath):
+    for prefix, tokens in ALLOWLIST:
+        if relpath.startswith(prefix):
+            return tokens
+    return frozenset()
+
+
+def strip_comments(text):
+    """Blanks out // and /* */ comments, preserving line structure."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line | block | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "string"
+            elif c == "'":
+                state = "char"
+            out.append(c)
+        elif state == "line":
+            if c == "\n":
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+        elif state == "block":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append(c if c == "\n" else " ")
+        else:  # string or char literal: copy verbatim, honor escapes.
+            if c == "\\" and nxt:
+                out.append(c)
+                out.append(nxt)
+                i += 2
+                continue
+            if (state == "string" and c == '"') or (
+                state == "char" and c == "'"
+            ):
+                state = "code"
+            out.append(c)
+        i += 1
+    return "".join(out)
+
+
+def scan_file(root, relpath):
+    """Returns [(relpath, line_number, token)] violations in one file."""
+    path = os.path.join(root, relpath)
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            text = fh.read()
+    except OSError as err:
+        raise RuntimeError(f"{relpath}: cannot read: {err}") from err
+    allowed = allowed_tokens(relpath)
+    violations = []
+    code = strip_comments(text)
+    for line_number, line in enumerate(code.splitlines(), start=1):
+        for token, pattern in TOKENS.items():
+            if token in allowed:
+                continue
+            if pattern.search(line):
+                violations.append((relpath, line_number, token))
+    return violations
+
+
+def scan_tree(root):
+    """Returns all violations under the scan dirs, sorted by path."""
+    violations = []
+    for scan_dir in SCAN_DIRS:
+        top = os.path.join(root, scan_dir)
+        if not os.path.isdir(top):
+            continue
+        for dirpath, _dirnames, filenames in os.walk(top):
+            for filename in sorted(filenames):
+                if not filename.endswith(EXTENSIONS):
+                    continue
+                relpath = os.path.relpath(
+                    os.path.join(dirpath, filename), root
+                ).replace(os.sep, "/")
+                violations.extend(scan_file(root, relpath))
+    violations.sort()
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# Self-test
+
+
+def _write(root, relpath, text):
+    path = os.path.join(root, relpath)
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(text)
+
+
+def self_test():
+    failures = []
+
+    def case(name, fn):
+        try:
+            fn()
+        except AssertionError as err:
+            failures.append(name)
+            print(f"  FAIL {name}: {err}")
+        else:
+            print(f"  ok   {name}")
+
+    def test_clean_tree():
+        with tempfile.TemporaryDirectory() as tmp:
+            _write(tmp, "src/engine/foo.cc", "int step() { return 1; }\n")
+            assert scan_tree(tmp) == [], "clean tree must have no violations"
+
+    def test_engine_call_site_flagged():
+        with tempfile.TemporaryDirectory() as tmp:
+            _write(
+                tmp,
+                "src/engine/foo.cc",
+                "void run() {\n  evaluate_stop(rule, config);\n}\n",
+            )
+            found = scan_tree(tmp)
+            assert found == [("src/engine/foo.cc", 2, "evaluate_stop")], found
+
+    def test_allowlisted_owner_passes():
+        with tempfile.TemporaryDirectory() as tmp:
+            _write(
+                tmp,
+                "src/engine/run_loop.h",
+                "auto r = evaluate_stop(rule, c);\n"
+                "telemetry::record_round(0, c.ones, c.n);\n",
+            )
+            _write(tmp, "src/faults/session.cc",
+                   "push_back(RecoverySegment{0, 0, false});\n")
+            assert scan_tree(tmp) == [], "allowlisted owners must pass"
+
+    def test_allowlist_is_per_token():
+        with tempfile.TemporaryDirectory() as tmp:
+            # session.* may build RecoverySegment but not evaluate stops.
+            _write(tmp, "src/faults/session.cc",
+                   "auto r = evaluate_stop(rule, c);\n")
+            found = scan_tree(tmp)
+            assert found == [("src/faults/session.cc", 1, "evaluate_stop")], (
+                found
+            )
+
+    def test_comments_do_not_count():
+        with tempfile.TemporaryDirectory() as tmp:
+            _write(
+                tmp,
+                "src/engine/foo.h",
+                "// The driver calls evaluate_stop() for us.\n"
+                "/* record_round(r, ones, n) is emitted\n"
+                "   by RecoverySegment{...} owners. */\n"
+                "int x;\n",
+            )
+            assert scan_tree(tmp) == [], "comment mentions must not count"
+
+    def test_string_literals_count_as_code():
+        with tempfile.TemporaryDirectory() as tmp:
+            # A '//' inside a string must not hide real code after it.
+            _write(
+                tmp,
+                "src/engine/foo.cc",
+                'const char* url = "http://x"; auto r = evaluate_stop(a, b);\n',
+            )
+            found = scan_tree(tmp)
+            assert found == [("src/engine/foo.cc", 1, "evaluate_stop")], found
+
+    def test_bench_record_round_allowed():
+        with tempfile.TemporaryDirectory() as tmp:
+            _write(tmp, "bench/perf_smoke.cc",
+                   "telemetry::record_round(r, ones, n);\n")
+            _write(tmp, "bench/other_bench.cc",
+                   "telemetry::record_round(r, ones, n);\n")
+            found = scan_tree(tmp)
+            assert found == [("bench/other_bench.cc", 1, "record_round")], (
+                found
+            )
+
+    print("check_run_loop self-test:")
+    case("clean tree passes", test_clean_tree)
+    case("engine call-site is flagged", test_engine_call_site_flagged)
+    case("allowlisted owners pass", test_allowlisted_owner_passes)
+    case("allowlist is per-token", test_allowlist_is_per_token)
+    case("comments do not count", test_comments_do_not_count)
+    case("string literals stay code", test_string_literals_count_as_code)
+    case("only perf_smoke may record rounds", test_bench_record_round_allowed)
+    if failures:
+        print(f"self-test: {len(failures)} failure(s)", file=sys.stderr)
+        return 1
+    print("self-test: all cases passed")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--root",
+        default=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        help="repository root to scan (default: parent of tools/)",
+    )
+    parser.add_argument(
+        "--self-test",
+        action="store_true",
+        help="run the built-in test cases and exit",
+    )
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if not os.path.isdir(args.root):
+        print(f"error: not a directory: {args.root}", file=sys.stderr)
+        return 2
+
+    try:
+        violations = scan_tree(args.root)
+    except RuntimeError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+
+    if violations:
+        print("run-loop lint: driver concerns leaked outside the RunDriver:")
+        for relpath, line_number, token in violations:
+            print(f"  {relpath}:{line_number}: {token}")
+        print(
+            f"{len(violations)} violation(s); route these through "
+            "src/engine/run_loop.h or extend the allowlist deliberately.",
+            file=sys.stderr,
+        )
+        return 1
+    print("run-loop lint: clean (stop/trace/recovery stay in the driver)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
