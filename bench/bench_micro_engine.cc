@@ -11,11 +11,13 @@
 #include "core/stateful.h"
 #include "engine/agent.h"
 #include "engine/aggregate.h"
+#include "engine/kernel/kernel.h"
 #include "engine/sequential.h"
 #include "engine/sharded.h"
 #include "protocols/minority.h"
 #include "protocols/three_majority.h"
 #include "protocols/voter.h"
+#include "sim/parallel.h"
 
 namespace bitspread {
 namespace {
@@ -99,6 +101,69 @@ void BM_ShardedStepMinority3(benchmark::State& state) {
                           static_cast<std::int64_t>(n));
 }
 BENCHMARK(BM_ShardedStepMinority3)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 20);
+
+// Per-kernel-backend rows on the same workload as BM_ShardedStepMinority3:
+// the legacy per-agent loop vs the portable scalar-word bitslice kernel vs
+// the SIMD backends. The label reports the backend that actually ran, so on
+// a host without AVX2/NEON the avx2/neon rows show their scalar fallback.
+void BM_ShardedStepKernelBackend(benchmark::State& state,
+                                 kernel::Backend backend) {
+  const MinorityDynamics minority(3);
+  const ShardedAgentEngine engine(minority,
+                                  {.threads = 1, .kernel = backend});
+  const std::uint64_t n = static_cast<std::uint64_t>(state.range(0));
+  const SeedSequence seeds(4);
+  auto population = engine.make_population(init_half(n, Opinion::kOne));
+  state.SetLabel(kernel::backend_name(engine.step_backend(population)));
+  std::uint64_t round = 0;
+  for (auto _ : state) {
+    engine.step(population, round++, seeds);
+    benchmark::DoNotOptimize(population.count_ones());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK_CAPTURE(BM_ShardedStepKernelBackend, legacy,
+                  kernel::Backend::kLegacy)
+    ->Arg(1 << 14)
+    ->Arg(1 << 17);
+BENCHMARK_CAPTURE(BM_ShardedStepKernelBackend, scalar,
+                  kernel::Backend::kScalarWord)
+    ->Arg(1 << 14)
+    ->Arg(1 << 17);
+BENCHMARK_CAPTURE(BM_ShardedStepKernelBackend, avx2, kernel::Backend::kAvx2)
+    ->Arg(1 << 14)
+    ->Arg(1 << 17);
+BENCHMARK_CAPTURE(BM_ShardedStepKernelBackend, neon, kernel::Backend::kNeon)
+    ->Arg(1 << 14)
+    ->Arg(1 << 17);
+
+// Multi-thread scaling of the kernel path at the acceptance workload size:
+// sharded_step_threadsN in the perf-trajectory reports.
+void BM_ShardedStepThreadsN(benchmark::State& state) {
+  const MinorityDynamics minority(3);
+  const ShardedAgentEngine engine(
+      minority, {.threads = static_cast<unsigned>(state.range(0))});
+  const std::uint64_t n = 1 << 17;
+  const SeedSequence seeds(4);
+  auto population = engine.make_population(init_half(n, Opinion::kOne));
+  std::uint64_t round = 0;
+  for (auto _ : state) {
+    engine.step(population, round++, seeds);
+    benchmark::DoNotOptimize(population.count_ones());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+  state.counters["threads"] = static_cast<double>(
+      planned_workers(static_cast<int>(n / ShardedAgentEngine::kBlockAgents),
+                      static_cast<unsigned>(state.range(0))));
+}
+BENCHMARK(BM_ShardedStepThreadsN)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(0)  // 0 = host concurrency
+    ->UseRealTime();
 
 // Sharded engine with a worker pool: bit-identical to the serial schedule by
 // construction, so this row measures pure scheduling overhead/speedup.

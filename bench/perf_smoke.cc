@@ -12,10 +12,10 @@
 #include <cstring>
 #include <iostream>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "core/init.h"
+#include "engine/kernel/kernel.h"
 #include "core/stateful.h"
 #include "engine/agent.h"
 #include "engine/aggregate.h"
@@ -38,21 +38,25 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
 
 struct Measurement {
   std::string name;
-  unsigned threads = 1;
+  unsigned threads_requested = 1;
+  unsigned threads = 1;  // Worker count that actually ran (post-clamping).
   double seconds = 0.0;
   double items_per_second = 0.0;
 };
 
 // Steps `engine` for `rounds` rounds and reports non-source updates/sec.
+// `threads_requested` is the configured worker count (0 = auto); `threads`
+// is what the pool really used for this row's fan-out width.
 template <typename StepFn>
-Measurement measure(const std::string& name, unsigned threads,
-                    std::uint64_t rounds, std::uint64_t items_per_round,
-                    StepFn&& step) {
+Measurement measure(const std::string& name, unsigned threads_requested,
+                    unsigned threads, std::uint64_t rounds,
+                    std::uint64_t items_per_round, StepFn&& step) {
   step(0);  // Warm-up round: sizes every reusable buffer.
   const auto start = std::chrono::steady_clock::now();
   for (std::uint64_t r = 0; r < rounds; ++r) step(r + 1);
   Measurement m;
   m.name = name;
+  m.threads_requested = threads_requested;
   m.threads = threads;
   m.seconds = seconds_since(start);
   m.items_per_second =
@@ -84,8 +88,15 @@ int main(int argc, char** argv) {
   const MinorityDynamics minority(3);
   const std::uint32_t ell = minority.sample_size(n);
   const std::uint64_t updates_per_round = n - 1;  // One source never updates.
-  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  // Affinity-aware usable-CPU count; std::thread::hardware_concurrency()
+  // can report 0 or the bare-metal count inside containers.
+  const unsigned hw = host_concurrency();
   const Configuration init = init_half(n, Opinion::kOne);
+  // The sharded engine fans out one work item per 4096-agent block; that is
+  // the clamp that decides how many workers a row can actually occupy.
+  const int sharded_items = static_cast<int>(
+      (n + ShardedAgentEngine::kBlockAgents - 1) /
+      ShardedAgentEngine::kBlockAgents);
 
   std::vector<Measurement> results;
 
@@ -94,7 +105,7 @@ int main(int argc, char** argv) {
     const AgentParallelEngine engine(adapter);
     auto population = engine.make_population(init);
     Rng rng(1);
-    results.push_back(measure("agent_serial_step", 1, rounds,
+    results.push_back(measure("agent_serial_step", 1, 1, rounds,
                               updates_per_round,
                               [&](std::uint64_t) { engine.step(population, rng); }));
   }
@@ -104,8 +115,9 @@ int main(int argc, char** argv) {
     auto population = engine.make_population(init);
     const std::string name =
         threads == 1 ? "sharded_step_threads1" : "sharded_step_threads_hw";
-    results.push_back(measure(name, threads, rounds, updates_per_round,
-                              [&](std::uint64_t round) {
+    results.push_back(measure(name, threads,
+                              planned_workers(sharded_items, threads), rounds,
+                              updates_per_round, [&](std::uint64_t round) {
                                 engine.step(population, round, seeds);
                                 // O(1): the sharded population tracks its
                                 // ones-count incrementally.
@@ -114,13 +126,35 @@ int main(int argc, char** argv) {
                               }));
     if (hw == 1) break;  // Both configs identical on a single-core host.
   }
+  // Per-kernel-backend rows (single-threaded): the legacy per-agent loop,
+  // the portable scalar-word kernel, and every SIMD backend this host can
+  // run. sharded_step_threads1 above stays the kAuto headline row.
+  {
+    std::vector<kernel::Backend> row_backends{kernel::Backend::kLegacy};
+    for (const kernel::Backend b : kernel::available_backends()) {
+      row_backends.push_back(b);
+    }
+    for (const kernel::Backend backend : row_backends) {
+      const ShardedAgentEngine engine(minority,
+                                      {.threads = 1, .kernel = backend});
+      auto population = engine.make_population(init);
+      const std::string name =
+          std::string("sharded_step_") + kernel::backend_name(backend);
+      results.push_back(measure(name, 1, 1, rounds, updates_per_round,
+                                [&](std::uint64_t round) {
+                                  engine.step(population, round, seeds);
+                                  telemetry::record_round(
+                                      round, population.count_ones(), n);
+                                }));
+    }
+  }
   const std::uint64_t agg_rounds = quick ? 20000 : 100000;
   {
     // Aggregate-engine reference: the same dynamics at O(l) per round.
     const AggregateParallelEngine engine(minority);
     Configuration config = init;
     Rng rng(3);
-    results.push_back(measure("aggregate_step", 1, agg_rounds, 1,
+    results.push_back(measure("aggregate_step", 1, 1, agg_rounds, 1,
                               [&](std::uint64_t round) {
                                 config = engine.step(config, rng);
                                 if (config.is_consensus()) config = init;
@@ -132,7 +166,7 @@ int main(int argc, char** argv) {
     const AlphaSynchronousEngine engine(minority, 0.5);
     Configuration config = init;
     Rng rng(4);
-    results.push_back(measure("alpha_sync_step", 1, agg_rounds, 1,
+    results.push_back(measure("alpha_sync_step", 1, 1, agg_rounds, 1,
                               [&](std::uint64_t round) {
                                 config = engine.step(config, rng);
                                 if (config.is_consensus()) config = init;
@@ -145,7 +179,7 @@ int main(int argc, char** argv) {
     const ConflictingAggregateEngine engine(minority);
     ConflictingConfiguration config{n, n / 2, 2, 2};
     Rng rng(5);
-    results.push_back(measure("conflicting_step", 1, agg_rounds, 1,
+    results.push_back(measure("conflicting_step", 1, 1, agg_rounds, 1,
                               [&](std::uint64_t round) {
                                 config = engine.step(config, rng);
                                 telemetry::record_round(round, config.ones, n);
@@ -182,17 +216,31 @@ int main(int argc, char** argv) {
     JsonValue row = JsonValue::object();
     row.set("name", JsonValue(m.name));
     row.set("threads", JsonValue(m.threads));
+    row.set("threads_requested", JsonValue(m.threads_requested));
     row.set("seconds", JsonValue(m.seconds));
     row.set("items_per_second", JsonValue(m.items_per_second));
     benchmarks.push_back(std::move(row));
     reporter.add_phase(m.name, m.seconds, rounds);
   }
   reporter.set_extra("benchmarks", std::move(benchmarks));
+  JsonValue kernel_info = JsonValue::object();
+  kernel_info.set("auto_backend",
+                  JsonValue(kernel::backend_name(
+                      kernel::resolve(kernel::Backend::kAuto))));
+  JsonValue backend_names = JsonValue::array();
+  for (const kernel::Backend b : kernel::available_backends()) {
+    backend_names.push_back(JsonValue(kernel::backend_name(b)));
+  }
+  kernel_info.set("available", std::move(backend_names));
+  reporter.set_extra("kernel", std::move(kernel_info));
   JsonValue derived = JsonValue::object();
   derived.set("sharded_1t_speedup_vs_agent_serial",
               JsonValue(serial > 0 ? sharded1 / serial : 0.0));
   derived.set("sharded_hw_speedup_vs_agent_serial",
               JsonValue(serial > 0 ? sharded_hw / serial : 0.0));
+  const double legacy_rate = rate("sharded_step_legacy");
+  derived.set("kernel_speedup_vs_legacy",
+              JsonValue(legacy_rate > 0 ? sharded1 / legacy_rate : 0.0));
   reporter.set_extra("derived", std::move(derived));
   const WorkerPoolTelemetry pool = WorkerPool::shared().telemetry();
   if (pool.recorded) {
@@ -215,7 +263,7 @@ int main(int argc, char** argv) {
   if (!reporter.write_file(out_path)) return 1;
 
   std::cout << "perf_smoke (" << build_type << ", n=" << n << ", l=" << ell
-            << ")\n";
+            << ", host_concurrency=" << hw << ")\n";
   for (const Measurement& m : results) {
     std::printf("  %-26s %2u thread(s)  %10.3f M items/s\n", m.name.c_str(),
                 m.threads, m.items_per_second / 1e6);
@@ -223,6 +271,10 @@ int main(int argc, char** argv) {
   std::printf("  sharded/serial speedup: %.2fx (1 thread), %.2fx (%u threads)\n",
               serial > 0 ? sharded1 / serial : 0.0,
               serial > 0 ? sharded_hw / serial : 0.0, hw);
+  const double legacy_print_rate = rate("sharded_step_legacy");
+  std::printf("  kernel/legacy speedup:  %.2fx (auto backend: %s)\n",
+              legacy_print_rate > 0 ? sharded1 / legacy_print_rate : 0.0,
+              kernel::backend_name(kernel::resolve(kernel::Backend::kAuto)));
   std::cout << "wrote " << out_path << "\n";
 #ifndef NDEBUG
   std::cout << "WARNING: Debug build — numbers are not comparable with the "

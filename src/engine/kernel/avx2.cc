@@ -1,0 +1,212 @@
+// AVX2 backend: eight xoshiro lanes advanced as two 4x64 vector groups, the
+// Lemire index map and plane gather vectorized 8 indices at a time, and the
+// 8 gathered bits packed straight off movemask. Compiled with -mavx2 for
+// this translation unit only (see src/CMakeLists.txt); resolve() never
+// dispatches here unless cpuid reports AVX2.
+//
+// Bit-identity with the scalar backend (enforced by tests): the vector
+// index path reproduces fill_index_row exactly. Lane state lives in ymm
+// registers across the block; on the rare Lemire rejection the registers
+// are spilled to the canonical LaneRng storage, the rejected slots redraw
+// scalar-side in ascending slot order, and the registers reload — so
+// redraws come from the same single-lane stream positions as the scalar
+// schedule.
+#include "engine/kernel/backend_impl.h"
+
+#if defined(BITSPREAD_KERNEL_HAVE_AVX2)
+
+#include <immintrin.h>
+
+namespace bitspread {
+namespace kernel {
+namespace {
+
+struct Avx2Filler {
+  explicit Avx2Filler(LaneRng& lanes) noexcept : lanes_(lanes) { load(); }
+
+  void fill_lanes(const BlockArgs& a, std::uint64_t* L) noexcept {
+    const auto n32 = static_cast<std::uint32_t>(a.n);
+    const std::uint32_t thresh = a.index_threshold;
+    const __m256i vn = _mm256_set1_epi64x(n32);
+    const __m256i lowmask = _mm256_set1_epi64x(0xffffffffLL);
+    const __m256i v31 = _mm256_set1_epi32(31);
+    // Unsigned 32-bit compare via sign-bias: lo < thresh iff
+    // (lo ^ 2^31) <s (thresh ^ 2^31).
+    const __m256i bias = _mm256_set1_epi32(static_cast<int>(0x80000000u));
+    const __m256i vthresh =
+        _mm256_set1_epi32(static_cast<int>(thresh ^ 0x80000000u));
+    const int* plane32 = reinterpret_cast<const int*>(a.current);
+
+    for (std::uint32_t j = 0; j < a.ell; ++j) {
+      std::uint64_t lane_word = 0;
+      for (unsigned quartet = 0; quartet < 4; ++quartet) {
+        // One canonical row: a draw from every lane, lanes 0..3 then 4..7.
+        const __m256i row_a = step_a();
+        const __m256i row_b = step_b();
+        std::uint32_t bits16 = 0;
+        const __m256i halves[2] = {row_a, row_b};
+        for (unsigned h = 0; h < 2; ++h) {
+          const __m256i v = halves[h];
+          // Lemire products of the even (low-half) and odd (high-half)
+          // dwords, then interleave the index/low words back to slot order.
+          const __m256i prod_even = _mm256_mul_epu32(v, vn);
+          const __m256i prod_odd =
+              _mm256_mul_epu32(_mm256_srli_epi64(v, 32), vn);
+          __m256i idx = _mm256_blend_epi32(
+              _mm256_srli_epi64(prod_even, 32),
+              _mm256_slli_epi64(_mm256_srli_epi64(prod_odd, 32), 32), 0xAA);
+          if (thresh != 0) {
+            const __m256i low = _mm256_blend_epi32(
+                _mm256_and_si256(prod_even, lowmask),
+                _mm256_slli_epi64(_mm256_and_si256(prod_odd, lowmask), 32),
+                0xAA);
+            const __m256i rejected = _mm256_cmpgt_epi32(
+                vthresh, _mm256_xor_si256(low, bias));
+            if (!_mm256_testz_si256(rejected, rejected)) {
+              idx = redraw_rejected(idx, low, thresh, n32, h);
+            }
+          }
+          const __m256i gathered = _mm256_i32gather_epi32(
+              plane32, _mm256_srli_epi32(idx, 5), 4);
+          const __m256i bit_in_sign = _mm256_slli_epi32(
+              _mm256_srlv_epi32(gathered, _mm256_and_si256(idx, v31)), 31);
+          const auto mask8 = static_cast<std::uint32_t>(
+              _mm256_movemask_ps(_mm256_castsi256_ps(bit_in_sign)));
+          bits16 |= mask8 << (8 * h);
+        }
+        lane_word |= static_cast<std::uint64_t>(bits16) << (16 * quartet);
+      }
+      L[j] = lane_word;
+    }
+  }
+
+  void gather_pack(const BlockArgs& a, std::uint64_t* L) noexcept {
+    const int* plane32 = reinterpret_cast<const int*>(a.current);
+    const __m256i v31 = _mm256_set1_epi32(31);
+    for (std::uint32_t j = 0; j < a.ell; ++j) {
+      const std::uint32_t* idx_base =
+          a.index_scratch + static_cast<std::size_t>(j) * 64;
+      std::uint64_t word = 0;
+      for (unsigned g = 0; g < 8; ++g) {
+        const __m256i idx = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(idx_base + 8 * g));
+        const __m256i gathered = _mm256_i32gather_epi32(
+            plane32, _mm256_srli_epi32(idx, 5), 4);
+        const __m256i bit_in_sign = _mm256_slli_epi32(
+            _mm256_srlv_epi32(gathered, _mm256_and_si256(idx, v31)), 31);
+        const auto mask8 = static_cast<std::uint32_t>(
+            _mm256_movemask_ps(_mm256_castsi256_ps(bit_in_sign)));
+        word |= static_cast<std::uint64_t>(mask8) << (8 * g);
+      }
+      L[j] = word;
+    }
+  }
+
+ private:
+  // Cold path: spill register lanes to the canonical storage, redraw the
+  // rejected slots of half `h` scalar-side (slot s redraws from lane
+  // ⌊s/2⌋), reload. Returns the corrected index vector.
+  __attribute__((noinline)) __m256i redraw_rejected(__m256i idx, __m256i low,
+                                                    std::uint32_t thresh,
+                                                    std::uint32_t n32,
+                                                    unsigned h) noexcept {
+    store();
+    alignas(32) std::uint32_t idxs[8];
+    alignas(32) std::uint32_t lows[8];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(idxs), idx);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lows), low);
+    for (unsigned s = 0; s < 8; ++s) {
+      while (lows[s] < thresh) {
+        const auto redraw =
+            static_cast<std::uint32_t>(lanes_.next((h * 8 + s) >> 1));
+        const std::uint64_t m = static_cast<std::uint64_t>(redraw) * n32;
+        lows[s] = static_cast<std::uint32_t>(m);
+        idxs[s] = static_cast<std::uint32_t>(m >> 32);
+      }
+    }
+    load();
+    return _mm256_load_si256(reinterpret_cast<const __m256i*>(idxs));
+  }
+
+  static __m256i rotl(__m256i x, int k) noexcept {
+    return _mm256_or_si256(_mm256_slli_epi64(x, k),
+                           _mm256_srli_epi64(x, 64 - k));
+  }
+  static __m256i mul5(__m256i x) noexcept {
+    return _mm256_add_epi64(x, _mm256_slli_epi64(x, 2));
+  }
+  static __m256i mul9(__m256i x) noexcept {
+    return _mm256_add_epi64(x, _mm256_slli_epi64(x, 3));
+  }
+
+  __m256i step_a() noexcept {
+    const __m256i result = mul9(rotl(mul5(s1a_), 7));
+    const __m256i t = _mm256_slli_epi64(s1a_, 17);
+    s2a_ = _mm256_xor_si256(s2a_, s0a_);
+    s3a_ = _mm256_xor_si256(s3a_, s1a_);
+    s1a_ = _mm256_xor_si256(s1a_, s2a_);
+    s0a_ = _mm256_xor_si256(s0a_, s3a_);
+    s2a_ = _mm256_xor_si256(s2a_, t);
+    s3a_ = rotl(s3a_, 45);
+    return result;
+  }
+  __m256i step_b() noexcept {
+    const __m256i result = mul9(rotl(mul5(s1b_), 7));
+    const __m256i t = _mm256_slli_epi64(s1b_, 17);
+    s2b_ = _mm256_xor_si256(s2b_, s0b_);
+    s3b_ = _mm256_xor_si256(s3b_, s1b_);
+    s1b_ = _mm256_xor_si256(s1b_, s2b_);
+    s0b_ = _mm256_xor_si256(s0b_, s3b_);
+    s2b_ = _mm256_xor_si256(s2b_, t);
+    s3b_ = rotl(s3b_, 45);
+    return result;
+  }
+
+  void load() noexcept {
+    auto& s = lanes_.state();
+    s0a_ = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(&s[0][0]));
+    s0b_ = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(&s[0][4]));
+    s1a_ = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(&s[1][0]));
+    s1b_ = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(&s[1][4]));
+    s2a_ = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(&s[2][0]));
+    s2b_ = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(&s[2][4]));
+    s3a_ = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(&s[3][0]));
+    s3b_ = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(&s[3][4]));
+  }
+  void store() noexcept {
+    auto& s = lanes_.state();
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(&s[0][0]), s0a_);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(&s[0][4]), s0b_);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(&s[1][0]), s1a_);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(&s[1][4]), s1b_);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(&s[2][0]), s2a_);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(&s[2][4]), s2b_);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(&s[3][0]), s3a_);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(&s[3][4]), s3b_);
+  }
+
+  LaneRng& lanes_;
+  __m256i s0a_, s1a_, s2a_, s3a_;  // Lanes 0..3, state words 0..3.
+  __m256i s0b_, s1b_, s2b_, s3b_;  // Lanes 4..7.
+};
+
+}  // namespace
+
+BlockFn avx2_block_fn() noexcept {
+  return &detail::process_block_impl<Avx2Filler>;
+}
+
+}  // namespace kernel
+}  // namespace bitspread
+
+#else  // !BITSPREAD_KERNEL_HAVE_AVX2
+
+namespace bitspread {
+namespace kernel {
+
+BlockFn avx2_block_fn() noexcept { return nullptr; }
+
+}  // namespace kernel
+}  // namespace bitspread
+
+#endif  // BITSPREAD_KERNEL_HAVE_AVX2

@@ -5,8 +5,10 @@
 #include <cassert>
 #include <utility>
 
+#include "engine/kernel/kernel.h"
 #include "engine/run_loop.h"
 #include "faults/session.h"
+#include "random/lanes.h"
 #include "sim/parallel.h"
 #include "telemetry/telemetry.h"
 
@@ -19,6 +21,12 @@ constexpr std::uint64_t kStreamPhase = 0x73686172;  // "shar"
 // Distinct phase for faulty rounds: a faulty run is a different experiment
 // and must not alias the fault-free stream for the same (round, block).
 constexpr std::uint64_t kFaultPhase = 0x6661756c;  // "faul"
+// Bitslice-kernel phases (the "kernel/2" stream schedule, DESIGN.md §3.6):
+// the kernel consumes randomness in a different per-block order than the
+// per-agent loop, so it owns distinct phases — replaying a run always uses
+// the schedule it was recorded under.
+constexpr std::uint64_t kKernelPhase = 0x6b726e32;       // "krn2"
+constexpr std::uint64_t kKernelFaultPhase = 0x6b726632;  // "krf2"
 
 // Sets bits [begin, end) in a zeroed plane.
 void set_bit_range(std::vector<std::uint64_t>& plane, std::uint64_t begin,
@@ -347,6 +355,95 @@ void ShardedAgentEngine::process_block_faulty(Population& population,
   }
 }
 
+void ShardedAgentEngine::build_gtable(Population& population,
+                                      std::uint32_t ell) const {
+  if (memoryless_ == nullptr) return;
+  // Tabulate g_n^[b](k): the entire behavioral freedom of a memory-less
+  // protocol, so neither hot loop needs virtual dispatch.
+  population.gtable_.resize(2 * (static_cast<std::size_t>(ell) + 1));
+  for (std::uint32_t own = 0; own < 2; ++own) {
+    const Opinion opinion = own != 0 ? Opinion::kOne : Opinion::kZero;
+    for (std::uint32_t k = 0; k <= ell; ++k) {
+      population.gtable_[own * (ell + 1) + k] =
+          memoryless_->g(opinion, k, ell, population.n_);
+    }
+  }
+}
+
+bool ShardedAgentEngine::prepare_kernel(Population& population,
+                                        std::uint32_t ell,
+                                        const FaultSession* session,
+                                        KernelRound& plan) const {
+  if (memoryless_ == nullptr) return false;
+  const std::uint64_t n = population.n_;
+  if (n == 0 || n > kernel::kMaxAgents) return false;
+  if (ell == 0 || ell > kernel::kMaxEll) return false;
+  if (options_.sampling == Sampling::kWithoutReplacement && ell > n) {
+    return false;
+  }
+  const kernel::Backend backend = kernel::resolve(options_.kernel);
+  plan.fn = kernel::block_fn(backend);
+  if (plan.fn == nullptr) return false;
+  if (!population.circuit_.classify(population.gtable_.data(), ell)) {
+    return false;  // Fractional g (e.g. voter at l > 1): legacy loop.
+  }
+  plan.backend = backend;
+  plan.threshold = lemire32_threshold(n);
+  plan.faulty = session != nullptr;
+  if (session != nullptr) {
+    const EnvironmentModel& model = session->model();
+    plan.faults.observation_noise = model.observation_noise;
+    plan.faults.spontaneous_rate = model.spontaneous_rate;
+    plan.faults.spontaneous_bias = model.spontaneous_bias;
+    plan.faults.churn_rate = model.churn_rate;
+    plan.faults.zealot_begin = session->zealot_begin();
+    plan.faults.zealot_end = session->zealot_end();
+    plan.faults.wrong_word = opposite(population.correct_) == Opinion::kOne
+                                 ? ~std::uint64_t{0}
+                                 : 0;
+  }
+  return true;
+}
+
+kernel::Backend ShardedAgentEngine::step_backend(
+    Population& population, const FaultSession* session) const {
+  const std::uint32_t ell = sample_size(population.n_);
+  build_gtable(population, ell);
+  KernelRound plan;
+  return prepare_kernel(population, ell, session, plan)
+             ? plan.backend
+             : kernel::Backend::kLegacy;
+}
+
+void ShardedAgentEngine::process_block_kernel(
+    Population& population, std::uint64_t block, std::uint32_t ell,
+    const KernelRound& plan, std::uint64_t lane_seed, FloydSampler& sampler,
+    std::uint32_t* index_scratch) const {
+  const std::uint64_t words = population.current_.size();
+  kernel::BlockArgs args;
+  args.current = population.current_.data();
+  args.next = population.next_.data();
+  args.n = population.n_;
+  args.sources = population.sources_;
+  args.ell = ell;
+  args.index_threshold = plan.threshold;
+  args.first_word = block * kBlockWords;
+  args.word_count = std::min(words - args.first_word, kBlockWords);
+  args.lane_seed = lane_seed;
+  args.table = &population.circuit_;
+  args.faults = plan.faulty ? &plan.faults : nullptr;
+  args.without_replacement =
+      options_.sampling == Sampling::kWithoutReplacement;
+  args.sampler = &sampler;
+  args.index_scratch = index_scratch;
+  args.out_ones = &population.block_ones_[block];
+  args.out_churned = nullptr;
+  if constexpr (telemetry::kCompiledIn) {
+    if (plan.faulty) args.out_churned = &population.block_churned_[block];
+  }
+  plan.fn(args);
+}
+
 void ShardedAgentEngine::step(Population& population, std::uint64_t round,
                               const SeedSequence& seeds) const {
   const std::uint64_t n = population.n_;
@@ -354,18 +451,9 @@ void ShardedAgentEngine::step(Population& population, std::uint64_t round,
   const std::uint64_t words = population.current_.size();
   const std::uint64_t blocks = (words + kBlockWords - 1) / kBlockWords;
 
-  if (memoryless_ != nullptr) {
-    // Tabulate g_n^[b](k): the entire behavioral freedom of a memory-less
-    // protocol, so the hot loop needs no virtual dispatch.
-    population.gtable_.resize(2 * (static_cast<std::size_t>(ell) + 1));
-    for (std::uint32_t own = 0; own < 2; ++own) {
-      const Opinion opinion = own != 0 ? Opinion::kOne : Opinion::kZero;
-      for (std::uint32_t k = 0; k <= ell; ++k) {
-        population.gtable_[own * (ell + 1) + k] =
-            memoryless_->g(opinion, k, ell, n);
-      }
-    }
-  }
+  build_gtable(population, ell);
+  KernelRound plan;
+  const bool use_kernel = prepare_kernel(population, ell, nullptr, plan);
   population.block_ones_.resize(blocks);
 
   std::uint64_t chunks =
@@ -373,18 +461,25 @@ void ShardedAgentEngine::step(Population& population, std::uint64_t round,
                            : std::min<std::uint64_t>(options_.shards, blocks);
   chunks = std::max<std::uint64_t>(chunks, 1);
   population.samplers_.resize(chunks);
+  const bool distinct = options_.sampling == Sampling::kWithoutReplacement;
+  if (use_kernel && distinct) {
+    population.kernel_index_.resize(chunks * static_cast<std::size_t>(ell) *
+                                    64);
+  }
 
   struct RoundContext {
     const ShardedAgentEngine* engine;
     Population* population;
     const SeedSequence* seeds;
+    const KernelRound* kernel;  // Null: the per-agent legacy loop runs.
     std::uint64_t round;
     std::uint64_t blocks;
     std::uint64_t chunks;
     std::uint32_t ell;
   };
-  RoundContext context{this,  &population, &seeds, round,
-                       blocks, chunks,     ell};
+  RoundContext context{this,   &population, &seeds, use_kernel ? &plan
+                                                               : nullptr,
+                       round,  blocks,      chunks, ell};
   // One capture pointer keeps the closure inside std::function's inline
   // storage: steady-state rounds allocate nothing.
   const std::function<void(int)> chunk_fn = [&context](int chunk) {
@@ -395,6 +490,20 @@ void ShardedAgentEngine::step(Population& population, std::uint64_t round,
         context.chunks;
     FloydSampler& sampler =
         context.population->samplers_[static_cast<std::size_t>(chunk)];
+    if (context.kernel != nullptr) {
+      std::uint32_t* index_scratch =
+          context.population->kernel_index_.empty()
+              ? nullptr
+              : context.population->kernel_index_.data() +
+                    static_cast<std::size_t>(chunk) * context.ell * 64;
+      for (std::uint64_t block = begin; block < end; ++block) {
+        context.engine->process_block_kernel(
+            *context.population, block, context.ell, *context.kernel,
+            context.seeds->derive(context.round, block, kKernelPhase),
+            sampler, index_scratch);
+      }
+      return;
+    }
     for (std::uint64_t block = begin; block < end; ++block) {
       Rng rng(context.seeds->derive(context.round, block, kStreamPhase));
       context.engine->process_block(*context.population, block, context.ell,
@@ -421,19 +530,22 @@ void ShardedAgentEngine::step(Population& population, std::uint64_t round,
   const std::uint64_t words = population.current_.size();
   const std::uint64_t blocks = (words + kBlockWords - 1) / kBlockWords;
 
-  if (memoryless_ != nullptr) {
-    // Tabulate the faulty adoption probability: the spontaneous channel
-    // folds straight into the table, (1 - eta) g + eta * bias, so the hot
-    // loop still costs one lookup + one draw. Observation noise does NOT
-    // fold here — it is applied operationally, bit by bit, in the probes.
-    population.gtable_.resize(2 * (static_cast<std::size_t>(ell) + 1));
+  build_gtable(population, ell);
+  KernelRound plan;
+  const bool use_kernel = prepare_kernel(population, ell, &session, plan);
+  if (memoryless_ != nullptr && !use_kernel) {
+    // Legacy fallback tabulates the faulty adoption probability: the
+    // spontaneous channel folds straight into the table,
+    // (1 - eta) g + eta * bias, so the hot loop still costs one lookup +
+    // one draw. Observation noise does NOT fold here — it is applied
+    // operationally, bit by bit, in the probes. (The kernel realizes the
+    // same fold operationally through its select masks, so it keeps the
+    // base table.)
     const double eta = model.spontaneous_rate;
     for (std::uint32_t own = 0; own < 2; ++own) {
-      const Opinion opinion = own != 0 ? Opinion::kOne : Opinion::kZero;
       for (std::uint32_t k = 0; k <= ell; ++k) {
-        population.gtable_[own * (ell + 1) + k] =
-            (1.0 - eta) * memoryless_->g(opinion, k, ell, n) +
-            eta * model.spontaneous_bias;
+        double& g = population.gtable_[own * (ell + 1) + k];
+        g = (1.0 - eta) * g + eta * model.spontaneous_bias;
       }
     }
   }
@@ -447,18 +559,25 @@ void ShardedAgentEngine::step(Population& population, std::uint64_t round,
                            : std::min<std::uint64_t>(options_.shards, blocks);
   chunks = std::max<std::uint64_t>(chunks, 1);
   population.samplers_.resize(chunks);
+  const bool distinct = options_.sampling == Sampling::kWithoutReplacement;
+  if (use_kernel && distinct) {
+    population.kernel_index_.resize(chunks * static_cast<std::size_t>(ell) *
+                                    64);
+  }
 
   struct FaultyRoundContext {
     const ShardedAgentEngine* engine;
     Population* population;
     const SeedSequence* seeds;
     const FaultSession* session;
+    const KernelRound* kernel;  // Null: the per-agent legacy loop runs.
     std::uint64_t round;
     std::uint64_t blocks;
     std::uint64_t chunks;
     std::uint32_t ell;
   };
-  FaultyRoundContext context{this,  &population, &seeds, &session,
+  FaultyRoundContext context{this,  &population, &seeds,
+                             &session, use_kernel ? &plan : nullptr,
                              round, blocks,      chunks, ell};
   const std::function<void(int)> chunk_fn = [&context](int chunk) {
     const std::uint64_t begin =
@@ -468,6 +587,20 @@ void ShardedAgentEngine::step(Population& population, std::uint64_t round,
         context.chunks;
     FloydSampler& sampler =
         context.population->samplers_[static_cast<std::size_t>(chunk)];
+    if (context.kernel != nullptr) {
+      std::uint32_t* index_scratch =
+          context.population->kernel_index_.empty()
+              ? nullptr
+              : context.population->kernel_index_.data() +
+                    static_cast<std::size_t>(chunk) * context.ell * 64;
+      for (std::uint64_t block = begin; block < end; ++block) {
+        context.engine->process_block_kernel(
+            *context.population, block, context.ell, *context.kernel,
+            context.seeds->derive(context.round, block, kKernelFaultPhase),
+            sampler, index_scratch);
+      }
+      return;
+    }
     for (std::uint64_t block = begin; block < end; ++block) {
       Rng rng(context.seeds->derive(context.round, block, kFaultPhase));
       context.engine->process_block_faulty(*context.population, block,

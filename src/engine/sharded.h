@@ -36,6 +36,7 @@
 #include "core/protocol.h"
 #include "core/stateful.h"
 #include "engine/agent.h"
+#include "engine/kernel/kernel.h"
 #include "engine/stopping.h"
 #include "engine/trajectory.h"
 #include "random/floyd.h"
@@ -52,6 +53,13 @@ struct ShardedEngineOptions {
   std::uint32_t shards = 0;
   AgentParallelEngine::Sampling sampling =
       AgentParallelEngine::Sampling::kWithReplacement;
+  // Step-kernel backend (engine/kernel/kernel.h). kAuto engages the fastest
+  // bitslice backend whenever the round is eligible ({0,1/2,1}-valued
+  // g-table, n < 2^32, l <= 128); ineligible rounds — and kLegacy — take
+  // the per-agent loop. The kernel runs its own documented stream schedule
+  // ("kernel/2"), so backends are bit-identical to each other but not to
+  // kLegacy; distribution identity is pinned by cross-validation tests.
+  kernel::Backend kernel = kernel::Backend::kAuto;
 };
 
 class ShardedAgentEngine {
@@ -131,6 +139,10 @@ class ShardedAgentEngine {
     std::vector<std::uint64_t> block_churned_;
     std::vector<double> gtable_;
     std::vector<FloydSampler> samplers_;
+    // Step-kernel round scratch: the compiled g-circuit and, in
+    // without-replacement mode, per-chunk index buffers (ell * 64 each).
+    kernel::CircuitTable circuit_;
+    std::vector<std::uint32_t> kernel_index_;
   };
 
   Population make_population(const Configuration& config) const;
@@ -175,7 +187,33 @@ class ShardedAgentEngine {
   const Options& options() const noexcept { return options_; }
   bool memoryless_fast_path() const noexcept { return memoryless_ != nullptr; }
 
+  // The kernel backend a step on `population` would dispatch to after all
+  // eligibility checks (kLegacy when the per-agent loop would run instead).
+  // Uses the population's round scratch; intended for benches and tests.
+  kernel::Backend step_backend(Population& population,
+                               const FaultSession* session = nullptr) const;
+
  private:
+  // Per-round kernel dispatch, built by prepare_kernel.
+  struct KernelRound {
+    kernel::Backend backend = kernel::Backend::kLegacy;
+    kernel::BlockFn fn = nullptr;
+    kernel::FaultChannels faults;
+    bool faulty = false;
+    std::uint32_t threshold = 0;
+  };
+
+  // Tabulates the protocol's base g-table (no fault folding) into
+  // population.gtable_. No-op on the stateful path.
+  void build_gtable(Population& population, std::uint32_t ell) const;
+  // Resolves the backend and compiles the circuit; false = legacy fallback.
+  bool prepare_kernel(Population& population, std::uint32_t ell,
+                      const FaultSession* session, KernelRound& plan) const;
+
+  void process_block_kernel(Population& population, std::uint64_t block,
+                            std::uint32_t ell, const KernelRound& plan,
+                            std::uint64_t lane_seed, FloydSampler& sampler,
+                            std::uint32_t* index_scratch) const;
   void process_block(Population& population, std::uint64_t block,
                      std::uint32_t ell, Rng& rng,
                      FloydSampler& sampler) const;

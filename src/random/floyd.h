@@ -27,9 +27,12 @@ class FloydSampler {
   // Invokes visit(index) exactly once for each of k distinct indices drawn
   // uniformly from [0, n). Requires k <= n and n < 2^64 - 1. Visit order is
   // Floyd's insertion order, not sorted order (irrelevant to every caller:
-  // the engines only count opinions over the set).
-  template <typename Visit>
-  void sample(std::uint64_t n, std::uint64_t k, Rng& rng, Visit&& visit) {
+  // the engines only count opinions over the set). The generator only needs
+  // next_below(bound); besides Rng this admits the kernel's per-lane views
+  // (LaneRng::LaneView), which is why it is a template parameter.
+  template <typename Generator, typename Visit>
+  void sample(std::uint64_t n, std::uint64_t k, Generator& rng,
+              Visit&& visit) {
     assert(k <= n);
     if (k == 0) return;
     reset(k);
@@ -44,6 +47,18 @@ class FloydSampler {
         visit(j);
       }
     }
+  }
+
+  // Buffer-filling form for batch consumers (the bitslice step kernel draws
+  // l indices per agent x 64 agents per word): writes the k indices into
+  // out[0..k), in visit order, with draws and results identical to the
+  // callback form (tested in random_misc_test.cc).
+  template <typename Generator>
+  void sample_batch(std::uint64_t n, std::uint64_t k, Generator& rng,
+                    std::uint64_t* out) {
+    std::uint64_t count = 0;
+    sample(n, k, rng,
+           [&](std::uint64_t index) noexcept { out[count++] = index; });
   }
 
  private:

@@ -1,0 +1,39 @@
+#include "random/lanes.h"
+
+namespace bitspread {
+
+LaneRng::LaneRng(std::uint64_t master) noexcept {
+  SplitMix64 chain(master);
+  for (unsigned lane = 0; lane < kLanes; ++lane) {
+    const std::array<std::uint64_t, 4> s = Rng::seed_state(chain.next());
+    for (unsigned k = 0; k < 4; ++k) state_[k][lane] = s[k];
+  }
+  aux_seed_ = chain.next();
+}
+
+void indices_from_row(LaneRng& lanes, const std::uint64_t row[LaneRng::kLanes],
+                      std::uint32_t n32, std::uint32_t threshold,
+                      std::uint32_t out[16]) noexcept {
+  for (unsigned s = 0; s < 16; ++s) {
+    const std::uint64_t x = row[s >> 1];
+    const auto x32 = (s & 1) != 0 ? static_cast<std::uint32_t>(x >> 32)
+                                  : static_cast<std::uint32_t>(x);
+    std::uint64_t m = static_cast<std::uint64_t>(x32) * n32;
+    auto low = static_cast<std::uint32_t>(m);
+    while (low < threshold) [[unlikely]] {
+      const auto redraw = static_cast<std::uint32_t>(lanes.next(s >> 1));
+      m = static_cast<std::uint64_t>(redraw) * n32;
+      low = static_cast<std::uint32_t>(m);
+    }
+    out[s] = static_cast<std::uint32_t>(m >> 32);
+  }
+}
+
+void fill_index_row(LaneRng& lanes, std::uint32_t n32, std::uint32_t threshold,
+                    std::uint32_t out[16]) noexcept {
+  std::uint64_t row[LaneRng::kLanes];
+  lanes.fill_row(row);
+  indices_from_row(lanes, row, n32, threshold, out);
+}
+
+}  // namespace bitspread

@@ -2,9 +2,15 @@
 
 namespace bitspread {
 
-Xoshiro256StarStar::Xoshiro256StarStar(std::uint64_t seed) noexcept : state_{} {
+Xoshiro256StarStar::Xoshiro256StarStar(std::uint64_t seed) noexcept
+    : state_(seed_state(seed)) {}
+
+std::array<std::uint64_t, 4> Xoshiro256StarStar::seed_state(
+    std::uint64_t seed) noexcept {
   SplitMix64 mixer(seed);
-  for (auto& word : state_) word = mixer.next();
+  std::array<std::uint64_t, 4> state{};
+  for (auto& word : state) word = mixer.next();
+  return state;
 }
 
 void Xoshiro256StarStar::jump() noexcept {

@@ -43,6 +43,11 @@ class Xoshiro256StarStar {
   // recommended by the xoshiro authors.
   explicit Xoshiro256StarStar(std::uint64_t seed = 0xb175b9eadULL) noexcept;
 
+  // The 256-bit state `Xoshiro256StarStar(seed)` starts from. Exposed so the
+  // kernel's interleaved lane generators (random/lanes.h) are, lane by lane,
+  // exactly the generator a scalar `Rng(seed)` would be.
+  static std::array<std::uint64_t, 4> seed_state(std::uint64_t seed) noexcept;
+
   static constexpr result_type min() noexcept { return 0; }
   static constexpr result_type max() noexcept {
     return std::numeric_limits<result_type>::max();

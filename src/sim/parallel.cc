@@ -2,6 +2,11 @@
 
 #include <algorithm>
 
+#if defined(__linux__)
+#include <sched.h>
+#include <unistd.h>
+#endif
+
 #include "telemetry/trace.h"
 
 namespace bitspread {
@@ -138,13 +143,30 @@ void WorkerPool::worker_main(unsigned slot, std::uint64_t spawn_generation) {
   }
 }
 
+unsigned host_concurrency() noexcept {
+#if defined(__linux__)
+  cpu_set_t set;
+  if (sched_getaffinity(0, sizeof(set), &set) == 0) {
+    const int usable = CPU_COUNT(&set);
+    if (usable > 0) return static_cast<unsigned>(usable);
+  }
+  const long online = sysconf(_SC_NPROCESSORS_ONLN);
+  if (online > 0) return static_cast<unsigned>(online);
+#endif
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+unsigned planned_workers(int count, unsigned threads) noexcept {
+  if (count <= 0) return 0;
+  const unsigned target = threads == 0 ? host_concurrency() : threads;
+  return std::max(1u, std::min({target, WorkerPool::kMaxWorkers,
+                                static_cast<unsigned>(count)}));
+}
+
 void WorkerPool::run(int count, const std::function<void(int)>& fn,
                      unsigned threads) {
   if (count <= 0) return;
-  unsigned target =
-      threads == 0 ? std::thread::hardware_concurrency() : threads;
-  target = std::max(1u, std::min({target, kMaxWorkers,
-                                  static_cast<unsigned>(count)}));
+  const unsigned target = planned_workers(count, threads);
   if (target == 1 || t_inside_pool_worker) {
     for (int i = 0; i < count; ++i) fn(i);
     return;

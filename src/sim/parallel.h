@@ -126,6 +126,20 @@ class WorkerPool {
 void parallel_for(int count, const std::function<void(int)>& fn,
                   unsigned max_threads = 0);
 
+// CPUs actually usable by this process: the scheduling-affinity mask when
+// the OS exposes one (containers and cpusets shrink it), otherwise the
+// online-CPU count, otherwise std::thread::hardware_concurrency(). Always
+// >= 1. std::thread::hardware_concurrency() alone may return 0 ("unknown"),
+// which bench reports used to record as a 1-core host — use this instead
+// anywhere a human or the bench-history gate will read the number.
+unsigned host_concurrency() noexcept;
+
+// The worker count a WorkerPool::run(count, fn, threads) call would actually
+// use after clamping (0 = host concurrency, capped by kMaxWorkers and by
+// count). Lets bench rows report the thread count that really ran instead
+// of the requested one.
+unsigned planned_workers(int count, unsigned threads) noexcept;
+
 // Drop-in parallel variant of measure_convergence: same inputs, identical
 // output (per-replicate seed streams make the result schedule-independent).
 ConvergenceMeasurement measure_convergence_parallel(

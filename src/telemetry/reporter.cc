@@ -2,8 +2,8 @@
 
 #include <fstream>
 #include <iostream>
-#include <thread>
 
+#include "sim/parallel.h"
 #include "sim/table.h"
 
 namespace bitspread {
@@ -135,8 +135,12 @@ JsonValue JsonReporter::build() const {
   report.set("seed", seed_);
   report.set("quick", quick_);
   report.set("build", build_stamp());
+  // Affinity-aware: std::thread::hardware_concurrency() may return 0
+  // ("unknown") or ignore container CPU limits, which used to stamp reports
+  // from multi-core hosts as single-core and split the bench-history
+  // provenance key. host_concurrency() resolves the usable-CPU count.
   report.set("hardware_concurrency",
-             static_cast<std::uint64_t>(std::thread::hardware_concurrency()));
+             static_cast<std::uint64_t>(host_concurrency()));
   if (!workload_.members().empty()) {
     report.set("workload", workload_);
   }

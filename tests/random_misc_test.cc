@@ -197,6 +197,25 @@ TEST(FloydSampler, SubsetsAreUniform) {
   EXPECT_GT(chi_square_p_value(stat, dof), 1e-4) << "stat=" << stat;
 }
 
+TEST(FloydSampler, SampleBatchMatchesCallbackApi) {
+  // sample_batch is the kernel-facing wrapper over sample(): same generator
+  // state in, same subset out, in the same emission order.
+  FloydSampler sampler;
+  for (const auto& [n, k] : std::vector<std::pair<std::uint64_t, std::uint64_t>>{
+           {10, 10}, {1000, 100}, {65, 65}, {1 << 20, 500}, {3, 1}, {7, 0}}) {
+    Rng callback_rng(21);
+    Rng batch_rng(21);
+    std::vector<std::uint64_t> via_callback;
+    sampler.sample(n, k, callback_rng,
+                   [&](std::uint64_t i) { via_callback.push_back(i); });
+    std::vector<std::uint64_t> via_batch(k, ~0ull);
+    sampler.sample_batch(n, k, batch_rng, via_batch.data());
+    EXPECT_EQ(via_callback, via_batch) << "n=" << n << " k=" << k;
+    // Both APIs must consume identical randomness: the next draw agrees.
+    EXPECT_EQ(callback_rng(), batch_rng());
+  }
+}
+
 TEST(FloydSampler, OnesCountIsHypergeometric) {
   // Counting ones over a Floyd sample from a planted 0/1 population must be
   // Hypergeometric(total, successes, draws) — the law the engines'

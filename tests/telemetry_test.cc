@@ -375,7 +375,7 @@ TEST(TelemetryDeterminism, RuntimeSinkDoesNotPerturbAnyEngine) {
 // switch provably cannot perturb a simulation. If an intentional engine
 // change shifts the value, update it from the test's failure output — in
 // both builds it must come out identical.
-constexpr std::uint64_t kGoldenAllEnginesDigest = 3871912769462091265ull;
+constexpr std::uint64_t kGoldenAllEnginesDigest = 15000701221148159086ull;
 
 TEST(TelemetryDeterminism, GoldenPayloadDigestMatchesAcrossBuilds) {
   EXPECT_EQ(all_engines_digest(), kGoldenAllEnginesDigest)

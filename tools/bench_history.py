@@ -185,6 +185,28 @@ def cmd_gate(args):
         )
         return 0
 
+    # Phase shares are fractions of the report's own phase total, so they are
+    # only comparable between reports tracking the SAME set of phases: adding
+    # a bench row mechanically shrinks every other share without any real
+    # perf change. Shares gate only against entries with an identical
+    # phase-name set; throughput rows gate against the full window.
+    def phase_names(metrics):
+        return frozenset(
+            k for k in metrics if k.startswith("phase_share.")
+        )
+
+    candidate_phases = phase_names(candidate)
+    share_history = [
+        e
+        for e in history
+        if phase_names(e.get("metrics", {})) == candidate_phases
+    ]
+    if len(share_history) < len(history):
+        print(
+            f"gate: phase-share set changed — shares compare against "
+            f"{len(share_history)} of {len(history)} entries"
+        )
+
     failures = []
     print(
         f"gate: {len(history)} comparable entries, "
@@ -193,9 +215,12 @@ def cmd_gate(args):
     )
     print(f"{'metric':<38} {'median':>12} {'current':>12} {'delta':>9}")
     for name in sorted(candidate):
+        pool = (
+            share_history if name.startswith("phase_share.") else history
+        )
         samples = [
             e["metrics"][name]
-            for e in history
+            for e in pool
             if isinstance(e.get("metrics", {}).get(name), (int, float))
         ]
         if not samples:
@@ -318,6 +343,28 @@ def cmd_selftest(_args):
             )
             assert gate(skew) == 1, "a 0.6 phase-share swing must fail"
 
+        def test_new_phase_set_skips_share_gate():
+            # A report that adds a bench row reshuffles every phase share;
+            # shares must gate only against same-phase-set history, so the
+            # run passes as long as throughput holds up.
+            extra = os.path.join(tmp, "extra_phase.json")
+            write_report(
+                extra,
+                phase_secs={"simulate": 0.5, "analyze": 0.1, "kernel": 0.4},
+            )
+            assert gate(extra) == 0, (
+                "a changed phase-name set must not trip the share gate"
+            )
+            # Same phase set, same skew: the original share-drift guard
+            # still fires against the matching history.
+            skew = os.path.join(tmp, "skew2.json")
+            write_report(
+                skew, phase_secs={"simulate": 0.2, "analyze": 0.8}
+            )
+            assert gate(skew) == 1, (
+                "share drift within an unchanged phase set must still fail"
+            )
+
         def test_provenance_isolation():
             debug = os.path.join(tmp, "debug.json")
             report = _fake_report(ips_scale=0.01)
@@ -352,6 +399,7 @@ def cmd_selftest(_args):
             ("throughput regression fails", test_regression_fails),
             ("improvement passes", test_improvement_passes),
             ("phase-share drift fails", test_share_drift_fails),
+            ("new phase set skips share gate", test_new_phase_set_skips_share_gate),
             ("provenance key isolates builds", test_provenance_isolation),
             ("malformed JSON is a clean error", test_malformed_input),
             ("missing file is a clean error", test_missing_input),
