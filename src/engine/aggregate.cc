@@ -6,6 +6,7 @@
 #include "faults/noisy_protocol.h"
 #include "faults/session.h"
 #include "random/binomial.h"
+#include "snapshot/state.h"
 #include "telemetry/telemetry.h"
 
 namespace bitspread {
@@ -29,6 +30,20 @@ struct AggregateStepper {
     }
   }
   std::uint64_t samples_drawn() const noexcept { return samples; }
+
+  // Snapshot hooks: the whole evolved state is the 256-bit generator (the
+  // configuration travels driver-side).
+  static constexpr const char* kSnapshotTag = "aggregate";
+  void capture(snapshot::StepperState& out) const {
+    out.rng.assign(1, rng.state());
+    out.samples_drawn = samples;
+  }
+  bool restore(const snapshot::StepperState& saved) {
+    if (saved.rng.size() != 1) return false;
+    rng.set_state(saved.rng[0]);
+    samples = saved.samples_drawn;
+    return true;
+  }
 };
 
 // Faulty stepper: free agents update through the noisy closed-form adoption
@@ -59,6 +74,18 @@ struct AggregateFaultyStepper {
     state = session.churn(state, rng);
   }
   std::uint64_t samples_drawn() const noexcept { return samples; }
+
+  static constexpr const char* kSnapshotTag = "aggregate.faulty";
+  void capture(snapshot::StepperState& out) const {
+    out.rng.assign(1, rng.state());
+    out.samples_drawn = samples;
+  }
+  bool restore(const snapshot::StepperState& saved) {
+    if (saved.rng.size() != 1) return false;
+    rng.set_state(saved.rng[0]);
+    samples = saved.samples_drawn;
+    return true;
+  }
 };
 
 }  // namespace

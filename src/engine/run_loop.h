@@ -47,17 +47,42 @@
 #ifndef BITSPREAD_ENGINE_RUN_LOOP_H_
 #define BITSPREAD_ENGINE_RUN_LOOP_H_
 
+#include <concepts>
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "core/configuration.h"
 #include "engine/stopping.h"
 #include "engine/trajectory.h"
 #include "faults/session.h"
+#include "snapshot/checkpoint.h"
 #include "telemetry/telemetry.h"
 
 namespace bitspread {
+
+namespace internal {
+
+// Steppers opt into checkpoint/restore by providing
+//
+//   static constexpr const char* kSnapshotTag;   // engine identity
+//   void capture(snapshot::StepperState&) const; // serialize evolved state
+//   bool restore(const snapshot::StepperState&); // rebuild it (false =
+//                                                // inconsistent snapshot)
+//
+// Detection mirrors the other optional hooks: a stepper without them runs
+// un-checkpointed and the driver never touches the checkpointer for it.
+template <typename Stepper>
+inline constexpr bool kCheckpointable =
+    requires(const Stepper& frozen, Stepper& live,
+             snapshot::StepperState& state) {
+      { Stepper::kSnapshotTag } -> std::convertible_to<const char*>;
+      frozen.capture(state);
+      { live.restore(state) } -> std::convertible_to<bool>;
+    };
+
+}  // namespace internal
 
 // How an engine's native tick relates to parallel rounds and to the time
 // unit its RunResult reports.
@@ -112,6 +137,37 @@ class RunDriver {
   }
 
  private:
+  // Assembles the full RunSnapshot at a parallel-round boundary. Capture
+  // never mutates run state — a run with checkpointing enabled produces the
+  // same payload as one without (the golden digests pin this).
+  template <typename Stepper>
+  static snapshot::RunSnapshot make_snapshot(Stepper& stepper,
+                                             const FaultSession* session,
+                                             const Trajectory* trajectory,
+                                             std::uint64_t run_ordinal,
+                                             std::uint64_t tick,
+                                             std::uint64_t tpr) {
+    snapshot::RunSnapshot snap;
+    snap.engine_tag = Stepper::kSnapshotTag;
+    snap.run_ordinal = run_ordinal;
+    snap.tick = tick;
+    snap.round = tick / tpr;
+    snap.config = stepper.config();
+    stepper.capture(snap.stepper);
+    if (session != nullptr) {
+      snap.has_faults = true;
+      snap.faults.next_flip = session->next_flip();
+      snap.faults.churned = session->churned();
+      snap.faults.recoveries = session->recoveries();
+    }
+    if (trajectory != nullptr) {
+      snap.has_trajectory = true;
+      snap.trajectory.assign(trajectory->points().begin(),
+                             trajectory->points().end());
+    }
+    return snap;
+  }
+
   template <typename Stepper>
   RunResult drive(Stepper& stepper, const StopRule& rule,
                   FaultSession* session, Trajectory* trajectory) const {
@@ -126,15 +182,63 @@ class RunDriver {
         policy_.ticks_per_round == 0 ? 1 : policy_.ticks_per_round;
     const std::uint64_t max_ticks = rule.max_rounds * tpr;
 
-    {
+    // Checkpoint/resume engages only for checkpointable steppers with an
+    // installed checkpointer; everything else compiles the plain loop.
+    [[maybe_unused]] snapshot::Checkpointer* checkpointer = nullptr;
+    [[maybe_unused]] std::uint64_t run_ordinal = 0;
+    std::uint64_t tick = 0;
+    bool resumed = false;
+    if constexpr (internal::kCheckpointable<Stepper>) {
+      checkpointer = snapshot::active_checkpointer();
+      if (checkpointer != nullptr) {
+        run_ordinal = checkpointer->claim_run();
+        if (const snapshot::RunSnapshot* snap =
+                checkpointer->take_resume(run_ordinal, Stepper::kSnapshotTag)) {
+          const Configuration before = stepper.config();
+          stepper.config() = snap->config;
+          if (stepper.restore(snap->stepper)) {
+            tick = snap->tick;
+            resumed = true;
+            if (session != nullptr && snap->has_faults) {
+              session->restore_progress(
+                  static_cast<std::size_t>(snap->faults.next_flip),
+                  snap->faults.churned, snap->faults.recoveries);
+            }
+            if (trajectory != nullptr && snap->has_trajectory) {
+              trajectory->restore(snap->trajectory);
+            }
+          } else {
+            // An internally inconsistent snapshot (wrong seed, wrong shape):
+            // fall back to a fresh run rather than diverging silently.
+            stepper.config() = before;
+          }
+        }
+      }
+    }
+
+    if (!resumed) {
       const Configuration& config = stepper.config();
       if (trajectory != nullptr) trajectory->record(0, config.ones);
       telemetry::record_round(0, config.ones, config.n);
       if (session != nullptr) session->observe(0, config);
     }
 
-    std::uint64_t tick = 0;
     while (true) {
+      // Graceful interrupt: only at a parallel-round boundary, and BEFORE
+      // the flip check — a flip scheduled for this round is not yet applied,
+      // so the resumed process replays it identically. Breaking here (for
+      // every stepper, checkpointable or not) lets the caller's recorder and
+      // stream scopes unwind and flush instead of dying mid-run.
+      if (tick % tpr == 0 && snapshot::interrupt_requested()) {
+        if constexpr (internal::kCheckpointable<Stepper>) {
+          if (checkpointer != nullptr) {
+            checkpointer->write(make_snapshot(stepper, session, trajectory,
+                                              run_ordinal, tick, tpr));
+          }
+        }
+        result.reason = StopReason::kInterrupted;
+        break;
+      }
       // Source flips land on entry to a parallel round.
       if (session != nullptr && tick % tpr == 0 &&
           session->flip_due(tick / tpr)) {
@@ -183,6 +287,14 @@ class RunDriver {
         const Configuration& config = stepper.config();
         if (trajectory != nullptr) trajectory->record(round, config.ones);
         telemetry::record_round(round, config.ones, config.n);
+        // Periodic checkpoint, after the round is fully recorded so the
+        // snapshot's trajectory and stream offsets include it.
+        if constexpr (internal::kCheckpointable<Stepper>) {
+          if (checkpointer != nullptr && checkpointer->due(round)) {
+            checkpointer->write(make_snapshot(stepper, session, trajectory,
+                                              run_ordinal, tick, tpr));
+          }
+        }
       }
     }
 

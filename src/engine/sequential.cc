@@ -5,6 +5,7 @@
 #include "engine/run_loop.h"
 #include "faults/session.h"
 #include "random/binomial.h"
+#include "snapshot/state.h"
 #include "telemetry/telemetry.h"
 
 namespace bitspread {
@@ -24,6 +25,18 @@ struct SequentialStepper {
     if constexpr (telemetry::kCompiledIn) samples += ell;
   }
   std::uint64_t samples_drawn() const noexcept { return samples; }
+
+  static constexpr const char* kSnapshotTag = "sequential";
+  void capture(snapshot::StepperState& out) const {
+    out.rng.assign(1, rng.state());
+    out.samples_drawn = samples;
+  }
+  bool restore(const snapshot::StepperState& saved) {
+    if (saved.rng.size() != 1) return false;
+    rng.set_state(saved.rng[0]);
+    samples = saved.samples_drawn;
+    return true;
+  }
 };
 
 // Faulty stepper: the activated agent is uniform over the non-source slots;
@@ -62,6 +75,18 @@ struct SequentialFaultyStepper {
     state = session.churn(state, rng);
   }
   std::uint64_t samples_drawn() const noexcept { return samples; }
+
+  static constexpr const char* kSnapshotTag = "sequential.faulty";
+  void capture(snapshot::StepperState& out) const {
+    out.rng.assign(1, rng.state());
+    out.samples_drawn = samples;
+  }
+  bool restore(const snapshot::StepperState& saved) {
+    if (saved.rng.size() != 1) return false;
+    rng.set_state(saved.rng[0]);
+    samples = saved.samples_drawn;
+    return true;
+  }
 };
 
 }  // namespace

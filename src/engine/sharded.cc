@@ -10,6 +10,7 @@
 #include "faults/session.h"
 #include "random/lanes.h"
 #include "sim/parallel.h"
+#include "snapshot/state.h"
 #include "telemetry/telemetry.h"
 
 namespace bitspread {
@@ -108,6 +109,29 @@ struct ShardedStepper {
     }
   }
   std::uint64_t samples_drawn() const noexcept { return samples; }
+
+  // Snapshot hooks. Every stream is derived from (seed, round, block, phase)
+  // — the only RNG cursor is the round the driver already stores — so the
+  // captured state is the packed plane plus a master-seed fingerprint that
+  // restore() refuses to resume across.
+  static constexpr const char* kSnapshotTag = "sharded";
+  void capture(snapshot::StepperState& out) const {
+    out.seed_check = seeds.master();
+    out.plane = population.plane_words();
+    out.agent_states = population.memory_states();
+    out.samples_drawn = samples;
+  }
+  bool restore(const snapshot::StepperState& saved) {
+    if (saved.seed_check != seeds.master()) return false;
+    if (!population.restore_plane(saved.plane, saved.agent_states)) {
+      return false;
+    }
+    population.set_correct(state.correct);
+    if (population.count_ones() != state.ones) return false;
+    samples = saved.samples_drawn;
+    state = population.config();
+    return true;
+  }
 };
 
 // Faulty stepper: fault randomness stays on the dedicated per-(round, block)
@@ -146,6 +170,27 @@ struct ShardedFaultyStepper {
   }
   std::uint64_t samples_drawn() const noexcept { return samples; }
   std::uint64_t churned() const noexcept { return churn_events; }
+
+  static constexpr const char* kSnapshotTag = "sharded.faulty";
+  void capture(snapshot::StepperState& out) const {
+    out.seed_check = seeds.master();
+    out.plane = population.plane_words();
+    out.agent_states = population.memory_states();
+    out.samples_drawn = samples;
+    out.churn_events = churn_events;
+  }
+  bool restore(const snapshot::StepperState& saved) {
+    if (saved.seed_check != seeds.master()) return false;
+    if (!population.restore_plane(saved.plane, saved.agent_states)) {
+      return false;
+    }
+    population.set_correct(state.correct);
+    if (population.count_ones() != state.ones) return false;
+    samples = saved.samples_drawn;
+    churn_events = saved.churn_events;
+    state = population.config();
+    return true;
+  }
 };
 
 }  // namespace
@@ -181,6 +226,29 @@ std::uint64_t ShardedAgentEngine::Population::last_step_churned()
   std::uint64_t churned = 0;
   for (const std::uint64_t c : block_churned_) churned += c;
   return churned;
+}
+
+bool ShardedAgentEngine::Population::restore_plane(
+    const std::vector<std::uint64_t>& plane,
+    const std::vector<std::uint32_t>& states) {
+  if (plane.size() != current_.size()) return false;
+  // Memory arrays must agree in kind: a stateful population cannot resume
+  // from a memory-less snapshot or vice versa.
+  if (states.empty() != states_.empty()) return false;
+  if (!states.empty() && states.size() != n_) return false;
+  // Padding bits at or above n_ must stay zero: the popcount below and the
+  // bitslice kernels both rely on it.
+  if ((n_ & 63) != 0 && !plane.empty() &&
+      (plane.back() >> (n_ & 63)) != 0) {
+    return false;
+  }
+  current_ = plane;
+  states_ = states;
+  ones_ = 0;
+  for (const std::uint64_t word : current_) {
+    ones_ += static_cast<std::uint64_t>(std::popcount(word));
+  }
+  return true;
 }
 
 ShardedAgentEngine::Population ShardedAgentEngine::make_population(

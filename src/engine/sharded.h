@@ -115,6 +115,20 @@ class ShardedAgentEngine {
     // builds only; always 0 otherwise).
     std::uint64_t last_step_churned() const noexcept;
 
+    // --- Snapshot accessors (snapshot/state.h) ----------------------
+    // The packed round-t plane and the per-agent memory array, verbatim.
+    const std::vector<std::uint64_t>& plane_words() const noexcept {
+      return current_;
+    }
+    const std::vector<std::uint32_t>& memory_states() const noexcept {
+      return states_;
+    }
+    // Replaces the plane (and memory) wholesale and recounts ones; false
+    // when the shapes don't fit this population or padding bits are set.
+    // The write plane and all round scratch are rebuilt by the next step().
+    bool restore_plane(const std::vector<std::uint64_t>& plane,
+                       const std::vector<std::uint32_t>& states);
+
    private:
     friend class ShardedAgentEngine;
 

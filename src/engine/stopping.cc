@@ -14,6 +14,8 @@ std::string to_string(StopReason reason) {
       return "interval-exit";
     case StopReason::kDegraded:
       return "degraded";
+    case StopReason::kInterrupted:
+      return "interrupted";
   }
   return "unknown";
 }

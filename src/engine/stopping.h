@@ -23,6 +23,10 @@ enum class StopReason {
                       // recovery segment for the last flip is right-censored;
                       // RunResult keeps the flip round and final configuration
                       // so degraded runs are reported, never silently capped.
+  kInterrupted,       // SIGINT/SIGTERM (or snapshot::request_interrupt()):
+                      // the driver stopped at a round boundary after writing
+                      // a final snapshot. Right-censored like kRoundLimit —
+                      // the run resumes via --resume, it did not finish.
 };
 
 std::string to_string(StopReason reason);
@@ -141,10 +145,12 @@ struct RunResult {
     return reason == StopReason::kCorrectConsensus;
   }
   // True when the run hit the cap: `ticks` is then a lower bound. A
-  // degraded run is censored too — its last recovery segment never closed.
+  // degraded run is censored too — its last recovery segment never closed —
+  // and so is an interrupted run awaiting resume.
   bool censored() const noexcept {
     return reason == StopReason::kRoundLimit ||
-           reason == StopReason::kDegraded;
+           reason == StopReason::kDegraded ||
+           reason == StopReason::kInterrupted;
   }
   bool degraded() const noexcept { return reason == StopReason::kDegraded; }
 

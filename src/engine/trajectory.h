@@ -31,6 +31,12 @@ class Trajectory {
     points_.push_back(Point{round, ones});
   }
 
+  // Replaces the recorded series wholesale — the snapshot/restore path, so
+  // a resumed run's trajectory equals the uninterrupted run's.
+  void restore(std::vector<Point> points) noexcept {
+    points_ = std::move(points);
+  }
+
   std::span<const Point> points() const noexcept { return points_; }
   bool empty() const noexcept { return points_.empty(); }
   std::size_t size() const noexcept { return points_.size(); }

@@ -115,6 +115,20 @@ class FaultSession {
     return std::move(recoveries_);
   }
 
+  // --- Snapshot hooks (snapshot/state.h) ------------------------------
+  //
+  // Only the *evolved* state travels: schedule position, churn tally, and
+  // the recovery segments (including the open one). The zealot geometry is
+  // derived deterministically from (model, initial) by the constructor, so
+  // a resumed session rebuilt from the same inputs already agrees on it.
+  std::size_t next_flip() const noexcept { return next_flip_; }
+  void restore_progress(std::size_t next_flip, std::uint64_t churned,
+                        std::vector<RecoverySegment> recoveries) noexcept {
+    next_flip_ = next_flip;
+    churned_ = churned;
+    recoveries_ = std::move(recoveries);
+  }
+
  private:
   EnvironmentModel model_;
   std::uint64_t n_ = 0;

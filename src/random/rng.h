@@ -100,6 +100,13 @@ class Xoshiro256StarStar {
   // subsequences for parallel streams.
   void jump() noexcept;
 
+  // Raw 256-bit state, for checkpointing: a restored generator continues the
+  // stream exactly where the captured one left off.
+  std::array<std::uint64_t, 4> state() const noexcept { return state_; }
+  void set_state(const std::array<std::uint64_t, 4>& state) noexcept {
+    state_ = state;
+  }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
     return (x << k) | (x >> (64 - k));

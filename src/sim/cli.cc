@@ -23,6 +23,15 @@ bool FlightRecorderOptions::parse_flag(const std::string& arg) {
         std::strtoull(arg.c_str() + 15, nullptr, 0));
   } else if (arg.rfind("--stream-stride=", 0) == 0) {
     stream_stride = std::strtoull(arg.c_str() + 16, nullptr, 0);
+  } else if (arg.rfind("--checkpoint-out=", 0) == 0) {
+    checkpoint_out = arg.substr(17);
+  } else if (arg.rfind("--checkpoint-every=", 0) == 0) {
+    checkpoint_every = std::strtoull(arg.c_str() + 19, nullptr, 0);
+  } else if (arg.rfind("--checkpoint-ring=", 0) == 0) {
+    checkpoint_ring = static_cast<std::uint32_t>(
+        std::strtoul(arg.c_str() + 18, nullptr, 0));
+  } else if (arg.rfind("--resume=", 0) == 0) {
+    resume = arg.substr(9);
   } else {
     return false;
   }
@@ -148,6 +157,32 @@ ExampleOptions parse_example_options(int argc, char** argv) {
 
 FlightRecorderScope::FlightRecorderScope(FlightRecorderOptions options)
     : options_(std::move(options)) {
+  // Checkpointer first (independent of telemetry): a loaded resume decides
+  // how the JSONL stream opens below.
+  if (options_.checkpoint_requested()) {
+    snapshot::CheckpointOptions checkpoint_options;
+    checkpoint_options.path = options_.checkpoint_out.value_or("checkpoint");
+    checkpoint_options.every = options_.checkpoint_every;
+    checkpoint_options.ring = options_.checkpoint_ring;
+    checkpointer_ =
+        std::make_unique<snapshot::Checkpointer>(checkpoint_options);
+    if (options_.resume && !checkpointer_->load_resume(*options_.resume)) {
+      std::cerr << "[resume: " << checkpointer_->last_error()
+                << "; starting fresh]\n";
+    }
+    checkpointer_->set_decorator([this](snapshot::RunSnapshot& snap) {
+      if (stream_ != nullptr) {
+        snap.stream_rounds_seen = stream_->rounds_seen();
+        snap.stream_lines = stream_->lines();
+      }
+    });
+    snapshot::install_checkpointer(checkpointer_.get());
+  }
+  // Graceful SIGINT/SIGTERM whenever any output could be lost: drivers stop
+  // at the next round boundary and this scope's destructor flushes.
+  if (options_.requested() || checkpointer_ != nullptr) {
+    snapshot::install_interrupt_handlers();
+  }
   if (!options_.requested()) return;
   if (!telemetry::kCompiledIn) {
     std::cerr << "note: --trace-out/--stream-out have no effect (build with "
@@ -163,12 +198,21 @@ FlightRecorderScope::FlightRecorderScope(FlightRecorderOptions options)
   if (options_.stream_out) {
     telemetry::RoundStream::Options stream_options;
     stream_options.stride = options_.stream_stride;
+    // A resumed run appends to the stream of the interrupted one, with the
+    // counters seeded from the snapshot so accounting spans both segments.
+    const snapshot::RunSnapshot* resume_snap =
+        checkpointer_ != nullptr ? checkpointer_->pending_resume() : nullptr;
+    stream_options.append = resume_snap != nullptr;
     stream_ = std::make_unique<telemetry::RoundStream>(*options_.stream_out,
                                                        stream_options);
     if (!stream_->ok()) {
       std::cerr << "[failed to open stream " << *options_.stream_out << "]\n";
       stream_.reset();
     } else {
+      if (resume_snap != nullptr) {
+        stream_->restore_counts(resume_snap->stream_rounds_seen,
+                                resume_snap->stream_lines);
+      }
       telemetry::install_round_sink(stream_.get());
     }
   }
@@ -204,6 +248,15 @@ FlightRecorderScope::~FlightRecorderScope() {
     } else {
       std::cerr << "[failed to write stream to " << *options_.stream_out
                 << "]\n";
+    }
+  }
+  if (checkpointer_ != nullptr) {
+    snapshot::install_checkpointer(nullptr);
+    if (checkpointer_->written() > 0) {
+      std::cerr << "[checkpoints: " << checkpointer_->written()
+                << " written to " << checkpointer_->options().path
+                << ".<slot>.snap (ring of "
+                << checkpointer_->options().ring << ")]\n";
     }
   }
 }

@@ -14,6 +14,14 @@
 //   --trace-buffer=<n>     ring capacity per recording thread (events)
 //   --stream-stride=<n>    emit every n-th round to the stream
 //
+// Checkpoint/resume flags (benches and examples; independent of telemetry):
+//   --checkpoint-out=<base>  snapshot ring base path (<base>.<slot>.snap)
+//   --checkpoint-every=<k>   snapshot every k parallel rounds (default 0:
+//                            only on SIGINT/SIGTERM)
+//   --checkpoint-ring=<r>    retained ring entries (default 2)
+//   --resume=auto|<path>     resume from the newest valid ring entry (auto,
+//                            with corrupt-entry fallback) or one exact file
+//
 // Example binaries additionally accept (parse_example_options):
 //   --metrics-out <path>   dump the global metrics registry as JSON on exit
 //   --trace                print a per-phase timing table on exit
@@ -32,6 +40,7 @@
 #include <string>
 
 #include "sim/table.h"
+#include "snapshot/checkpoint.h"
 #include "telemetry/jsonl.h"
 #include "telemetry/metrics.h"
 #include "telemetry/telemetry.h"
@@ -42,17 +51,27 @@ namespace bitspread {
 struct ConvergenceMeasurement;
 struct RunResult;
 
-// Flight-recorder flags shared by bench and example binaries.
+// Flight-recorder and checkpoint flags shared by bench and example binaries.
 struct FlightRecorderOptions {
   std::optional<std::string> trace_out;
   std::optional<std::string> stream_out;
   std::size_t trace_buffer = std::size_t{1} << 15;
   std::uint64_t stream_stride = 1;
+  // Checkpoint/resume (snapshot/checkpoint.h): ring base path, cadence in
+  // parallel rounds (0 = only on interrupt), retained entries, and the
+  // resume source ("auto" or an explicit snapshot file).
+  std::optional<std::string> checkpoint_out;
+  std::uint64_t checkpoint_every = 0;
+  std::uint32_t checkpoint_ring = 2;
+  std::optional<std::string> resume;
 
   bool requested() const noexcept {
     return trace_out.has_value() || stream_out.has_value();
   }
-  // Consumes the flag if it matches one of the four recorder options.
+  bool checkpoint_requested() const noexcept {
+    return checkpoint_out.has_value() || resume.has_value();
+  }
+  // Consumes the flag if it matches one of the recorder/checkpoint options.
   bool parse_flag(const std::string& arg);
 };
 
@@ -138,6 +157,16 @@ ExampleOptions parse_example_options(int argc, char** argv);
 // stderr. In a non-telemetry build a single stderr note explains how to
 // enable it. Construct before the run, destroy after — installation must
 // not race an engine.
+//
+// The scope also owns the checkpoint lifecycle (--checkpoint-out=/--resume=;
+// independent of telemetry): the Checkpointer is created and a resume
+// snapshot loaded BEFORE the stream opens, so a resumed run appends to its
+// JSONL file (with restored line accounting) instead of truncating it. When
+// any output or checkpointing is active, SIGINT/SIGTERM handlers are
+// installed: the first signal makes every RunDriver stop at the next round
+// boundary (writing a final snapshot when checkpointing), control unwinds,
+// and this destructor flushes the stream and trace buffers — graceful
+// shutdown never loses buffered rounds.
 class FlightRecorderScope {
  public:
   explicit FlightRecorderScope(FlightRecorderOptions options);
@@ -152,9 +181,14 @@ class FlightRecorderScope {
 
   // The active recorder, or nullptr when none was requested/installed.
   telemetry::TraceRecorder* recorder() noexcept { return recorder_.get(); }
+  // The active checkpointer, or nullptr when checkpointing is off.
+  snapshot::Checkpointer* checkpointer() noexcept {
+    return checkpointer_.get();
+  }
 
  private:
   FlightRecorderOptions options_;
+  std::unique_ptr<snapshot::Checkpointer> checkpointer_;
   std::unique_ptr<telemetry::TraceRecorder> recorder_;
   std::unique_ptr<telemetry::RoundStream> stream_;
 };

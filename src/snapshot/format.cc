@@ -1,0 +1,345 @@
+#include "snapshot/format.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace bitspread {
+namespace snapshot {
+namespace {
+
+constexpr std::uint32_t kMagic = section_tag("BSNP");
+
+std::array<std::uint32_t, 256> make_crc32c_table() noexcept {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1) != 0 ? 0x82F63B78u : 0u);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+std::string errno_message() {
+  return std::strerror(errno) != nullptr ? std::strerror(errno) : "I/O error";
+}
+
+void set_error(std::string* error, std::string message) {
+  if (error != nullptr) *error = std::move(message);
+}
+
+// fsync the directory containing `path` so the rename itself is durable.
+bool fsync_parent(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return false;
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+}
+
+}  // namespace
+
+std::uint32_t crc32c(const void* data, std::size_t size,
+                     std::uint32_t seed) noexcept {
+  static const std::array<std::uint32_t, 256> table = make_crc32c_table();
+  const auto* bytes = static_cast<const std::uint8_t*>(data);
+  std::uint32_t crc = ~seed;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = (crc >> 8) ^ table[(crc ^ bytes[i]) & 0xFF];
+  }
+  return ~crc;
+}
+
+std::string tag_name(std::uint32_t tag) {
+  std::string name;
+  for (int byte = 0; byte < 4; ++byte) {
+    const char c = static_cast<char>((tag >> (8 * byte)) & 0xFF);
+    name.push_back(c >= 0x20 && c < 0x7F ? c : '?');
+  }
+  return name;
+}
+
+void ByteWriter::u32(std::uint32_t v) {
+  for (int byte = 0; byte < 4; ++byte) {
+    bytes_.push_back(static_cast<std::uint8_t>(v >> (8 * byte)));
+  }
+}
+
+void ByteWriter::u64(std::uint64_t v) {
+  for (int byte = 0; byte < 8; ++byte) {
+    bytes_.push_back(static_cast<std::uint8_t>(v >> (8 * byte)));
+  }
+}
+
+void ByteWriter::f64(double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  u64(bits);
+}
+
+void ByteWriter::str(std::string_view s) {
+  u64(s.size());
+  bytes_.insert(bytes_.end(), s.begin(), s.end());
+}
+
+void ByteWriter::u64_span(const std::uint64_t* data, std::size_t count) {
+  u64(count);
+  for (std::size_t i = 0; i < count; ++i) u64(data[i]);
+}
+
+void ByteWriter::u32_span(const std::uint32_t* data, std::size_t count) {
+  u64(count);
+  for (std::size_t i = 0; i < count; ++i) u32(data[i]);
+}
+
+bool ByteReader::take(std::size_t count) noexcept {
+  if (!ok_ || size_ - position_ < count) {
+    ok_ = false;
+    return false;
+  }
+  return true;
+}
+
+std::uint8_t ByteReader::u8() noexcept {
+  if (!take(1)) return 0;
+  return data_[position_++];
+}
+
+std::uint32_t ByteReader::u32() noexcept {
+  if (!take(4)) return 0;
+  std::uint32_t v = 0;
+  for (int byte = 0; byte < 4; ++byte) {
+    v |= static_cast<std::uint32_t>(data_[position_++]) << (8 * byte);
+  }
+  return v;
+}
+
+std::uint64_t ByteReader::u64() noexcept {
+  if (!take(8)) return 0;
+  std::uint64_t v = 0;
+  for (int byte = 0; byte < 8; ++byte) {
+    v |= static_cast<std::uint64_t>(data_[position_++]) << (8 * byte);
+  }
+  return v;
+}
+
+double ByteReader::f64() noexcept {
+  const std::uint64_t bits = u64();
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::string ByteReader::str() {
+  const std::uint64_t length = u64();
+  if (!take(static_cast<std::size_t>(length))) return {};
+  std::string s(reinterpret_cast<const char*>(data_ + position_),
+                static_cast<std::size_t>(length));
+  position_ += static_cast<std::size_t>(length);
+  return s;
+}
+
+bool ByteReader::u64_into(std::vector<std::uint64_t>& out,
+                          std::uint64_t count) {
+  // Divide instead of multiplying: a corrupt count cannot overflow the
+  // bounds check into a huge allocation.
+  if (count > remaining() / 8) {
+    ok_ = false;
+    return false;
+  }
+  if (!take(static_cast<std::size_t>(count) * 8)) return false;
+  out.resize(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) out[i] = u64();
+  return ok_;
+}
+
+bool ByteReader::u32_into(std::vector<std::uint32_t>& out,
+                          std::uint64_t count) {
+  if (count > remaining() / 4) {
+    ok_ = false;
+    return false;
+  }
+  if (!take(static_cast<std::size_t>(count) * 4)) return false;
+  out.resize(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) out[i] = u32();
+  return ok_;
+}
+
+void SnapshotFile::add(std::uint32_t tag, std::vector<std::uint8_t> payload) {
+  Section section;
+  section.tag = tag;
+  section.payload = std::move(payload);
+  sections_.push_back(std::move(section));
+}
+
+const Section* SnapshotFile::find(std::uint32_t tag) const noexcept {
+  for (const Section& section : sections_) {
+    if (section.tag == tag) return &section;
+  }
+  return nullptr;
+}
+
+std::vector<std::uint8_t> SnapshotFile::serialize() const {
+  ByteWriter header;
+  header.u32(kMagic);
+  header.u32(kFormatVersion);
+  header.u32(static_cast<std::uint32_t>(sections_.size()));
+  ByteWriter out;
+  out.u32(kMagic);
+  out.u32(kFormatVersion);
+  out.u32(static_cast<std::uint32_t>(sections_.size()));
+  out.u32(crc32c(header.bytes().data(), header.bytes().size()));
+  std::vector<std::uint8_t> bytes = out.take();
+  for (const Section& section : sections_) {
+    ByteWriter head;
+    head.u32(section.tag);
+    head.u64(section.payload.size());
+    // The CRC covers the section HEADER too (tag + length + payload): a bit
+    // flip in the tag or length must be as detectable as one in the payload.
+    std::uint32_t crc = crc32c(head.bytes().data(), head.bytes().size());
+    crc = crc32c(section.payload.data(), section.payload.size(), crc);
+    head.u32(crc);
+    bytes.insert(bytes.end(), head.bytes().begin(), head.bytes().end());
+    bytes.insert(bytes.end(), section.payload.begin(), section.payload.end());
+  }
+  return bytes;
+}
+
+bool SnapshotFile::write_atomic(const std::string& path,
+                                std::string* error) const {
+  const std::vector<std::uint8_t> bytes = serialize();
+  const std::string temp = path + ".tmp";
+  const int fd = ::open(temp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    set_error(error, temp + ": open failed: " + errno_message());
+    return false;
+  }
+  std::size_t written = 0;
+  while (written < bytes.size()) {
+    const ::ssize_t n =
+        ::write(fd, bytes.data() + written, bytes.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      set_error(error, temp + ": write failed: " + errno_message());
+      ::close(fd);
+      ::unlink(temp.c_str());
+      return false;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    set_error(error, temp + ": fsync failed: " + errno_message());
+    ::close(fd);
+    ::unlink(temp.c_str());
+    return false;
+  }
+  ::close(fd);
+  if (std::rename(temp.c_str(), path.c_str()) != 0) {
+    set_error(error, path + ": rename failed: " + errno_message());
+    ::unlink(temp.c_str());
+    return false;
+  }
+  // Rename durability is best-effort: the data itself is already synced,
+  // and a lost rename only reverts to the previous ring entry.
+  (void)fsync_parent(path);
+  return true;
+}
+
+std::optional<SnapshotFile> SnapshotFile::parse(const std::uint8_t* data,
+                                                std::size_t size,
+                                                std::string* error) {
+  ByteReader reader(data, size);
+  const std::uint32_t magic = reader.u32();
+  const std::uint32_t version = reader.u32();
+  const std::uint32_t count = reader.u32();
+  const std::uint32_t header_crc = reader.u32();
+  if (!reader.ok() || magic != kMagic) {
+    set_error(error, "not a bitspread snapshot (bad magic)");
+    return std::nullopt;
+  }
+  if (version != kFormatVersion) {
+    set_error(error, "unsupported snapshot format version " +
+                         std::to_string(version));
+    return std::nullopt;
+  }
+  ByteWriter header;
+  header.u32(magic);
+  header.u32(version);
+  header.u32(count);
+  if (crc32c(header.bytes().data(), header.bytes().size()) != header_crc) {
+    set_error(error, "snapshot header CRC mismatch");
+    return std::nullopt;
+  }
+  SnapshotFile file;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint32_t tag = reader.u32();
+    const std::uint64_t length = reader.u64();
+    const std::uint32_t crc = reader.u32();
+    if (!reader.ok() || reader.remaining() < length) {
+      std::string which = reader.ok() ? tag_name(tag) : "#";
+      if (!reader.ok()) which += std::to_string(i);
+      set_error(error, "snapshot truncated in section " + which);
+      return std::nullopt;
+    }
+    std::vector<std::uint8_t> payload(static_cast<std::size_t>(length));
+    for (std::uint64_t b = 0; b < length; ++b) payload[b] = reader.u8();
+    ByteWriter head;
+    head.u32(tag);
+    head.u64(length);
+    std::uint32_t expected = crc32c(head.bytes().data(), head.bytes().size());
+    expected = crc32c(payload.data(), payload.size(), expected);
+    if (expected != crc) {
+      set_error(error,
+                "section " + tag_name(tag) + " CRC mismatch (corrupt)");
+      return std::nullopt;
+    }
+    if (file.find(tag) != nullptr) {
+      set_error(error, "duplicate section " + tag_name(tag));
+      return std::nullopt;
+    }
+    file.add(tag, std::move(payload));
+  }
+  if (reader.remaining() != 0) {
+    set_error(error, "trailing bytes after last section");
+    return std::nullopt;
+  }
+  return file;
+}
+
+std::optional<SnapshotFile> SnapshotFile::load(const std::string& path,
+                                               std::string* error) {
+  std::FILE* fh = std::fopen(path.c_str(), "rb");
+  if (fh == nullptr) {
+    set_error(error, path + ": cannot open: " + errno_message());
+    return std::nullopt;
+  }
+  std::vector<std::uint8_t> bytes;
+  std::uint8_t buffer[1 << 16];
+  std::size_t n = 0;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), fh)) > 0) {
+    bytes.insert(bytes.end(), buffer, buffer + n);
+  }
+  const bool read_error = std::ferror(fh) != 0;
+  std::fclose(fh);
+  if (read_error) {
+    set_error(error, path + ": read failed");
+    return std::nullopt;
+  }
+  std::string parse_error;
+  auto file = parse(bytes.data(), bytes.size(), &parse_error);
+  if (!file) set_error(error, path + ": " + parse_error);
+  return file;
+}
+
+}  // namespace snapshot
+}  // namespace bitspread

@@ -1,0 +1,139 @@
+// The on-disk snapshot container: a self-describing, checksummed section file.
+//
+// A snapshot is a small header followed by tagged sections:
+//
+//   [magic "BSNP" | format u32 | section count u32 | header CRC32C]
+//   per section: [tag u32 | payload bytes u64 | section CRC32C | payload]
+//   (the section CRC covers tag + length + payload, so no field is naked)
+//
+// Everything is little-endian and byte-exact: the same logical state always
+// produces the same file, so snapshot files can themselves be diffed and
+// digested. Integrity is enforced on BOTH ends: the writer computes a
+// CRC32C (Castagnoli) over every section payload, and the reader refuses to
+// surface a section whose length or checksum does not match — a truncated
+// tail, a bit flip, or a short read is detected, never silently loaded.
+//
+// Durability is the writer's other job: write_atomic() writes to a sibling
+// temp file, fsync()s the data, rename()s into place, and fsync()s the
+// containing directory, so a crash mid-write can only ever leave the
+// previous snapshot (or a stray temp file), never a half-written current
+// one. The ring policy above this layer (snapshot/checkpoint.h) retains the
+// last R snapshots, so even a latent corruption has a fallback.
+#ifndef BITSPREAD_SNAPSHOT_FORMAT_H_
+#define BITSPREAD_SNAPSHOT_FORMAT_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bitspread {
+namespace snapshot {
+
+// CRC32C (Castagnoli, reflected polynomial 0x82F63B78) over `size` bytes.
+// Software byte-table implementation: portability over peak speed — snapshot
+// payloads are MBs at most and write cadence is every K rounds.
+std::uint32_t crc32c(const void* data, std::size_t size,
+                     std::uint32_t seed = 0) noexcept;
+
+// Current container format. Bump on any layout change; readers reject files
+// whose version they do not understand instead of misparsing them.
+inline constexpr std::uint32_t kFormatVersion = 1;
+
+// Section tags are four ASCII bytes packed little-endian ("META" etc.).
+constexpr std::uint32_t section_tag(const char (&name)[5]) noexcept {
+  return static_cast<std::uint32_t>(static_cast<unsigned char>(name[0])) |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(name[1])) << 8 |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(name[2])) << 16 |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(name[3])) << 24;
+}
+
+std::string tag_name(std::uint32_t tag);
+
+// Append-only little-endian encoder for section payloads.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { bytes_.push_back(v); }
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void f64(double v);  // IEEE-754 bit pattern via u64.
+  void str(std::string_view s);                   // u64 length + bytes
+  void u64_span(const std::uint64_t* data, std::size_t count);
+  void u32_span(const std::uint32_t* data, std::size_t count);
+
+  const std::vector<std::uint8_t>& bytes() const noexcept { return bytes_; }
+  std::vector<std::uint8_t> take() noexcept { return std::move(bytes_); }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+// Bounds-checked little-endian decoder. Every read reports failure instead
+// of walking off the payload: ok() latches false on the first short read,
+// and callers check once at the end (reads after a failure return zeros).
+class ByteReader {
+ public:
+  ByteReader(const std::uint8_t* data, std::size_t size) noexcept
+      : data_(data), size_(size) {}
+
+  std::uint8_t u8() noexcept;
+  std::uint32_t u32() noexcept;
+  std::uint64_t u64() noexcept;
+  double f64() noexcept;
+  std::string str();
+  bool u64_into(std::vector<std::uint64_t>& out, std::uint64_t count);
+  bool u32_into(std::vector<std::uint32_t>& out, std::uint64_t count);
+
+  bool ok() const noexcept { return ok_; }
+  // True when the payload was consumed exactly (no trailing garbage).
+  bool exhausted() const noexcept { return ok_ && position_ == size_; }
+  std::size_t remaining() const noexcept { return size_ - position_; }
+
+ private:
+  bool take(std::size_t count) noexcept;
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t position_ = 0;
+  bool ok_ = true;
+};
+
+// One tagged, checksummed section.
+struct Section {
+  std::uint32_t tag = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+// The section container. Writing: add() sections, then write_atomic().
+// Reading: load() verifies the header and every CRC before returning.
+class SnapshotFile {
+ public:
+  void add(std::uint32_t tag, std::vector<std::uint8_t> payload);
+  const Section* find(std::uint32_t tag) const noexcept;
+  const std::vector<Section>& sections() const noexcept { return sections_; }
+
+  // Serializes header + sections into one byte buffer (pure; no I/O).
+  std::vector<std::uint8_t> serialize() const;
+
+  // Crash-safe write: <path>.tmp + fsync + rename(<path>) + directory fsync.
+  // On failure `error` (if non-null) holds a one-line diagnostic.
+  bool write_atomic(const std::string& path, std::string* error = nullptr) const;
+
+  // Parses and verifies `bytes`; nullopt + diagnostic on any mismatch
+  // (bad magic, unknown version, truncation, CRC failure, duplicate tag).
+  static std::optional<SnapshotFile> parse(const std::uint8_t* data,
+                                           std::size_t size,
+                                           std::string* error = nullptr);
+  // Reads the file and parses it. A missing file is a (diagnosed) failure.
+  static std::optional<SnapshotFile> load(const std::string& path,
+                                          std::string* error = nullptr);
+
+ private:
+  std::vector<Section> sections_;
+};
+
+}  // namespace snapshot
+}  // namespace bitspread
+
+#endif  // BITSPREAD_SNAPSHOT_FORMAT_H_

@@ -1,0 +1,249 @@
+#include "snapshot/state.h"
+
+namespace bitspread {
+namespace snapshot {
+namespace {
+
+constexpr std::uint32_t kMetaTag = section_tag("META");
+constexpr std::uint32_t kConfTag = section_tag("CONF");
+constexpr std::uint32_t kStepTag = section_tag("STEP");
+constexpr std::uint32_t kFaultTag = section_tag("FLTS");
+constexpr std::uint32_t kTrajTag = section_tag("TRAJ");
+constexpr std::uint32_t kTeleTag = section_tag("TELE");
+
+void set_error(std::string* error, const char* message) {
+  if (error != nullptr) *error = message;
+}
+
+}  // namespace
+
+std::string build_stamp() {
+  std::string stamp;
+#if defined(__clang__)
+  stamp = "clang-" + std::to_string(__clang_major__);
+#elif defined(__GNUC__)
+  stamp = "gcc-" + std::to_string(__GNUC__);
+#else
+  stamp = "cxx";
+#endif
+#if defined(__aarch64__)
+  stamp += "/aarch64";
+#elif defined(__x86_64__)
+  stamp += "/x86_64";
+#else
+  stamp += "/unknown";
+#endif
+  return stamp;
+}
+
+SnapshotFile RunSnapshot::encode() const {
+  SnapshotFile file;
+  {
+    ByteWriter w;
+    w.str(engine_tag);
+    w.u64(run_ordinal);
+    w.u64(sequence);
+    w.str(build_stamp);
+    w.u64(tick);
+    w.u64(round);
+    file.add(kMetaTag, w.take());
+  }
+  {
+    ByteWriter w;
+    w.u64(config.n);
+    w.u64(config.ones);
+    w.u8(static_cast<std::uint8_t>(to_int(config.correct)));
+    w.u64(config.sources);
+    file.add(kConfTag, w.take());
+  }
+  {
+    ByteWriter w;
+    w.u64(stepper.seed_check);
+    w.u64(stepper.rng.size());
+    for (const auto& state : stepper.rng) {
+      for (const std::uint64_t word : state) w.u64(word);
+    }
+    w.u64_span(stepper.plane.data(), stepper.plane.size());
+    w.u32_span(stepper.agent_states.data(), stepper.agent_states.size());
+    w.u64(stepper.bytes.size());
+    for (const std::uint8_t b : stepper.bytes) w.u8(b);
+    w.u64(stepper.samples_drawn);
+    w.u64(stepper.churn_events);
+    file.add(kStepTag, w.take());
+  }
+  if (has_faults) {
+    ByteWriter w;
+    w.u64(faults.next_flip);
+    w.u64(faults.churned);
+    w.u64(faults.recoveries.size());
+    for (const RecoverySegment& segment : faults.recoveries) {
+      w.u64(segment.flip_round);
+      w.u64(segment.recovered_round);
+      w.u8(segment.recovered ? 1 : 0);
+    }
+    file.add(kFaultTag, w.take());
+  }
+  if (has_trajectory) {
+    ByteWriter w;
+    w.u64(trajectory.size());
+    for (const Trajectory::Point& point : trajectory) {
+      w.u64(point.round);
+      w.u64(point.ones);
+    }
+    file.add(kTrajTag, w.take());
+  }
+  {
+    ByteWriter w;
+    w.u64(stream_rounds_seen);
+    w.u64(stream_lines);
+    file.add(kTeleTag, w.take());
+  }
+  return file;
+}
+
+bool RunSnapshot::decode(const SnapshotFile& file, RunSnapshot& out,
+                         std::string* error) {
+  const Section* meta = file.find(kMetaTag);
+  const Section* conf = file.find(kConfTag);
+  const Section* step = file.find(kStepTag);
+  if (meta == nullptr || conf == nullptr || step == nullptr) {
+    set_error(error, "snapshot missing a required section (META/CONF/STEP)");
+    return false;
+  }
+  {
+    ByteReader r(meta->payload.data(), meta->payload.size());
+    out.engine_tag = r.str();
+    out.run_ordinal = r.u64();
+    out.sequence = r.u64();
+    out.build_stamp = r.str();
+    out.tick = r.u64();
+    out.round = r.u64();
+    if (!r.exhausted()) {
+      set_error(error, "malformed META section");
+      return false;
+    }
+  }
+  {
+    ByteReader r(conf->payload.data(), conf->payload.size());
+    out.config.n = r.u64();
+    out.config.ones = r.u64();
+    out.config.correct = r.u8() != 0 ? Opinion::kOne : Opinion::kZero;
+    out.config.sources = r.u64();
+    if (!r.exhausted() || !out.config.valid()) {
+      set_error(error, "malformed or invalid CONF section");
+      return false;
+    }
+  }
+  {
+    ByteReader r(step->payload.data(), step->payload.size());
+    out.stepper.seed_check = r.u64();
+    const std::uint64_t rng_count = r.u64();
+    if (rng_count > (1u << 20)) {
+      set_error(error, "implausible RNG cursor count");
+      return false;
+    }
+    out.stepper.rng.resize(static_cast<std::size_t>(rng_count));
+    for (auto& state : out.stepper.rng) {
+      for (std::uint64_t& word : state) word = r.u64();
+    }
+    if (!r.u64_into(out.stepper.plane, r.u64()) ||
+        !r.u32_into(out.stepper.agent_states, r.u64())) {
+      set_error(error, "malformed STEP section");
+      return false;
+    }
+    const std::uint64_t byte_count = r.u64();
+    if (byte_count > r.remaining()) {
+      set_error(error, "malformed STEP section");
+      return false;
+    }
+    out.stepper.bytes.resize(static_cast<std::size_t>(byte_count));
+    for (std::uint8_t& b : out.stepper.bytes) b = r.u8();
+    out.stepper.samples_drawn = r.u64();
+    out.stepper.churn_events = r.u64();
+    if (!r.exhausted()) {
+      set_error(error, "malformed STEP section");
+      return false;
+    }
+  }
+  if (const Section* flts = file.find(kFaultTag)) {
+    out.has_faults = true;
+    ByteReader r(flts->payload.data(), flts->payload.size());
+    out.faults.next_flip = r.u64();
+    out.faults.churned = r.u64();
+    const std::uint64_t count = r.u64();
+    if (count > r.remaining() / 17) {
+      set_error(error, "malformed FLTS section");
+      return false;
+    }
+    out.faults.recoveries.resize(static_cast<std::size_t>(count));
+    for (RecoverySegment& segment : out.faults.recoveries) {
+      segment.flip_round = r.u64();
+      segment.recovered_round = r.u64();
+      segment.recovered = r.u8() != 0;
+    }
+    if (!r.exhausted()) {
+      set_error(error, "malformed FLTS section");
+      return false;
+    }
+  } else {
+    out.has_faults = false;
+    out.faults = FaultState{};
+  }
+  if (const Section* traj = file.find(kTrajTag)) {
+    out.has_trajectory = true;
+    ByteReader r(traj->payload.data(), traj->payload.size());
+    const std::uint64_t count = r.u64();
+    if (count > r.remaining() / 16) {
+      set_error(error, "malformed TRAJ section");
+      return false;
+    }
+    out.trajectory.resize(static_cast<std::size_t>(count));
+    for (Trajectory::Point& point : out.trajectory) {
+      point.round = r.u64();
+      point.ones = r.u64();
+    }
+    if (!r.exhausted()) {
+      set_error(error, "malformed TRAJ section");
+      return false;
+    }
+  } else {
+    out.has_trajectory = false;
+    out.trajectory.clear();
+  }
+  if (const Section* tele = file.find(kTeleTag)) {
+    ByteReader r(tele->payload.data(), tele->payload.size());
+    out.stream_rounds_seen = r.u64();
+    out.stream_lines = r.u64();
+    if (!r.exhausted()) {
+      set_error(error, "malformed TELE section");
+      return false;
+    }
+  }
+  return true;
+}
+
+std::uint64_t payload_digest(const RunResult& result) noexcept {
+  std::uint64_t hash = 0xCBF29CE484222325ull;
+  const auto fold = [&hash](std::uint64_t v) noexcept {
+    for (int byte = 0; byte < 8; ++byte) {
+      hash ^= (v >> (8 * byte)) & 0xFF;
+      hash *= 0x100000001B3ull;
+    }
+  };
+  fold(static_cast<std::uint64_t>(result.reason));
+  fold(result.ticks);
+  fold(result.final_config.n);
+  fold(result.final_config.ones);
+  fold(static_cast<std::uint64_t>(to_int(result.final_config.correct)));
+  fold(result.final_config.sources);
+  fold(result.recoveries.size());
+  for (const RecoverySegment& segment : result.recoveries) {
+    fold(segment.flip_round);
+    fold(segment.recovered_round);
+    fold(segment.recovered ? 1 : 0);
+  }
+  return hash;
+}
+
+}  // namespace snapshot
+}  // namespace bitspread

@@ -1,0 +1,132 @@
+// The logical run snapshot: everything a RunDriver needs to resume a run
+// deterministically, independent of the on-disk container (snapshot/format.h).
+//
+// What has to be captured for provably deterministic resume, per layer:
+//
+//   * Driver: elapsed ticks and the driver-visible Configuration. The stop
+//     rule, time policy, and trajectory stride are INPUTS (the caller passes
+//     the same ones on resume, exactly as it passes the same seed); the
+//     snapshot stores what evolved, not what was given.
+//   * Stepper: its RNG stream cursors and its population state. The sharded
+//     engine (and the bitslice kernel backends) derive every stream from
+//     (seed, round, block, phase) — their only cursor IS the round, so the
+//     StepperState carries a seed check instead of generator states; the
+//     single-threaded engines carry one persistent xoshiro256** whose
+//     256-bit state is serialized verbatim.
+//   * FaultSession: the flip-schedule position, the counts-level churn
+//     tally, and every RecoverySegment (including the open one) — resuming
+//     mid-recovery must classify degradation identically.
+//   * Trajectory: the points recorded so far, so the resumed run's
+//     trajectory equals the uninterrupted run's.
+//   * Telemetry: RoundStream offsets (rounds seen / lines written), so a
+//     resumed stream appends instead of truncating. Measurement-only: never
+//     part of the payload digest.
+//
+// Engine coverage note: steppers opt in by providing kSnapshotTag /
+// capture() / restore() (see engine/run_loop.h); the aggregate, sharded
+// (legacy and kernel paths), sequential, and per-agent engines do. Steppers
+// without the hooks simply run un-checkpointed.
+#ifndef BITSPREAD_SNAPSHOT_STATE_H_
+#define BITSPREAD_SNAPSHOT_STATE_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/configuration.h"
+#include "engine/stopping.h"
+#include "engine/trajectory.h"
+#include "snapshot/format.h"
+
+namespace bitspread {
+namespace snapshot {
+
+// Engine-side state captured/restored by a stepper's snapshot hooks. One
+// struct serves every engine: unused fields stay empty and cost nothing.
+struct StepperState {
+  // Master-seed fingerprint for engines whose streams are derived (sharded,
+  // kernel): resuming under a different seed would silently diverge, so
+  // restore() refuses on mismatch. Engines with serialized generators leave
+  // it zero.
+  std::uint64_t seed_check = 0;
+  // Persistent generator cursors, in engine-defined order (256-bit
+  // xoshiro256** states).
+  std::vector<std::array<std::uint64_t, 4>> rng;
+  // Bit-packed displayed-opinion plane (sharded engine's current plane).
+  std::vector<std::uint64_t> plane;
+  // Per-agent memory states (stateful protocols; empty on memory-less paths).
+  std::vector<std::uint32_t> agent_states;
+  // Byte-per-agent opinions (the reference per-agent engine).
+  std::vector<std::uint8_t> bytes;
+  // Telemetry counters the stepper owns (measurement-only).
+  std::uint64_t samples_drawn = 0;
+  std::uint64_t churn_events = 0;
+
+  friend bool operator==(const StepperState&, const StepperState&) = default;
+};
+
+// FaultSession progress (faults/session.h).
+struct FaultState {
+  std::uint64_t next_flip = 0;
+  std::uint64_t churned = 0;
+  std::vector<RecoverySegment> recoveries;
+
+  friend bool operator==(const FaultState&, const FaultState&) = default;
+};
+
+struct RunSnapshot {
+  // Identity: which engine wrote this (stepper kSnapshotTag) and the
+  // ordinal of the run within its process (0 for single-run binaries);
+  // resume only engages when both match.
+  std::string engine_tag;
+  std::uint64_t run_ordinal = 0;
+  // Monotone write sequence within the ring (newest-entry selection).
+  std::uint64_t sequence = 0;
+  // Library build stamp of the writer (diagnostic only; resume does not
+  // require an identical build — determinism is pinned by tests instead).
+  std::string build_stamp;
+
+  // Driver state.
+  std::uint64_t tick = 0;
+  Configuration config;
+
+  // Engine state.
+  StepperState stepper;
+
+  // FaultSession state (meaningful only when has_faults).
+  bool has_faults = false;
+  FaultState faults;
+
+  // Trajectory points recorded so far (when has_trajectory).
+  bool has_trajectory = false;
+  std::vector<Trajectory::Point> trajectory;
+
+  // RoundStream offsets at capture time (0s when no stream was installed).
+  std::uint64_t stream_rounds_seen = 0;
+  std::uint64_t stream_lines = 0;
+
+  // Round the snapshot was taken at (ticks / ticks_per_round).
+  std::uint64_t round = 0;
+
+  // Encodes into the section container / decodes and validates. decode()
+  // returns false with a diagnostic on a missing section, a malformed
+  // payload, or an internally inconsistent state.
+  SnapshotFile encode() const;
+  static bool decode(const SnapshotFile& file, RunSnapshot& out,
+                     std::string* error = nullptr);
+};
+
+// The library build stamp embedded in snapshot headers ("compiler/arch").
+std::string build_stamp();
+
+// FNV-1a digest over the SEMANTIC payload of a run (reason, ticks, final
+// configuration, recovery segments) — the equality the crash harness and
+// the snapshot tests assert between interrupted-and-resumed and
+// uninterrupted runs. Deliberately excludes the RunTelemetry sidecar.
+std::uint64_t payload_digest(const RunResult& result) noexcept;
+
+}  // namespace snapshot
+}  // namespace bitspread
+
+#endif  // BITSPREAD_SNAPSHOT_STATE_H_

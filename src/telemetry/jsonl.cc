@@ -19,7 +19,9 @@ RoundStream::RoundStream(const std::string& path)
     : RoundStream(path, Options{}) {}
 
 RoundStream::RoundStream(const std::string& path, Options options)
-    : stride_(options.stride == 0 ? 1 : options.stride), out_(path) {}
+    : stride_(options.stride == 0 ? 1 : options.stride),
+      out_(path, options.append ? std::ios::out | std::ios::app
+                                : std::ios::out | std::ios::trunc) {}
 
 void RoundStream::on_round(std::uint64_t round, std::uint64_t ones,
                            std::uint64_t n) {

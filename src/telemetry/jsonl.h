@@ -34,6 +34,9 @@ class RoundStream : public RoundSink {
     // Emit one line per `stride` rounds (round % stride == 0). Round 0 (the
     // initial configuration) is always on-stride.
     std::uint64_t stride = 1;
+    // Open in append mode instead of truncating — the resume path, so the
+    // lines of the pre-interrupt segment survive.
+    bool append = false;
   };
 
   // Opens `path` for writing (truncates). ok() reports open failure.
@@ -56,6 +59,13 @@ class RoundStream : public RoundSink {
   // lines() the subset that passed the stride filter and was written.
   std::uint64_t rounds_seen() const { return rounds_seen_; }
   std::uint64_t lines() const { return lines_; }
+
+  // Seeds the counters from a snapshot when resuming onto an appended file,
+  // so accounting spans both run segments. Call before installing.
+  void restore_counts(std::uint64_t rounds_seen, std::uint64_t lines) {
+    rounds_seen_ = rounds_seen;
+    lines_ = lines;
+  }
 
   // Flushes the underlying file; false on I/O failure.
   bool flush();

@@ -113,7 +113,13 @@ def make_entry(report, commit, stamp):
 
 
 def load_history(path):
-    """Parses HISTORY.jsonl; a missing file is an empty history."""
+    """Parses HISTORY.jsonl; a missing file is an empty history.
+
+    A crash or kill mid-append can leave a half-written trailing line (JSONL
+    appends are not atomic). Corrupt or foreign lines are SKIPPED with a
+    warning rather than failing the whole gate: one torn line must never
+    wedge CI, and the surviving entries are still a valid history.
+    """
     entries = []
     if not os.path.exists(path):
         return entries
@@ -126,13 +132,21 @@ def load_history(path):
                 try:
                     entry = json.loads(line)
                 except json.JSONDecodeError as err:
-                    raise BadInput(
-                        f"{path}:{lineno}: malformed JSONL line: {err}"
-                    ) from err
-                if entry.get("schema") != HISTORY_SCHEMA:
-                    raise BadInput(
-                        f"{path}:{lineno}: not a {HISTORY_SCHEMA} entry"
+                    print(
+                        f"warning: {path}:{lineno}: skipping corrupt "
+                        f"history line ({err})",
+                        file=sys.stderr,
                     )
+                    continue
+                if not isinstance(entry, dict) or (
+                    entry.get("schema") != HISTORY_SCHEMA
+                ):
+                    print(
+                        f"warning: {path}:{lineno}: skipping non-"
+                        f"{HISTORY_SCHEMA} line",
+                        file=sys.stderr,
+                    )
+                    continue
                 entries.append(entry)
     except OSError as err:
         raise BadInput(f"{path}: cannot read: {err.strerror or err}") from err
@@ -392,6 +406,28 @@ def cmd_selftest(_args):
                 return
             raise AssertionError("missing file must raise BadInput")
 
+        def test_torn_trailing_line_is_skipped():
+            # A kill -9 mid-append leaves a half-written last line; the
+            # loader must skip it with a warning and keep every intact
+            # entry, and the gate must still run against them.
+            before = len(load_history(history))
+            assert before >= 3, "earlier cases should have seeded history"
+            whole = json.dumps(
+                make_entry(_fake_report(), "torn", None), sort_keys=True
+            )
+            with open(history, "a", encoding="utf-8") as fh:
+                fh.write(whole[: len(whole) // 2])  # No newline: torn write.
+            assert len(load_history(history)) == before, (
+                "a torn trailing line must be skipped, not fatal"
+            )
+            assert gate(good) == 0, "the gate must survive a torn line"
+            # A well-formed line of the wrong schema is skipped too.
+            with open(history, "a", encoding="utf-8") as fh:
+                fh.write('\n{"schema": "other/1"}\n')
+            assert len(load_history(history)) == before, (
+                "foreign-schema lines must be skipped"
+            )
+
         print("bench_history self-test:")
         for name, fn in [
             ("vacuous pass on short history", test_vacuous_pass),
@@ -403,6 +439,7 @@ def cmd_selftest(_args):
             ("provenance key isolates builds", test_provenance_isolation),
             ("malformed JSON is a clean error", test_malformed_input),
             ("missing file is a clean error", test_missing_input),
+            ("torn trailing history line is skipped", test_torn_trailing_line_is_skipped),
         ]:
             _run_selftest_case(failures, name, fn)
 
