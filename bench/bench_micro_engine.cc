@@ -14,6 +14,7 @@
 #include "engine/kernel/kernel.h"
 #include "engine/sequential.h"
 #include "engine/sharded.h"
+#include "profile/pmu.h"
 #include "protocols/minority.h"
 #include "protocols/three_majority.h"
 #include "protocols/voter.h"
@@ -122,6 +123,12 @@ void BM_ShardedStepKernelBackend(benchmark::State& state,
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(n));
+  // Profiling provenance (kept on the kernel rows HISTORY.jsonl compares):
+  // whether this host granted hardware counters, and whether the build
+  // compiled the gather/decide/fault/commit sub-phase markers in.
+  state.counters["pmu_available"] =
+      profile::thread_counters().available() ? 1.0 : 0.0;
+  state.counters["subphase_markers"] = telemetry::kCompiledIn ? 1.0 : 0.0;
 }
 BENCHMARK_CAPTURE(BM_ShardedStepKernelBackend, legacy,
                   kernel::Backend::kLegacy)

@@ -16,6 +16,7 @@
 
 #include "core/init.h"
 #include "engine/kernel/kernel.h"
+#include "profile/pmu.h"
 #include "core/stateful.h"
 #include "engine/agent.h"
 #include "engine/aggregate.h"
@@ -211,6 +212,12 @@ int main(int argc, char** argv) {
   reporter.set_workload("n", JsonValue(n));
   reporter.set_workload("ell", JsonValue(ell));
   reporter.set_workload("rounds", JsonValue(rounds));
+  // Profiling provenance: rows must be self-describing so HISTORY.jsonl can
+  // tell a PMU-attributed run from a fallback one (bench_history gates only
+  // set-comparable metrics).
+  const profile::PmuCounterSet& counters = profile::thread_counters();
+  const bool pmu_available = counters.available();
+  const bool subphase_markers = telemetry::kCompiledIn;
   JsonValue benchmarks = JsonValue::array();
   for (const Measurement& m : results) {
     JsonValue row = JsonValue::object();
@@ -219,10 +226,22 @@ int main(int argc, char** argv) {
     row.set("threads_requested", JsonValue(m.threads_requested));
     row.set("seconds", JsonValue(m.seconds));
     row.set("items_per_second", JsonValue(m.items_per_second));
+    row.set("pmu_available", JsonValue(pmu_available));
+    row.set("subphase_markers", JsonValue(subphase_markers));
     benchmarks.push_back(std::move(row));
     reporter.add_phase(m.name, m.seconds, rounds);
   }
   reporter.set_extra("benchmarks", std::move(benchmarks));
+  JsonValue pmu_info = JsonValue::object();
+  pmu_info.set("available", JsonValue(pmu_available));
+  if (!pmu_available) {
+    pmu_info.set("unavailable_reason",
+                 JsonValue(counters.unavailable_reason()));
+  }
+  pmu_info.set("counters_open", JsonValue(counters.counters_open()));
+  pmu_info.set("subphase_markers", JsonValue(subphase_markers));
+  pmu_info.set("sampling_active", JsonValue(flight_recorder.sampling_active()));
+  reporter.set_extra("pmu", std::move(pmu_info));
   JsonValue kernel_info = JsonValue::object();
   kernel_info.set("auto_backend",
                   JsonValue(kernel::backend_name(

@@ -27,6 +27,7 @@
 #include <cstdint>
 
 #include "engine/kernel/kernel.h"
+#include "profile/counters.h"
 #include "random/binomial.h"
 #include "random/floyd.h"
 #include "random/lanes.h"
@@ -138,6 +139,11 @@ inline void fill_distinct_indices(const BlockArgs& a, LaneRng& lanes,
 template <typename Filler>
 void process_block_impl(const BlockArgs& a) {
   const telemetry::ScopedTimer draw_timer(telemetry::Phase::kSampleDraw);
+  // Sub-phase attribution (gather/fault/decide/commit). Sink pointers are
+  // resolved once per block; with no sink installed every enter() below is
+  // a dead branch. Markers read clocks and counters only — they never touch
+  // the lane or aux RNG streams, so profiled runs stay bit-identical.
+  profile::KernelBlockProfiler prof;
   LaneRng lanes(a.lane_seed);
   Rng aux(lanes.aux_seed());
   Filler filler(lanes);
@@ -170,6 +176,7 @@ void process_block_impl(const BlockArgs& a) {
     }
 
     // 1. Sample: l lane words, bit a of L[j] = sample j of agent a.
+    prof.enter(telemetry::Phase::kKernelGather);
     if (!a.without_replacement) {
       filler.fill_lanes(a, L);
     } else {
@@ -179,6 +186,7 @@ void process_block_impl(const BlockArgs& a) {
 
     // 2. Auxiliary stream, fixed channel order: noise masks, tie word,
     // spontaneous select/value, churn select.
+    prof.enter(telemetry::Phase::kKernelFault);
     if (eps > 0.0) {
       for (std::uint32_t j = 0; j < a.ell; ++j) {
         L[j] ^= bernoulli_word(aux, *a.sampler, eps);
@@ -196,6 +204,7 @@ void process_block_impl(const BlockArgs& a) {
 
     // 3. Count + decide, then the fault overrides in legacy order
     // (spontaneous replaces the protocol's output, churn replaces both).
+    prof.enter(telemetry::Phase::kKernelDecide);
     BitCount count;
     count_lanes(L, a.ell, count);
     const std::uint64_t own = a.current[w];
@@ -209,10 +218,13 @@ void process_block_impl(const BlockArgs& a) {
       churned += static_cast<std::uint64_t>(std::popcount(churn_sel & update));
     }
 
+    // 4. Commit: plane writeback + running popcount.
+    prof.enter(telemetry::Phase::kKernelCommit);
     const std::uint64_t out = (value & update) | (own & frozen);
     a.next[w] = out;
     ones += static_cast<std::uint64_t>(std::popcount(out));
   }
+  prof.leave();
   *a.out_ones = ones;
   if (a.out_churned != nullptr) *a.out_churned = churned;
 }

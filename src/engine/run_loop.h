@@ -57,6 +57,7 @@
 #include "engine/stopping.h"
 #include "engine/trajectory.h"
 #include "faults/session.h"
+#include "profile/counters.h"
 #include "snapshot/checkpoint.h"
 #include "telemetry/telemetry.h"
 
@@ -223,6 +224,12 @@ class RunDriver {
       if (session != nullptr) session->observe(0, config);
     }
 
+    // Resolved once per run: sink installation must not race a running
+    // engine (the install_pmu_sink contract), and the tightest tick loops
+    // (aggregate rounds are ~250 ns) construct four PmuScopes per tick —
+    // per-scope atomic loads would be measurable there.
+    profile::PmuPhaseStats* const pmu_stats = profile::pmu_sink();
+
     while (true) {
       // Graceful interrupt: only at a parallel-round boundary, and BEFORE
       // the flip check — a flip scheduled for this round is not yet applied,
@@ -243,6 +250,7 @@ class RunDriver {
       if (session != nullptr && tick % tpr == 0 &&
           session->flip_due(tick / tpr)) {
         const telemetry::ScopedTimer timer(telemetry::Phase::kFaultApply);
+        const profile::PmuScope pmu(telemetry::Phase::kFaultApply, pmu_stats);
         session->apply_flip(tick / tpr, stepper.config());
         if constexpr (requires { stepper.sync_flip(); }) {
           stepper.sync_flip();
@@ -250,6 +258,7 @@ class RunDriver {
       }
       {
         const telemetry::ScopedTimer timer(telemetry::Phase::kStopCheck);
+        const profile::PmuScope pmu(telemetry::Phase::kStopCheck, pmu_stats);
         std::optional<StopReason> reason;
         if constexpr (requires { stepper.evaluate(rule); }) {
           reason = stepper.evaluate(rule);
@@ -269,7 +278,11 @@ class RunDriver {
         break;
       }
       {
+        // The PMU scope counts the driver thread: exact for single-threaded
+        // steppers; under pool fan-out the workers' kernel sub-phase probes
+        // carry the worker-side attribution.
         const telemetry::ScopedTimer timer(telemetry::Phase::kRoundStep);
+        const profile::PmuScope pmu(telemetry::Phase::kRoundStep, pmu_stats);
         stepper.step(tick);
       }
       ++tick;
@@ -277,6 +290,7 @@ class RunDriver {
         const std::uint64_t round = tick / tpr;
         if (session != nullptr) {
           const telemetry::ScopedTimer timer(telemetry::Phase::kFaultApply);
+          const profile::PmuScope pmu(telemetry::Phase::kFaultApply, pmu_stats);
           if constexpr (requires { stepper.end_round(round); }) {
             stepper.end_round(round);
           }

@@ -1,0 +1,261 @@
+#include "profile/pmu.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <cstdio>
+
+#if defined(__linux__) && __has_include(<linux/perf_event.h>)
+#define BITSPREAD_HAVE_PERF_EVENT 1
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cerrno>
+#endif
+
+#if defined(__x86_64__)
+#include <x86intrin.h>
+#endif
+
+namespace bitspread {
+namespace profile {
+namespace {
+
+inline std::uint64_t steady_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+inline std::uint64_t read_tsc() noexcept {
+#if defined(__x86_64__)
+  return __rdtsc();
+#else
+  return 0;
+#endif
+}
+
+bool no_pmu_env() noexcept {
+  const char* env = std::getenv("BITSPREAD_NO_PMU");
+  return env != nullptr && std::strcmp(env, "0") != 0;
+}
+
+#ifdef BITSPREAD_HAVE_PERF_EVENT
+
+struct EventSpec {
+  std::uint32_t type;
+  std::uint64_t config;
+};
+
+// Group-open order matches the Counter enum.
+constexpr EventSpec kEvents[kCounterCount] = {
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS},
+    {PERF_TYPE_HW_CACHE,
+     PERF_COUNT_HW_CACHE_LL | (PERF_COUNT_HW_CACHE_OP_READ << 8) |
+         (PERF_COUNT_HW_CACHE_RESULT_ACCESS << 16)},
+    {PERF_TYPE_HW_CACHE,
+     PERF_COUNT_HW_CACHE_LL | (PERF_COUNT_HW_CACHE_OP_READ << 8) |
+         (PERF_COUNT_HW_CACHE_RESULT_MISS << 16)},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_BRANCH_INSTRUCTIONS},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_BRANCH_MISSES},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_STALLED_CYCLES_BACKEND},
+};
+
+int open_event(const EventSpec& spec, int group_fd, bool leader) noexcept {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof attr);
+  attr.size = sizeof attr;
+  attr.type = spec.type;
+  attr.config = spec.config;
+  // User-space-only counting works under perf_event_paranoid <= 2 (the
+  // common container default), where kernel-inclusive counting is denied.
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  // The leader starts disabled (the group is enabled once fully built);
+  // members inherit the leader's run state.
+  attr.disabled = leader ? 1 : 0;
+  attr.read_format = PERF_FORMAT_GROUP | PERF_FORMAT_TOTAL_TIME_ENABLED |
+                     PERF_FORMAT_TOTAL_TIME_RUNNING;
+  return static_cast<int>(syscall(__NR_perf_event_open, &attr, /*pid=*/0,
+                                  /*cpu=*/-1, group_fd, /*flags=*/0));
+}
+
+#endif  // BITSPREAD_HAVE_PERF_EVENT
+
+}  // namespace
+
+const char* counter_name(Counter counter) noexcept {
+  switch (counter) {
+    case Counter::kCycles:
+      return "cycles";
+    case Counter::kInstructions:
+      return "instructions";
+    case Counter::kLlcLoads:
+      return "llc_loads";
+    case Counter::kLlcMisses:
+      return "llc_misses";
+    case Counter::kBranches:
+      return "branches";
+    case Counter::kBranchMisses:
+      return "branch_misses";
+    case Counter::kStalledBackend:
+      return "stalled_cycles_backend";
+    case Counter::kCount:
+      break;
+  }
+  return "unknown";
+}
+
+double CounterDelta::ipc() const noexcept {
+  const auto cyc = static_cast<std::size_t>(Counter::kCycles);
+  const auto ins = static_cast<std::size_t>(Counter::kInstructions);
+  if (!pmu || !valid[cyc] || !valid[ins] || value[cyc] == 0) return 0.0;
+  return static_cast<double>(value[ins]) / static_cast<double>(value[cyc]);
+}
+
+CounterDelta scale_delta(const CounterSnapshot& begin,
+                         const CounterSnapshot& end,
+                         const std::array<bool, kCounterCount>& open,
+                         bool pmu) noexcept {
+  CounterDelta delta;
+  delta.wall_ns = end.wall_ns >= begin.wall_ns ? end.wall_ns - begin.wall_ns : 0;
+  delta.pmu = pmu;
+  if (!pmu) {
+    // Fallback rung: rdtsc cycles where the ISA provides them, wall always.
+    const auto cyc = static_cast<std::size_t>(Counter::kCycles);
+    if (end.tsc > begin.tsc) {
+      delta.value[cyc] = end.tsc - begin.tsc;
+      delta.valid[cyc] = true;
+    }
+    return delta;
+  }
+  const std::uint64_t enabled =
+      end.time_enabled_ns >= begin.time_enabled_ns
+          ? end.time_enabled_ns - begin.time_enabled_ns
+          : 0;
+  const std::uint64_t running =
+      end.time_running_ns >= begin.time_running_ns
+          ? end.time_running_ns - begin.time_running_ns
+          : 0;
+  if (running > 0 && enabled > running) {
+    delta.scale =
+        static_cast<double>(enabled) / static_cast<double>(running);
+    delta.multiplexed = true;
+  }
+  for (int i = 0; i < kCounterCount; ++i) {
+    if (!open[static_cast<std::size_t>(i)]) continue;
+    const std::uint64_t raw =
+        end.value[static_cast<std::size_t>(i)] >=
+                begin.value[static_cast<std::size_t>(i)]
+            ? end.value[static_cast<std::size_t>(i)] -
+                  begin.value[static_cast<std::size_t>(i)]
+            : 0;
+    delta.value[static_cast<std::size_t>(i)] =
+        delta.multiplexed
+            ? static_cast<std::uint64_t>(static_cast<double>(raw) *
+                                         delta.scale)
+            : raw;
+    delta.valid[static_cast<std::size_t>(i)] = true;
+  }
+  return delta;
+}
+
+PmuCounterSet::PmuCounterSet() {
+  fd_.fill(-1);
+  slot_.fill(-1);
+  if (no_pmu_env()) {
+    reason_ = "BITSPREAD_NO_PMU=1";
+    return;
+  }
+#ifdef BITSPREAD_HAVE_PERF_EVENT
+  const int leader = open_event(kEvents[0], -1, /*leader=*/true);
+  if (leader < 0) {
+    std::snprintf(errno_reason_, sizeof errno_reason_,
+                  "perf_event_open: %s", std::strerror(errno));
+    reason_ = errno_reason_;
+    return;
+  }
+  fd_[0] = leader;
+  open_[0] = true;
+  slot_[0] = 0;
+  group_size_ = 1;
+  for (int i = 1; i < kCounterCount; ++i) {
+    // Rung 2: a rejected member (stalled-cycles-backend on many cores,
+    // LL-cache events on some) is skipped; the group runs with what opened.
+    const int fd = open_event(kEvents[i], leader, /*leader=*/false);
+    if (fd < 0) continue;
+    fd_[static_cast<std::size_t>(i)] = fd;
+    open_[static_cast<std::size_t>(i)] = true;
+    slot_[static_cast<std::size_t>(i)] = group_size_++;
+  }
+  enable();
+#else
+  reason_ = "not a Linux build";
+#endif
+}
+
+PmuCounterSet::~PmuCounterSet() {
+#ifdef BITSPREAD_HAVE_PERF_EVENT
+  for (const int fd : fd_) {
+    if (fd >= 0) close(fd);
+  }
+#endif
+}
+
+int PmuCounterSet::counters_open() const noexcept {
+  int count = 0;
+  for (const bool open : open_) count += open ? 1 : 0;
+  return count;
+}
+
+void PmuCounterSet::enable() noexcept {
+#ifdef BITSPREAD_HAVE_PERF_EVENT
+  if (fd_[0] >= 0) {
+    ioctl(fd_[0], PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+  }
+#endif
+}
+
+void PmuCounterSet::disable() noexcept {
+#ifdef BITSPREAD_HAVE_PERF_EVENT
+  if (fd_[0] >= 0) {
+    ioctl(fd_[0], PERF_EVENT_IOC_DISABLE, PERF_IOC_FLAG_GROUP);
+  }
+#endif
+}
+
+void PmuCounterSet::read(CounterSnapshot& snapshot) const noexcept {
+  snapshot = CounterSnapshot{};
+  snapshot.wall_ns = steady_ns();
+  snapshot.tsc = read_tsc();
+#ifdef BITSPREAD_HAVE_PERF_EVENT
+  if (fd_[0] < 0) return;
+  // {nr, time_enabled, time_running, value[nr]} per PERF_FORMAT_GROUP.
+  std::uint64_t buffer[3 + kCounterCount];
+  const ssize_t want = static_cast<ssize_t>(
+      (3 + static_cast<std::size_t>(group_size_)) * sizeof(std::uint64_t));
+  const ssize_t got = ::read(fd_[0], buffer, static_cast<std::size_t>(want));
+  if (got < want) return;
+  snapshot.time_enabled_ns = buffer[1];
+  snapshot.time_running_ns = buffer[2];
+  for (int i = 0; i < kCounterCount; ++i) {
+    const int slot = slot_[static_cast<std::size_t>(i)];
+    if (slot >= 0) {
+      snapshot.value[static_cast<std::size_t>(i)] =
+          buffer[3 + static_cast<std::size_t>(slot)];
+    }
+  }
+#endif
+}
+
+PmuCounterSet& thread_counters() noexcept {
+  thread_local PmuCounterSet set;
+  return set;
+}
+
+}  // namespace profile
+}  // namespace bitspread

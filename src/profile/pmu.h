@@ -1,0 +1,141 @@
+// Hardware-counter access: a perf_event_open(2) wrapper with a fallback
+// ladder, the measurement base of the profiling subsystem (DESIGN.md §3.8).
+//
+// A PmuCounterSet opens one *grouped* set of per-thread counters — cycles
+// (group leader), instructions, LLC loads/misses, branches/branch-misses,
+// and stalled-cycles-backend — so every read is one read(2) returning a
+// consistent snapshot of the whole group plus the kernel's time_enabled /
+// time_running pair. When the kernel multiplexes the group off the PMU,
+// deltas are scaled by Δenabled/Δrunning (the standard perf estimate) and
+// flagged, so downstream IPC / miss-rate numbers are honest about it.
+//
+// The fallback ladder keeps every build and host working:
+//
+//   1. Full group: all seven counters open.             pmu=true
+//   2. Partial group: counters the kernel rejects       pmu=true, fewer
+//      (commonly stalled-cycles-backend) are skipped;       columns
+//      the group runs with what opened.
+//   3. Cycles-only fallback: no hardware PMU at all     pmu=false, cycles
+//      (containers, perf_event_paranoid, non-Linux,         from rdtsc
+//      BITSPREAD_NO_PMU=1) — deltas degrade to             (x86-64 only),
+//      rdtsc cycles and steady_clock wall time.             wall always
+//
+// Counting is per-thread (pid=0, cpu=-1, exclude_kernel): a counter set
+// measures the thread that opened it, which is exactly the attribution the
+// phase probes want — each recording thread owns one set (thread_counters()).
+// Reads never touch an RNG stream and never allocate on the hot path.
+#ifndef BITSPREAD_PROFILE_PMU_H_
+#define BITSPREAD_PROFILE_PMU_H_
+
+#include <array>
+#include <cstdint>
+
+namespace bitspread {
+namespace profile {
+
+// The counter group, in group-open order. kCycles is the group leader: when
+// it cannot open, the whole set degrades to the timing fallback.
+enum class Counter : int {
+  kCycles = 0,
+  kInstructions,
+  kLlcLoads,
+  kLlcMisses,
+  kBranches,
+  kBranchMisses,
+  kStalledBackend,
+  kCount
+};
+
+inline constexpr int kCounterCount = static_cast<int>(Counter::kCount);
+
+// Short stable identifier ("cycles", "instructions", ...) used in JSON.
+const char* counter_name(Counter counter) noexcept;
+
+// One raw read of the group. `value` holds unscaled kernel counts for the
+// counters that are open (zero otherwise); the time pair is the group's
+// multiplexing evidence. The fallback fields are always filled so deltas
+// stay meaningful on rung 3.
+struct CounterSnapshot {
+  std::array<std::uint64_t, kCounterCount> value{};
+  std::uint64_t time_enabled_ns = 0;
+  std::uint64_t time_running_ns = 0;
+  std::uint64_t wall_ns = 0;  // steady_clock, always filled.
+  std::uint64_t tsc = 0;      // rdtsc (x86-64), 0 elsewhere.
+};
+
+// Scaled difference between two snapshots of the same set.
+struct CounterDelta {
+  std::array<std::uint64_t, kCounterCount> value{};
+  std::array<bool, kCounterCount> valid{};
+  std::uint64_t wall_ns = 0;
+  // Δtime_enabled/Δtime_running for this window; 1.0 = counters were on the
+  // PMU the whole time, > 1.0 = values are multiplex-scaled estimates.
+  double scale = 1.0;
+  bool multiplexed = false;
+  bool pmu = false;  // False on the timing-only fallback rung.
+
+  double ipc() const noexcept;  // instructions/cycles; 0 when not counted.
+};
+
+// Pure scaling core of PmuCounterSet::delta(), exposed for unit tests: takes
+// two snapshots plus the open-counter mask and applies the multiplex scale.
+CounterDelta scale_delta(const CounterSnapshot& begin,
+                         const CounterSnapshot& end,
+                         const std::array<bool, kCounterCount>& open,
+                         bool pmu) noexcept;
+
+// A grouped per-thread counter set. Construction opens the group for the
+// CALLING thread and enables it; destruction closes every fd. All methods
+// are safe to call on any rung of the ladder — on the fallback rung read()
+// fills only the timing fields.
+class PmuCounterSet {
+ public:
+  PmuCounterSet();
+  ~PmuCounterSet();
+  PmuCounterSet(const PmuCounterSet&) = delete;
+  PmuCounterSet& operator=(const PmuCounterSet&) = delete;
+
+  // True when the hardware group leader opened (rungs 1–2).
+  bool available() const noexcept { return open_[0]; }
+  // Why the set is on the fallback rung ("" when available()):
+  // "BITSPREAD_NO_PMU=1", "perf_event_open: <errno>", or "not a Linux build".
+  const char* unavailable_reason() const noexcept { return reason_; }
+
+  bool counter_open(Counter counter) const noexcept {
+    return open_[static_cast<std::size_t>(counter)];
+  }
+  int counters_open() const noexcept;
+
+  // Scoped control of the whole group (PERF_IOC_FLAG_GROUP). The set is
+  // enabled on construction; disable() parks it without closing fds.
+  void enable() noexcept;
+  void disable() noexcept;
+
+  // Snapshot of current totals. Never fails: on the fallback rung only
+  // wall_ns/tsc are filled.
+  void read(CounterSnapshot& snapshot) const noexcept;
+
+  // Multiplex-scaled difference between two reads of THIS set.
+  CounterDelta delta(const CounterSnapshot& begin,
+                     const CounterSnapshot& end) const noexcept {
+    return scale_delta(begin, end, open_, available());
+  }
+
+ private:
+  std::array<int, kCounterCount> fd_;    // -1 when not open.
+  std::array<bool, kCounterCount> open_{};
+  std::array<int, kCounterCount> slot_;  // Read-buffer slot per counter.
+  int group_size_ = 0;
+  const char* reason_ = "";
+  char errno_reason_[64] = {0};
+};
+
+// The calling thread's counter set, created (and enabled) on first use and
+// kept for the thread's lifetime. Pool workers each get their own, so
+// concurrent probes never share a group.
+PmuCounterSet& thread_counters() noexcept;
+
+}  // namespace profile
+}  // namespace bitspread
+
+#endif  // BITSPREAD_PROFILE_PMU_H_

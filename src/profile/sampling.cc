@@ -1,0 +1,305 @@
+#include "profile/sampling.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <vector>
+
+#if defined(__linux__)
+#define BITSPREAD_HAVE_SAMPLING 1
+#include <cxxabi.h>
+#include <dlfcn.h>
+#include <signal.h>
+#include <sys/mman.h>
+#include <sys/time.h>
+#include <ucontext.h>
+#include <unistd.h>
+#endif
+
+namespace bitspread {
+namespace profile {
+
+#ifdef BITSPREAD_HAVE_SAMPLING
+
+namespace {
+
+// One sample: depth then `depth` return addresses, leaf first.
+struct Sample {
+  std::uint32_t depth = 0;
+  std::uintptr_t pc[SamplingProfiler::kMaxDepth + 1];
+};
+
+// Handler-visible state. The handler runs on arbitrary threads between
+// start() and stop(); all fields it touches are set before the handler is
+// installed and read only after the timer is disarmed, except the atomics.
+struct HandlerState {
+  Sample* samples = nullptr;
+  std::uint32_t capacity = 0;
+  std::atomic<std::uint32_t> cursor{0};
+  std::atomic<std::uint64_t> taken{0};
+  std::atomic<std::uint64_t> dropped{0};
+  long page_size = 4096;
+};
+
+HandlerState* g_state = nullptr;           // Non-null only while armed.
+std::atomic<bool> g_armed{false};          // Guards one-profiler-per-process.
+
+// Async-signal-safe check that `addr` lies in a mapped page: msync on the
+// containing page fails with ENOMEM for unmapped addresses (the classic
+// gperftools probe). Good enough to keep the frame walk from faulting.
+bool page_mapped(std::uintptr_t addr, long page_size) noexcept {
+  const std::uintptr_t page = addr & ~static_cast<std::uintptr_t>(page_size - 1);
+  return msync(reinterpret_cast<void*>(page), static_cast<std::size_t>(page_size),
+               MS_ASYNC) == 0;
+}
+
+// Frame-pointer walk from the signal context. Conservative by design:
+// every candidate frame must be aligned, mapped (both words of the frame
+// record), strictly above the previous frame, and within 8 MiB of it —
+// violating any of these ends the walk. The leaf PC is always recorded
+// first, so broken chains degrade to a flat profile.
+void capture_stack(Sample& out, void* ucontext_ptr) noexcept {
+  const auto* uc = static_cast<ucontext_t*>(ucontext_ptr);
+  std::uintptr_t pc = 0;
+  std::uintptr_t fp = 0;
+#if defined(__x86_64__)
+  pc = static_cast<std::uintptr_t>(uc->uc_mcontext.gregs[REG_RIP]);
+  fp = static_cast<std::uintptr_t>(uc->uc_mcontext.gregs[REG_RBP]);
+#elif defined(__aarch64__)
+  pc = static_cast<std::uintptr_t>(uc->uc_mcontext.pc);
+  fp = static_cast<std::uintptr_t>(uc->uc_mcontext.regs[29]);
+#else
+  (void)uc;
+#endif
+  out.depth = 0;
+  if (pc != 0) out.pc[out.depth++] = pc;
+  const long page_size = g_state != nullptr ? g_state->page_size : 4096;
+  constexpr std::uintptr_t kMaxFrameSpan = 8u << 20;
+  while (out.depth < SamplingProfiler::kMaxDepth + 1) {
+    if (fp == 0 || (fp & (sizeof(std::uintptr_t) - 1)) != 0) break;
+    if (!page_mapped(fp, page_size) ||
+        !page_mapped(fp + sizeof(std::uintptr_t), page_size)) {
+      break;
+    }
+    const auto* frame = reinterpret_cast<const std::uintptr_t*>(fp);
+    const std::uintptr_t next_fp = frame[0];
+    const std::uintptr_t ret = frame[1];
+    if (ret == 0) break;
+    out.pc[out.depth++] = ret;
+    if (next_fp <= fp || next_fp - fp > kMaxFrameSpan) break;
+    fp = next_fp;
+  }
+}
+
+void sigprof_handler(int /*signo*/, siginfo_t* /*info*/, void* ucontext_ptr) {
+  HandlerState* state = g_state;
+  if (state == nullptr) return;
+  const std::uint32_t slot =
+      state->cursor.fetch_add(1, std::memory_order_relaxed);
+  if (slot >= state->capacity) {
+    state->dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  capture_stack(state->samples[slot], ucontext_ptr);
+  state->taken.fetch_add(1, std::memory_order_relaxed);
+}
+
+// Offline symbolization: function name via dladdr, demangled when possible;
+// address-relative fallback keeps stripped frames distinguishable.
+std::string symbolize(std::uintptr_t pc) {
+  Dl_info info;
+  std::memset(&info, 0, sizeof info);
+  if (dladdr(reinterpret_cast<void*>(pc), &info) != 0 &&
+      info.dli_sname != nullptr) {
+    int status = 0;
+    char* demangled =
+        abi::__cxa_demangle(info.dli_sname, nullptr, nullptr, &status);
+    if (status == 0 && demangled != nullptr) {
+      std::string name(demangled);
+      std::free(demangled);
+      return name;
+    }
+    return info.dli_sname;
+  }
+  char buffer[96];
+  const char* module = "?";
+  if (info.dli_fname != nullptr) {
+    module = std::strrchr(info.dli_fname, '/') != nullptr
+                 ? std::strrchr(info.dli_fname, '/') + 1
+                 : info.dli_fname;
+  }
+  std::snprintf(buffer, sizeof buffer, "%s+0x%" PRIxPTR, module,
+                info.dli_fbase != nullptr
+                    ? pc - reinterpret_cast<std::uintptr_t>(info.dli_fbase)
+                    : pc);
+  return buffer;
+}
+
+}  // namespace
+
+struct SamplingProfiler::Impl {
+  HandlerState state;
+  std::vector<Sample> buffer;
+  struct sigaction previous_action;
+  struct itimerval previous_timer;
+  bool running = false;
+  const char* why = "";
+
+  ~Impl() {
+    if (running) stop();
+  }
+
+  bool start(int hz, std::uint32_t max_samples) {
+    if (running) {
+      why = "already running";
+      return false;
+    }
+    bool expected = false;
+    if (!g_armed.compare_exchange_strong(expected, true)) {
+      why = "another SamplingProfiler is armed (SIGPROF is process-global)";
+      return false;
+    }
+    if (hz < 1) hz = 1;
+    if (hz > 10000) hz = 10000;
+    if (max_samples == 0) max_samples = 1;
+
+    buffer.assign(max_samples, Sample{});
+    state.samples = buffer.data();
+    state.capacity = max_samples;
+    state.cursor.store(0, std::memory_order_relaxed);
+    state.taken.store(0, std::memory_order_relaxed);
+    state.dropped.store(0, std::memory_order_relaxed);
+    const long page = sysconf(_SC_PAGESIZE);
+    state.page_size = page > 0 ? page : 4096;
+    g_state = &state;
+
+    struct sigaction action;
+    std::memset(&action, 0, sizeof action);
+    action.sa_sigaction = &sigprof_handler;
+    action.sa_flags = SA_SIGINFO | SA_RESTART;
+    sigemptyset(&action.sa_mask);
+    if (sigaction(SIGPROF, &action, &previous_action) != 0) {
+      g_state = nullptr;
+      g_armed.store(false, std::memory_order_release);
+      why = "sigaction(SIGPROF) failed";
+      return false;
+    }
+
+    struct itimerval timer;
+    timer.it_interval.tv_sec = 0;
+    timer.it_interval.tv_usec = static_cast<suseconds_t>(1000000 / hz);
+    if (timer.it_interval.tv_usec == 0) timer.it_interval.tv_usec = 1;
+    timer.it_value = timer.it_interval;
+    if (setitimer(ITIMER_PROF, &timer, &previous_timer) != 0) {
+      sigaction(SIGPROF, &previous_action, nullptr);
+      g_state = nullptr;
+      g_armed.store(false, std::memory_order_release);
+      why = "setitimer(ITIMER_PROF) failed";
+      return false;
+    }
+    running = true;
+    why = "";
+    return true;
+  }
+
+  void stop() {
+    if (!running) return;
+    // Disarm first so no new signals fire, then restore the prior handler;
+    // a signal already in flight still sees valid g_state until cleared.
+    setitimer(ITIMER_PROF, &previous_timer, nullptr);
+    sigaction(SIGPROF, &previous_action, nullptr);
+    g_state = nullptr;
+    g_armed.store(false, std::memory_order_release);
+    running = false;
+  }
+
+  std::string folded() const {
+    const std::uint64_t count = state.taken.load(std::memory_order_relaxed);
+    if (count == 0 || buffer.empty()) return "";
+    // Aggregate by raw stack first so each unique frame is symbolized once.
+    std::map<std::vector<std::uintptr_t>, std::uint64_t> stacks;
+    const std::uint32_t stored =
+        std::min(state.cursor.load(std::memory_order_relaxed), state.capacity);
+    for (std::uint32_t i = 0; i < stored; ++i) {
+      const Sample& sample = buffer[i];
+      if (sample.depth == 0) continue;
+      std::vector<std::uintptr_t> key(sample.pc, sample.pc + sample.depth);
+      ++stacks[key];
+    }
+    std::map<std::uintptr_t, std::string> names;
+    std::string out;
+    for (const auto& [key, hits] : stacks) {
+      // Folded format is root-first; samples are leaf-first.
+      for (auto it = key.rbegin(); it != key.rend(); ++it) {
+        auto cached = names.find(*it);
+        if (cached == names.end()) {
+          cached = names.emplace(*it, symbolize(*it)).first;
+        }
+        if (it != key.rbegin()) out += ';';
+        out += cached->second;
+      }
+      out += ' ';
+      out += std::to_string(hits);
+      out += '\n';
+    }
+    return out;
+  }
+};
+
+SamplingProfiler::SamplingProfiler() : impl_(new Impl) {}
+SamplingProfiler::~SamplingProfiler() = default;
+
+bool SamplingProfiler::start(int hz, std::uint32_t max_samples) {
+  return impl_->start(hz, max_samples);
+}
+void SamplingProfiler::stop() { impl_->stop(); }
+bool SamplingProfiler::running() const noexcept { return impl_->running; }
+const char* SamplingProfiler::why() const noexcept { return impl_->why; }
+std::uint64_t SamplingProfiler::samples_taken() const noexcept {
+  return impl_->state.taken.load(std::memory_order_relaxed);
+}
+std::uint64_t SamplingProfiler::samples_dropped() const noexcept {
+  return impl_->state.dropped.load(std::memory_order_relaxed);
+}
+std::string SamplingProfiler::folded() const { return impl_->folded(); }
+
+#else  // !BITSPREAD_HAVE_SAMPLING
+
+struct SamplingProfiler::Impl {};
+
+SamplingProfiler::SamplingProfiler() = default;
+SamplingProfiler::~SamplingProfiler() = default;
+bool SamplingProfiler::start(int /*hz*/, std::uint32_t /*max_samples*/) {
+  return false;
+}
+void SamplingProfiler::stop() {}
+bool SamplingProfiler::running() const noexcept { return false; }
+const char* SamplingProfiler::why() const noexcept {
+  return "sampling profiler requires Linux (SIGPROF/setitimer)";
+}
+std::uint64_t SamplingProfiler::samples_taken() const noexcept { return 0; }
+std::uint64_t SamplingProfiler::samples_dropped() const noexcept { return 0; }
+std::string SamplingProfiler::folded() const { return ""; }
+
+#endif  // BITSPREAD_HAVE_SAMPLING
+
+bool SamplingProfiler::write_folded(const std::string& path) const {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "profile: cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  const std::string text = folded();
+  const bool ok =
+      std::fwrite(text.data(), 1, text.size(), file) == text.size();
+  std::fclose(file);
+  if (!ok) std::fprintf(stderr, "profile: short write to %s\n", path.c_str());
+  return ok;
+}
+
+}  // namespace profile
+}  // namespace bitspread

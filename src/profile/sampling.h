@@ -1,0 +1,93 @@
+// SamplingProfiler: a signal-driven wall/CPU-time sampling profiler with
+// folded-stack output (DESIGN.md §3.8).
+//
+// start(hz) installs a SIGPROF handler and arms ITIMER_PROF so the kernel
+// delivers one signal per 1/hz seconds of *CPU time* consumed by the
+// process; each delivery captures the interrupted thread's PC and a
+// frame-pointer backtrace into a preallocated lock-free sample buffer
+// (the handler is async-signal-safe: no malloc, no locks, no stdio).
+// stop() disarms the timer, restores the previous handler, and makes the
+// samples available for folding.
+//
+// folded() symbolizes offline (dladdr + __cxa_demangle — only after the
+// handler is disarmed) and aggregates identical stacks into the classic
+// folded format, one line per unique stack:
+//
+//     main;bitspread::RunDriver::drive;process_block_impl 42
+//
+// directly consumable by flamegraph.pl or speedscope. Frames that cannot
+// be symbolized render as hex addresses with the containing module, so a
+// stripped binary still yields a usable profile.
+//
+// Honesty notes, documented rather than hidden:
+//   - Unwinding follows frame pointers. -O2/-O3 builds without
+//     -fno-omit-frame-pointer may truncate stacks after the leaf; the leaf
+//     PC itself always comes from the signal context, so even then the
+//     profile degrades to a correct *flat* profile, never a wrong one.
+//     The `sanitize` preset (and any build with frame pointers kept)
+//     gives full stacks.
+//   - Candidate frame words are validated with msync(2) page probes plus
+//     alignment/monotonicity/range heuristics before being dereferenced,
+//     so a garbage frame chain ends the walk instead of faulting.
+//   - Sampling perturbs the measured process (one signal per tick). It is
+//     OFF by default everywhere; the telemetry overhead gate measures the
+//     *unsinked-probe* budget with sampling off, and --profile-out= is an
+//     explicit opt-in.
+//
+// One profiler may be active per process (SIGPROF is process-global);
+// start() fails when another instance is running, on non-Linux hosts, and
+// under BITSPREAD_NO_PMU=1 it still works — sampling needs no PMU.
+#ifndef BITSPREAD_PROFILE_SAMPLING_H_
+#define BITSPREAD_PROFILE_SAMPLING_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace bitspread {
+namespace profile {
+
+class SamplingProfiler {
+ public:
+  // Bounds chosen so the buffer (max_samples × (max_depth+1) words, ~8 MiB
+  // at the defaults) is allocated once in start(), never in the handler.
+  static constexpr int kMaxDepth = 63;
+  static constexpr std::uint32_t kDefaultMaxSamples = 1u << 16;
+
+  SamplingProfiler();
+  ~SamplingProfiler();
+  SamplingProfiler(const SamplingProfiler&) = delete;
+  SamplingProfiler& operator=(const SamplingProfiler&) = delete;
+
+  // Arms the profiler at `hz` samples per CPU-second (clamped to [1, 10000]).
+  // Returns false — with why() set — when already running, when another
+  // profiler owns SIGPROF, or on hosts without setitimer/SIGPROF.
+  bool start(int hz, std::uint32_t max_samples = kDefaultMaxSamples);
+
+  // Disarms the timer and restores the prior SIGPROF disposition. Safe to
+  // call when not running. Samples remain readable until the next start().
+  void stop();
+
+  bool running() const noexcept;
+  const char* why() const noexcept;  // Reason start() refused, or "".
+
+  // Collected-sample accounting (valid after stop()).
+  std::uint64_t samples_taken() const noexcept;
+  std::uint64_t samples_dropped() const noexcept;  // Buffer-full ticks.
+
+  // Symbolized, aggregated folded stacks ("a;b;c N\n" per unique stack,
+  // root first). Call after stop(). Empty string when nothing was sampled.
+  std::string folded() const;
+
+  // Writes folded() to `path`; false (with stderr note) on I/O failure.
+  bool write_folded(const std::string& path) const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace profile
+}  // namespace bitspread
+
+#endif  // BITSPREAD_PROFILE_SAMPLING_H_

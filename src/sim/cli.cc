@@ -32,6 +32,12 @@ bool FlightRecorderOptions::parse_flag(const std::string& arg) {
         std::strtoul(arg.c_str() + 18, nullptr, 0));
   } else if (arg.rfind("--resume=", 0) == 0) {
     resume = arg.substr(9);
+  } else if (arg.rfind("--pmu-out=", 0) == 0) {
+    pmu_out = arg.substr(10);
+  } else if (arg.rfind("--profile-out=", 0) == 0) {
+    profile_out = arg.substr(14);
+  } else if (arg.rfind("--profile-hz=", 0) == 0) {
+    profile_hz = std::atoi(arg.c_str() + 13);
   } else {
     return false;
   }
@@ -180,8 +186,32 @@ FlightRecorderScope::FlightRecorderScope(FlightRecorderOptions options)
   }
   // Graceful SIGINT/SIGTERM whenever any output could be lost: drivers stop
   // at the next round boundary and this scope's destructor flushes.
-  if (options_.requested() || checkpointer_ != nullptr) {
+  if (options_.requested() || options_.profiling_requested() ||
+      checkpointer_ != nullptr) {
     snapshot::install_interrupt_handlers();
+  }
+  if (options_.pmu_out) {
+    if (telemetry::kCompiledIn) {
+      // Touching the main thread's counter set here (not in the destructor)
+      // surfaces a perf_event_open failure before the run, not after it.
+      profile::thread_counters();
+      profile::install_pmu_sink(&pmu_stats_);
+      pmu_installed_ = true;
+    } else {
+      std::cerr << "note: --pmu-out has no effect (build with "
+                   "-DBITSPREAD_TELEMETRY=ON)\n";
+    }
+  }
+  if (options_.profile_out) {
+    // Sampling needs no telemetry build and no PMU — SIGPROF + frame
+    // pointers only. Started last so profiler samples cover the run, not
+    // this scope's setup.
+    profiler_ = std::make_unique<profile::SamplingProfiler>();
+    if (!profiler_->start(options_.profile_hz)) {
+      std::cerr << "note: sampling profiler not started: " << profiler_->why()
+                << "\n";
+      profiler_.reset();
+    }
   }
   if (!options_.requested()) return;
   if (!telemetry::kCompiledIn) {
@@ -223,6 +253,34 @@ void FlightRecorderScope::set_bias(std::function<double(double)> bias) {
 }
 
 FlightRecorderScope::~FlightRecorderScope() {
+  if (profiler_ != nullptr) {
+    profiler_->stop();
+    if (profiler_->write_folded(*options_.profile_out)) {
+      std::cerr << "[profile written to " << *options_.profile_out << ": "
+                << profiler_->samples_taken() << " samples";
+      if (profiler_->samples_dropped() > 0) {
+        std::cerr << ", " << profiler_->samples_dropped()
+                  << " dropped (buffer full)";
+      }
+      std::cerr << "]\n";
+    }
+  }
+  if (pmu_installed_) {
+    profile::install_pmu_sink(nullptr);
+    const profile::PmuCounterSet& set = profile::thread_counters();
+    std::ofstream out(*options_.pmu_out);
+    if (out) {
+      out << profile::pmu_stats_to_json(pmu_stats_, set.available(),
+                                        set.unavailable_reason())
+                 .dump();
+      std::cerr << "[pmu counters written to " << *options_.pmu_out
+                << (set.available() ? "" : " (no PMU: timing fallback)")
+                << "]\n";
+    } else {
+      std::cerr << "[failed to write pmu counters to " << *options_.pmu_out
+                << "]\n";
+    }
+  }
   if (recorder_ != nullptr) {
     telemetry::install_trace_recorder(nullptr);
     if (recorder_->write_chrome_trace(*options_.trace_out)) {

@@ -14,6 +14,16 @@
 //   --trace-buffer=<n>     ring capacity per recording thread (events)
 //   --stream-stride=<n>    emit every n-th round to the stream
 //
+// Profiling flags (benches and examples; DESIGN.md §3.8):
+//   --pmu-out=<path>       write per-phase hardware-counter totals (cycles,
+//                          instructions, LLC/branch misses, IPC) as JSON;
+//                          probes need a telemetry build, and on no-PMU
+//                          hosts the report carries pmu_available:false
+//   --profile-out=<path>   run the SIGPROF sampling profiler and write
+//                          folded stacks (flamegraph.pl / speedscope input);
+//                          works in every build, off unless requested
+//   --profile-hz=<n>       sampling rate in CPU-time Hz (default 97)
+//
 // Checkpoint/resume flags (benches and examples; independent of telemetry):
 //   --checkpoint-out=<base>  snapshot ring base path (<base>.<slot>.snap)
 //   --checkpoint-every=<k>   snapshot every k parallel rounds (default 0:
@@ -39,6 +49,8 @@
 #include <optional>
 #include <string>
 
+#include "profile/counters.h"
+#include "profile/sampling.h"
 #include "sim/table.h"
 #include "snapshot/checkpoint.h"
 #include "telemetry/jsonl.h"
@@ -64,12 +76,20 @@ struct FlightRecorderOptions {
   std::uint64_t checkpoint_every = 0;
   std::uint32_t checkpoint_ring = 2;
   std::optional<std::string> resume;
+  // Profiling (--pmu-out= / --profile-out= / --profile-hz=). 97 Hz default:
+  // prime, so sampling does not alias round-period work.
+  std::optional<std::string> pmu_out;
+  std::optional<std::string> profile_out;
+  int profile_hz = 97;
 
   bool requested() const noexcept {
     return trace_out.has_value() || stream_out.has_value();
   }
   bool checkpoint_requested() const noexcept {
     return checkpoint_out.has_value() || resume.has_value();
+  }
+  bool profiling_requested() const noexcept {
+    return pmu_out.has_value() || profile_out.has_value();
   }
   // Consumes the flag if it matches one of the recorder/checkpoint options.
   bool parse_flag(const std::string& arg);
@@ -186,11 +206,30 @@ class FlightRecorderScope {
     return checkpointer_.get();
   }
 
+  // The PMU sink active for this scope, or nullptr when --pmu-out= is off
+  // (benches embed its totals in their JSON reports).
+  profile::PmuPhaseStats* pmu_stats() noexcept {
+    return pmu_installed_ ? &pmu_stats_ : nullptr;
+  }
+
+  // True while the SIGPROF sampling profiler is running (--profile-out=).
+  // Benches record this in their reports so check_telemetry_overhead.py can
+  // reject overhead measurements taken with sampling interrupts firing.
+  bool sampling_active() const noexcept {
+    return profiler_ != nullptr && profiler_->running();
+  }
+
  private:
   FlightRecorderOptions options_;
   std::unique_ptr<snapshot::Checkpointer> checkpointer_;
   std::unique_ptr<telemetry::TraceRecorder> recorder_;
   std::unique_ptr<telemetry::RoundStream> stream_;
+  // Profiling (--pmu-out= / --profile-out=): the PMU sink lives here so the
+  // destructor can render it after uninstalling; the sampling profiler is
+  // started last and stopped first.
+  profile::PmuPhaseStats pmu_stats_;
+  bool pmu_installed_ = false;
+  std::unique_ptr<profile::SamplingProfiler> profiler_;
 };
 
 // RAII scope for an example binary's telemetry flags: --trace installs a

@@ -20,6 +20,14 @@ const char* phase_name(Phase phase) noexcept {
       return "stop_check";
     case Phase::kPoolDispatch:
       return "pool_dispatch";
+    case Phase::kKernelGather:
+      return "kernel_gather";
+    case Phase::kKernelFault:
+      return "kernel_fault";
+    case Phase::kKernelDecide:
+      return "kernel_decide";
+    case Phase::kKernelCommit:
+      return "kernel_commit";
     case Phase::kCount:
       break;
   }

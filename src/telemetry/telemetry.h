@@ -43,6 +43,15 @@ enum class Phase : int {
   kFaultApply,     // Fault-channel work: flips, churn, recovery bookkeeping.
   kStopCheck,      // Stop-rule / quorum evaluation.
   kPoolDispatch,   // WorkerPool fan-out latency (recorded by the pool).
+  // Kernel sub-phases: the word-parallel step kernel (DESIGN.md §3.6) splits
+  // each block step into gather (observation packing), fault (word-level
+  // fault channels), decide (the boolean g-circuit), and commit (plane
+  // writeback + popcount). Recorded by profile::KernelBlockProfiler; empty
+  // in engines that run the legacy per-agent loop.
+  kKernelGather,
+  kKernelFault,
+  kKernelDecide,
+  kKernelCommit,
   kCount
 };
 

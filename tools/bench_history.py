@@ -20,13 +20,18 @@ quick flag, hardware_concurrency) plus the extracted metrics:
 
   * throughput.<benchmark>   items/sec of each row in "benchmarks"
   * phase_share.<phase>      that phase's fraction of total phase seconds
+  * ipc.<backend>.<sub>      per-kernel-sub-phase IPC from bench_profile's
+                             "profiles" rows (absent on no-PMU hosts)
+  * subphase_share.<backend>.<sub>  that sub-phase's share of kernel wall
 
 `gate` only compares against history entries whose provenance key matches
 the candidate report exactly (a Debug laptop run never gates a Release CI
-run). Throughput may not drop more than --threshold below the trailing
-median; phase shares may not shift more than --share-drift absolute.
-With fewer than --min-entries comparable entries the gate passes
-vacuously (exit 0) so a fresh repo can seed its own history.
+run). Throughput and IPC may not drop more than --threshold below the
+trailing median; phase shares may not shift more than --share-drift
+absolute. With fewer than --min-entries comparable entries the gate passes
+vacuously (exit 0) so a fresh repo can seed its own history. Rows lacking
+PMU data simply contribute no ipc.* columns — a no-PMU host's report
+gates its throughput as usual and never trips on counters it cannot read.
 
 Exit status: 0 = pass/appended, 1 = regression detected, 2 = bad input.
 """
@@ -94,6 +99,28 @@ def extract_metrics(report):
             secs = p.get("seconds")
             if isinstance(name, str) and isinstance(secs, (int, float)):
                 metrics[f"phase_share.{name}"] = float(secs) / total
+    # bench_profile rows: per-backend kernel sub-phase IPC and wall share.
+    # Sub-phase rows without PMU data (fallback hosts) carry no "ipc" key
+    # and are tolerated — they just contribute no column.
+    for row in report.get("profiles") or []:
+        if not isinstance(row, dict):
+            continue
+        backend = row.get("backend")
+        sps = row.get("agent_steps_per_second")
+        if isinstance(backend, str) and isinstance(sps, (int, float)) and sps > 0:
+            metrics[f"throughput.profile.{backend}"] = float(sps)
+        for sub in row.get("sub_phases") or []:
+            if not isinstance(sub, dict) or not isinstance(backend, str):
+                continue
+            name = sub.get("sub_phase")
+            if not isinstance(name, str):
+                continue
+            ipc = sub.get("ipc")
+            if isinstance(ipc, (int, float)) and ipc > 0:
+                metrics[f"ipc.{backend}.{name}"] = float(ipc)
+            share = sub.get("wall_share")
+            if isinstance(share, (int, float)) and 0 <= share <= 1:
+                metrics[f"subphase_share.{backend}.{name}"] = float(share)
     if not metrics:
         raise BadInput("report carries no benchmarks or phases to track")
     return metrics
@@ -199,27 +226,30 @@ def cmd_gate(args):
         )
         return 0
 
-    # Phase shares are fractions of the report's own phase total, so they are
-    # only comparable between reports tracking the SAME set of phases: adding
-    # a bench row mechanically shrinks every other share without any real
-    # perf change. Shares gate only against entries with an identical
-    # phase-name set; throughput rows gate against the full window.
-    def phase_names(metrics):
-        return frozenset(
-            k for k in metrics if k.startswith("phase_share.")
-        )
+    # Shares are fractions of the report's own total (phase_share of all
+    # phase seconds, subphase_share of that backend's kernel wall), so they
+    # are only comparable between reports tracking the SAME set of rows:
+    # adding a bench row mechanically shrinks every other share without any
+    # real perf change. Each share family gates only against entries with an
+    # identical name set for that family; throughput and IPC rows are
+    # absolute ratios and gate against the full window.
+    def share_names(metrics, prefix):
+        return frozenset(k for k in metrics if k.startswith(prefix))
 
-    candidate_phases = phase_names(candidate)
-    share_history = [
-        e
-        for e in history
-        if phase_names(e.get("metrics", {})) == candidate_phases
-    ]
-    if len(share_history) < len(history):
-        print(
-            f"gate: phase-share set changed — shares compare against "
-            f"{len(share_history)} of {len(history)} entries"
-        )
+    share_history = {}
+    for prefix in ("phase_share.", "subphase_share."):
+        names = share_names(candidate, prefix)
+        pool = [
+            e
+            for e in history
+            if share_names(e.get("metrics", {}), prefix) == names
+        ]
+        share_history[prefix] = pool
+        if len(pool) < len(history):
+            print(
+                f"gate: {prefix.rstrip('.')} set changed — compares "
+                f"against {len(pool)} of {len(history)} entries"
+            )
 
     failures = []
     print(
@@ -229,9 +259,11 @@ def cmd_gate(args):
     )
     print(f"{'metric':<38} {'median':>12} {'current':>12} {'delta':>9}")
     for name in sorted(candidate):
-        pool = (
-            share_history if name.startswith("phase_share.") else history
-        )
+        pool = history
+        for prefix, filtered in share_history.items():
+            if name.startswith(prefix):
+                pool = filtered
+                break
         samples = [
             e["metrics"][name]
             for e in pool
@@ -242,8 +274,9 @@ def cmd_gate(args):
             continue
         base = median(samples)
         current = candidate[name]
-        if name.startswith("throughput."):
-            # Relative: positive drop = slower than the trailing median.
+        if name.startswith(("throughput.", "ipc.")):
+            # Relative: positive drop = slower (or lower-IPC) than the
+            # trailing median.
             drop = (base - current) / base if base > 0 else 0.0
             bad = drop > args.threshold
             delta = f"{-drop:+8.1%}"
@@ -272,9 +305,12 @@ def cmd_gate(args):
 # Self-test: synthetic reports through the real append/gate paths.
 
 
-def _fake_report(ips_scale=1.0, phase_secs=None):
+def _fake_report(ips_scale=1.0, phase_secs=None, profiles_ipc=None):
+    """Synthetic bench report; profiles_ipc adds bench_profile-style rows
+    (a float scales every sub-phase IPC; False emulates a no-PMU host whose
+    rows carry wall shares but no IPC)."""
     phase_secs = phase_secs or {"simulate": 0.8, "analyze": 0.2}
-    return {
+    report = {
         "schema": BENCH_SCHEMA,
         "bench": "engine",
         "quick": True,
@@ -291,6 +327,25 @@ def _fake_report(ips_scale=1.0, phase_secs=None):
             for name, secs in phase_secs.items()
         ],
     }
+    if profiles_ipc is not None:
+        def sub(name, share, ipc):
+            row = {"sub_phase": name, "wall_seconds": share * 0.01,
+                   "wall_share": share, "cycles": int(share * 1e7)}
+            if profiles_ipc is not False:
+                row["ipc"] = ipc * profiles_ipc
+            return row
+
+        report["profiles"] = [{
+            "backend": "avx2",
+            "pmu_available": profiles_ipc is not False,
+            "subphase_markers": True,
+            "agent_steps_per_second": 2.0e8 * ips_scale,
+            "sub_phases": [
+                sub("gather", 0.40, 1.8), sub("fault", 0.20, 2.2),
+                sub("decide", 0.22, 2.5), sub("commit", 0.18, 2.0),
+            ],
+        }]
+    return report
 
 
 def _run_selftest_case(check, name, fn):
@@ -428,6 +483,43 @@ def cmd_selftest(_args):
                 "foreign-schema lines must be skipped"
             )
 
+        def test_profile_ipc_columns():
+            m = extract_metrics(_fake_report(profiles_ipc=1.0))
+            assert "ipc.avx2.gather" in m, "ipc columns missing"
+            assert "subphase_share.avx2.decide" in m, (
+                "subphase_share columns missing"
+            )
+            assert "throughput.profile.avx2" in m, (
+                "profile throughput column missing"
+            )
+            prof = os.path.join(tmp, "prof.json")
+            write_report(prof, profiles_ipc=1.0)
+            for i in range(3):
+                assert append(prof, f"p{i}") == 0
+            assert gate(prof) == 0, "identical profile report must pass"
+            slow = os.path.join(tmp, "slow_ipc.json")
+            write_report(slow, profiles_ipc=0.7)
+            assert gate(slow) == 1, "a 30% sub-phase IPC drop must fail"
+            fast = os.path.join(tmp, "fast_ipc.json")
+            write_report(fast, profiles_ipc=1.3)
+            assert gate(fast) == 0, "an IPC improvement must pass"
+
+        def test_no_pmu_rows_tolerated():
+            # A fallback host's rows have wall shares but no IPC: they must
+            # extract cleanly and never trip against IPC-bearing history.
+            m = extract_metrics(_fake_report(profiles_ipc=False))
+            assert not any(k.startswith("ipc.") for k in m), (
+                "no-PMU rows must contribute no ipc columns"
+            )
+            assert "subphase_share.avx2.gather" in m, (
+                "wall shares must survive without PMU"
+            )
+            nopmu = os.path.join(tmp, "nopmu.json")
+            write_report(nopmu, profiles_ipc=False)
+            assert gate(nopmu) == 0, (
+                "a no-PMU report must gate cleanly vs PMU history"
+            )
+
         print("bench_history self-test:")
         for name, fn in [
             ("vacuous pass on short history", test_vacuous_pass),
@@ -440,6 +532,8 @@ def cmd_selftest(_args):
             ("malformed JSON is a clean error", test_malformed_input),
             ("missing file is a clean error", test_missing_input),
             ("torn trailing history line is skipped", test_torn_trailing_line_is_skipped),
+            ("profile ipc/share columns gate", test_profile_ipc_columns),
+            ("no-PMU profile rows tolerated", test_no_pmu_rows_tolerated),
         ]:
             _run_selftest_case(failures, name, fn)
 

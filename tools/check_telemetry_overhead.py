@@ -3,24 +3,58 @@
 
 Usage:
     check_telemetry_overhead.py BASELINE.json TELEMETRY.json [--max-regression R]
+    check_telemetry_overhead.py --baseline B1.json B2.json ... \
+                                --telemetry T1.json T2.json ... [--max-regression R]
     check_telemetry_overhead.py --self-test
+
+With repeated reports per side (the --baseline/--telemetry list form), each
+benchmark compares the per-row MEDIAN items/sec across that side's runs.
+Median, not best-of: on burst-budgeted hosts the noise is two-sided —
+throttled windows slow a run down AND turbo windows spike one 30% above
+steady state — so a max-of-N estimate chases whichever side caught the one
+lucky spike and never converges. Single-shot comparison swings ±20% per
+row in both directions; CI takes three interleaved measurements per side,
+which the median makes robust to one outlier run on each side.
 
 Both inputs are unified bench reports ("bitspread-bench/1") written by
 perf_smoke: BASELINE from the default build, TELEMETRY from the
 BITSPREAD_TELEMETRY=ON build with NO sink installed. The compiled-in but
-unsinked probes must stay within `--max-regression` (default 5%) of the
-baseline throughput on every benchmark; a faster telemetry build always
-passes. Exit status 0 = within budget, 1 = regression, 2 = bad input.
+unsinked probes — the ScopedTimer phase probes AND the §3.8 PMU scopes /
+kernel sub-phase markers, which in a telemetry build always pay their
+one relaxed sink load per probe site — must stay within `--max-regression`
+(default 5%) of the baseline throughput on every benchmark; a faster
+telemetry build always passes.
+
+Reports recorded while the SIGPROF sampling profiler was running
+(pmu.sampling_active in the report, set when --profile-out= was passed)
+are REJECTED as bad input: sampling interrupts perturb both sides of the
+comparison, and sampling is off by default precisely so this gate
+measures the probes alone. Reports predating the field are accepted.
+
+Exit status 0 = within budget, 1 = regression, 2 = bad input.
 """
 
 import argparse
 import json
+import statistics
 import sys
 import tempfile
 
 
 class BadInput(Exception):
     """Input file missing, malformed, or not a bench report."""
+
+
+def reject_sampling(report, path):
+    """A report taken with the sampling profiler firing is not an overhead
+    measurement; the pmu.sampling_active field is recorded by every bench
+    (older reports without it pass unchallenged)."""
+    pmu = report.get("pmu")
+    if isinstance(pmu, dict) and pmu.get("sampling_active"):
+        raise BadInput(
+            f"{path}: recorded with the sampling profiler active "
+            f"(--profile-out=); rerun without profiling flags"
+        )
 
 
 def load_benchmarks(path):
@@ -35,6 +69,7 @@ def load_benchmarks(path):
         raise BadInput(f"{path}: malformed JSON: {err}") from err
     if not isinstance(report, dict) or report.get("schema") != "bitspread-bench/1":
         raise BadInput(f"{path}: not a bitspread-bench/1 report")
+    reject_sampling(report, path)
     benchmarks = report.get("benchmarks")
     if not isinstance(benchmarks, list) or not benchmarks:
         raise BadInput(f"{path}: no benchmarks array")
@@ -49,6 +84,17 @@ def load_benchmarks(path):
             )
         out[name] = float(ips)
     return out
+
+
+def load_merged(paths):
+    """Per-benchmark median items/sec across repeated runs of the same
+    binary. Every file must be a valid, sampling-free report; rows appearing
+    in any run count (the cross-side missing check still runs in compare)."""
+    collected = {}
+    for path in paths:
+        for name, ips in load_benchmarks(path).items():
+            collected.setdefault(name, []).append(ips)
+    return {name: statistics.median(vals) for name, vals in collected.items()}
 
 
 def compare(baseline, telemetry, max_regression):
@@ -155,6 +201,55 @@ def self_test():
             return
         raise AssertionError("missing file must raise BadInput")
 
+    def test_sampling_active_rejected():
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, "sampled.json")
+            report = _fake_report(1.0)
+            report["pmu"] = {"available": False, "sampling_active": True}
+            with open(path, "w", encoding="utf-8") as fh:
+                json.dump(report, fh)
+            try:
+                load_benchmarks(path)
+            except BadInput:
+                return
+        raise AssertionError("sampling-active report must raise BadInput")
+
+    def test_sampling_off_accepted():
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, "unsampled.json")
+            report = _fake_report(1.0)
+            report["pmu"] = {"available": True, "sampling_active": False}
+            with open(path, "w", encoding="utf-8") as fh:
+                json.dump(report, fh)
+            loaded = load_benchmarks(path)
+            assert "agent_serial_step" in loaded, "report must load"
+
+    def _write_reports(tmp, side, scales):
+        paths = []
+        for i, scale in enumerate(scales):
+            path = os.path.join(tmp, f"{side}{i}.json")
+            with open(path, "w", encoding="utf-8") as fh:
+                json.dump(_fake_report(scale), fh)
+            paths.append(path)
+        return paths
+
+    def test_median_survives_outlier_runs():
+        # One outlier run per side — a 30% throttle on one, a 25% turbo
+        # spike on the other — must not move the row estimate when the
+        # remaining runs agree within budget.
+        with tempfile.TemporaryDirectory() as tmp:
+            base = load_merged(_write_reports(tmp, "base", [1.0, 0.7, 0.99]))
+            tele = load_merged(_write_reports(tmp, "tele", [1.25, 0.97, 0.96]))
+            code, _ = compare(base, tele, 0.05)
+            assert code == 0, "median must discard one outlier per side"
+
+    def test_median_keeps_real_regressions():
+        with tempfile.TemporaryDirectory() as tmp:
+            base = load_merged(_write_reports(tmp, "base", [1.0, 0.98, 0.99]))
+            tele = load_merged(_write_reports(tmp, "tele", [0.90, 0.88, 0.89]))
+            code, _ = compare(base, tele, 0.05)
+            assert code == 1, "a slowdown present in every run must fail"
+
     def test_wrong_schema():
         with tempfile.TemporaryDirectory() as tmp:
             path = os.path.join(tmp, "other.json")
@@ -173,6 +268,10 @@ def self_test():
     case("missing benchmark is a clean error", test_missing_benchmark)
     case("malformed JSON is a clean error", test_malformed_file)
     case("missing file is a clean error", test_missing_file)
+    case("sampling-active report is rejected", test_sampling_active_rejected)
+    case("sampling-off report is accepted", test_sampling_off_accepted)
+    case("median discards outlier runs", test_median_survives_outlier_runs)
+    case("median keeps real regressions", test_median_keeps_real_regressions)
     case("wrong schema is a clean error", test_wrong_schema)
     if failures:
         print(f"self-test: {len(failures)} failure(s)", file=sys.stderr)
@@ -185,6 +284,22 @@ def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline", nargs="?")
     parser.add_argument("telemetry", nargs="?")
+    parser.add_argument(
+        "--baseline",
+        dest="baseline_runs",
+        nargs="+",
+        default=[],
+        metavar="REPORT",
+        help="repeated baseline-build reports; the per-row median is compared",
+    )
+    parser.add_argument(
+        "--telemetry",
+        dest="telemetry_runs",
+        nargs="+",
+        default=[],
+        metavar="REPORT",
+        help="repeated telemetry-build reports; the per-row median is compared",
+    )
     parser.add_argument(
         "--max-regression",
         type=float,
@@ -200,12 +315,23 @@ def main():
 
     if args.self_test:
         return self_test()
-    if not args.baseline or not args.telemetry:
+    if (args.baseline or args.telemetry) and (
+        args.baseline_runs or args.telemetry_runs
+    ):
+        parser.error(
+            "use either the positional report pair or the "
+            "--baseline/--telemetry lists, not both"
+        )
+    base_paths = args.baseline_runs or ([args.baseline] if args.baseline else [])
+    tele_paths = (
+        args.telemetry_runs or ([args.telemetry] if args.telemetry else [])
+    )
+    if not base_paths or not tele_paths:
         parser.error("baseline and telemetry reports are required")
 
     try:
-        baseline = load_benchmarks(args.baseline)
-        telemetry = load_benchmarks(args.telemetry)
+        baseline = load_merged(base_paths)
+        telemetry = load_merged(tele_paths)
         code, lines = compare(baseline, telemetry, args.max_regression)
     except BadInput as err:
         print(f"error: {err}", file=sys.stderr)
